@@ -1,0 +1,283 @@
+package cookieguard
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact end-to-end
+// (generate → crawl → analyze / evaluate) at a benchmark-friendly scale;
+// cmd/experiments runs the same code paths at full scale and prints the
+// paper-vs-measured rows recorded in EXPERIMENTS.md.
+
+import (
+	"context"
+	"testing"
+
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/breakage"
+	"cookieguard/internal/instrument"
+	"cookieguard/internal/perf"
+)
+
+const benchSites = 150
+
+// measured caches one crawl per benchmark binary run; the per-iteration
+// work is the artifact regeneration itself.
+func crawlOnce(b *testing.B, guarded bool) (*Study, []instrument.VisitLog) {
+	b.Helper()
+	cfg := StudyConfig{Sites: benchSites, Workers: 8, Interact: true}
+	if guarded {
+		pol := DefaultGuardPolicy()
+		cfg.GuardPolicy = &pol
+	}
+	study := NewStudy(cfg)
+	logs, err := study.Crawl(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return study, logs
+}
+
+func BenchmarkSummaryStats(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := study.Analyze(logs)
+		if res.Summary.SitesComplete == 0 {
+			b.Fatal("no complete sites")
+		}
+	}
+}
+
+func BenchmarkTable1Prevalence(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := res.Table1()
+		if len(rows) != 6 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkTable2TopExfiltrated(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := res.Table2(20); len(rows) == 0 {
+			b.Fatal("no exfiltrated pairs")
+		}
+	}
+}
+
+func BenchmarkFig2TopExfiltrators(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if top := res.Fig2TopExfiltrators(20); len(top) == 0 {
+			b.Fatal("no exfiltrators")
+		}
+	}
+}
+
+func BenchmarkTable5Manipulated(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := res.Table5(10); len(rows) == 0 {
+			b.Fatal("no manipulated pairs")
+		}
+	}
+}
+
+func BenchmarkFig8TopManipulators(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = res.Fig8TopOverwriters(20)
+		_ = res.Fig8TopDeleters(20)
+	}
+}
+
+func BenchmarkOverwriteAttrs(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	res := study.Analyze(logs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := res.OverwriteAttrs(); s.Events == 0 {
+			b.Fatal("no overwrite events")
+		}
+	}
+}
+
+func BenchmarkInclusionPaths(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := study.Analyze(logs)
+		if res.Summary.IndirectScripts <= res.Summary.DirectScripts {
+			b.Fatal("indirection ratio collapsed")
+		}
+	}
+}
+
+func BenchmarkFig5GuardEfficacy(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	base := study.Analyze(logs)
+	before := base.SitePct(analysis.ActExfiltration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gStudy, gLogs := crawlOnce(b, true)
+		b.StartTimer()
+		gres := gStudy.Analyze(gLogs)
+		after := gres.SitePct(analysis.ActExfiltration)
+		if after >= before {
+			b.Fatalf("guard did not reduce exfiltration: %.1f -> %.1f", before, after)
+		}
+	}
+}
+
+func BenchmarkTable3Breakage(b *testing.B) {
+	study, _ := crawlOnce(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t3, err := study.EvaluateBreakage(50, breakage.GuardStrict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t3.Sites == 0 {
+			b.Fatal("no sites assessed")
+		}
+	}
+}
+
+func BenchmarkTable4Performance(b *testing.B) {
+	study := NewStudy(StudyConfig{Sites: 60})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := study.EvaluatePerformance(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := res.Table4(); len(rows) != 3 {
+			b.Fatal("table 4 rows")
+		}
+	}
+}
+
+func BenchmarkFig6Boxplots(b *testing.B) {
+	study := NewStudy(StudyConfig{Sites: 60})
+	res, err := study.EvaluatePerformance(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range perf.Metrics {
+			_, with := res.Fig6(m)
+			if with.N == 0 {
+				b.Fatal("empty boxplot")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7OverheadRatio(b *testing.B) {
+	study := NewStudy(StudyConfig{Sites: 60})
+	res, err := study.EvaluatePerformance(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range perf.Metrics {
+			_, _, median := res.Fig7(m)
+			if median <= 1.0 {
+				b.Fatalf("median ratio %.3f ≤ 1", median)
+			}
+		}
+	}
+}
+
+func BenchmarkDOMPilot(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := study.Analyze(logs)
+		if res.Summary.SitesWithCrossDomainDOM == 0 {
+			b.Fatal("no cross-domain DOM modification observed")
+		}
+	}
+}
+
+// Ablations: the design choices DESIGN.md calls out.
+
+func BenchmarkAblationInlineRelaxed(b *testing.B) {
+	pol := DefaultGuardPolicy()
+	pol.Inline = 1 // relaxed
+	cfg := StudyConfig{Sites: benchSites, Workers: 8, GuardPolicy: &pol}
+	study := NewStudy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logs, err := study.Crawl(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = study.Analyze(logs)
+	}
+}
+
+func BenchmarkAblationNoOwnerAccess(b *testing.B) {
+	pol := DefaultGuardPolicy()
+	pol.OwnerFullAccess = false
+	cfg := StudyConfig{Sites: benchSites, Workers: 8, GuardPolicy: &pol}
+	study := NewStudy(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logs, err := study.Crawl(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := study.Analyze(logs)
+		// Without owner access, even the residual site-owner actions
+		// disappear.
+		if res.SitePct(analysis.ActExfiltration) > 5 {
+			b.Fatal("owner ablation should eliminate nearly all exfiltration")
+		}
+	}
+}
+
+func BenchmarkAblationWhitelistBreakage(b *testing.B) {
+	study, _ := crawlOnce(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strict, err := study.EvaluateBreakage(60, breakage.GuardStrict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err := study.EvaluateBreakage(60, breakage.GuardWhitelist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if wl.Pct[breakage.SSO][breakage.Major] > strict.Pct[breakage.SSO][breakage.Major] {
+			b.Fatal("whitelist increased breakage")
+		}
+	}
+}
+
+func BenchmarkEndToEndCrawl(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		study := NewStudy(StudyConfig{Sites: 50, Workers: 8, Interact: true})
+		logs, err := study.Crawl(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := study.Analyze(logs); res.Summary.SitesComplete == 0 {
+			b.Fatal("no complete sites")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command analyze runs the §4.4 analysis framework over JSONL visit logs
+// produced by cmd/crawl, printing Tables 1/2/5, Figures 2/8, and the
+// headline statistics.
+//
+// Usage:
+//
+//	analyze [-in logs.jsonl]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/filterlist"
+	"cookieguard/internal/instrument"
+	"cookieguard/internal/report"
+)
+
+func main() {
+	inPath := flag.String("in", "-", "input JSONL path (- = stdin)")
+	flag.Parse()
+
+	in := os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+
+	var logs []instrument.VisitLog
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v instrument.VisitLog
+		fatal(json.Unmarshal(sc.Bytes(), &v))
+		logs = append(logs, v)
+	}
+	fatal(sc.Err())
+
+	clf := filterlist.DefaultClassifier()
+	an := analysis.New()
+	an.IsTracker = func(scriptURL, siteDomain string) bool {
+		ok, _ := clf.IsTracker(filterlist.Request{URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript})
+		return ok
+	}
+	res := an.Run(logs)
+
+	out := os.Stdout
+	s := res.Summary
+	fmt.Fprintf(out, "sites: %d total, %d complete\n", s.SitesTotal, s.SitesComplete)
+	fmt.Fprintf(out, "third-party: %d sites, %.1f scripts/site, %.0f%% tracking\n",
+		s.SitesWithThirdParty, s.MeanTPScriptsPerSite, 100*s.TrackerScriptShare)
+	fmt.Fprintf(out, "cookie pairs: %d document.cookie, %d cookieStore\n\n",
+		s.UniquePairsDocument, s.UniquePairsCookieStore)
+	report.Table1(out, res.Table1())
+	fmt.Fprintln(out)
+	report.Table2(out, res.Table2(20))
+	fmt.Fprintln(out)
+	report.Table5(out, res.Table5(10))
+	fmt.Fprintln(out)
+	report.Bar(out, "Figure 2: top exfiltrators", res.Fig2TopExfiltrators(20))
+	fmt.Fprintln(out)
+	report.Bar(out, "Figure 8a: top overwriters", res.Fig8TopOverwriters(20))
+	fmt.Fprintln(out)
+	report.Bar(out, "Figure 8b: top deleters", res.Fig8TopDeleters(20))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}

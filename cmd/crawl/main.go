@@ -1,0 +1,73 @@
+// Command crawl runs the instrumented measurement crawl (§4.2) over a
+// generated synthetic web and writes one JSON visit log per line.
+//
+// Usage:
+//
+//	crawl [-sites N] [-workers N] [-guard] [-o logs.jsonl] [-list tranco.csv]
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cookieguard"
+	"cookieguard/internal/trancolist"
+)
+
+func main() {
+	sites := flag.Int("sites", 1000, "sites to generate and crawl")
+	workers := flag.Int("workers", 16, "concurrent visits")
+	guarded := flag.Bool("guard", false, "crawl with CookieGuard enabled")
+	outPath := flag.String("o", "-", "output JSONL path (- = stdout)")
+	listPath := flag.String("list", "", "also write the ranked site list (Tranco analogue) to this path")
+	flag.Parse()
+
+	cfg := cookieguard.StudyConfig{Sites: *sites, Workers: *workers, Interact: true}
+	if *guarded {
+		pol := cookieguard.DefaultGuardPolicy()
+		cfg.GuardPolicy = &pol
+	}
+	study := cookieguard.NewStudy(cfg)
+
+	if *listPath != "" {
+		f, err := os.Create(*listPath)
+		fatal(err)
+		fatal(trancolist.Write(f, study.SiteList()))
+		fatal(f.Close())
+	}
+
+	logs, err := study.Crawl(context.Background())
+	fatal(err)
+
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		fatal(err)
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	complete := 0
+	for _, l := range logs {
+		if l.Complete() {
+			complete++
+		}
+		b, err := json.Marshal(l)
+		fatal(err)
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", len(logs), complete)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crawl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,185 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints paper-vs-measured comparisons. It is the one-shot
+// harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-sites N] [-workers N] [-perf N] [-breakage N] [-short]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"cookieguard"
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/breakage"
+	"cookieguard/internal/perf"
+	"cookieguard/internal/report"
+)
+
+func main() {
+	sites := flag.Int("sites", 2000, "number of sites to generate and crawl (paper: 20000)")
+	workers := flag.Int("workers", 16, "crawl workers")
+	perfN := flag.Int("perf", 800, "sites for the performance experiment (paper: 10000)")
+	breakN := flag.Int("breakage", 100, "sites for the breakage assessment (paper: 100)")
+	flag.Parse()
+
+	if err := run(*sites, *workers, *perfN, *breakN); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sites, workers, perfN, breakN int) error {
+	out := os.Stdout
+	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
+
+	study := cookieguard.NewStudy(cookieguard.StudyConfig{
+		Sites: sites, Workers: workers, Interact: true,
+	})
+	ctx := context.Background()
+
+	// ---------- Measurement crawl (no guard) ----------
+	fmt.Fprintln(out, "--- measurement crawl (§4) ---")
+	logs, err := study.Crawl(ctx)
+	if err != nil {
+		return err
+	}
+	res := study.Analyze(logs)
+	s := res.Summary
+	fmt.Fprintf(out, "crawled %d sites, %d complete (paper: 20000 -> 14917)\n\n",
+		s.SitesTotal, s.SitesComplete)
+
+	// ---------- §5.1 / §5.2 / §5.6 / §8 headline stats ----------
+	fmt.Fprintln(out, "--- headline statistics (paper vs measured) ---")
+	pct := func(n int) float64 { return 100 * float64(n) / float64(max(1, s.SitesComplete)) }
+	report.Compare(out, "sites with >=1 third-party script (%)", 93.3, pct(s.SitesWithThirdParty), "%")
+	report.Compare(out, "mean distinct third-party scripts per site", 19, s.MeanTPScriptsPerSite, "scripts")
+	report.Compare(out, "third-party scripts that are ad/tracking (%)", 70, 100*s.TrackerScriptShare, "%")
+	report.Compare(out, "third-party cookies set per site", 15, s.MeanTPCookiesPerSite, "cookies")
+	report.Compare(out, "first-party cookies set per site", 4, s.MeanFPCookiesPerSite, "cookies")
+	report.Compare(out, "sites invoking document.cookie (%)", 96.3, pct(s.SitesUsingDocCookie), "%")
+	report.Compare(out, "sites using cookieStore API (%)", 2.8, pct(s.SitesUsingCookieStore), "%")
+	report.Compare(out, "indirect:direct inclusion ratio", 2.5,
+		ratio(s.IndirectScripts, s.DirectScripts), "x")
+	report.Compare(out, "cross-domain DOM modification sites (%)", 9.4, pct(s.SitesWithCrossDomainDOM), "%")
+	fmt.Fprintln(out)
+
+	// ---------- Table 1 ----------
+	report.Table1(out, res.Table1())
+	fmt.Fprintln(out, "\npaper Table 1: document.cookie exfil 55.7% sites / 5.9% cookies;")
+	fmt.Fprintln(out, "overwrite 31.5% / 2.7%; delete 6.3% / 1.8%; cookieStore exfil 0.7% / 16.3%;")
+	fmt.Fprintln(out, "cookieStore overwrite/delete 0 / 0")
+	fmt.Fprintln(out)
+
+	// ---------- Table 2 ----------
+	report.Table2(out, res.Table2(20))
+	fmt.Fprintln(out)
+
+	// ---------- Figure 2 ----------
+	report.Bar(out, "Figure 2: top 20 exfiltrator script domains (unique cookies)", res.Fig2TopExfiltrators(20))
+	fmt.Fprintln(out, "paper: googletagmanager.com leads at 3.29% of all cookie pairs")
+	fmt.Fprintln(out)
+
+	// ---------- Table 5 / Figure 8 ----------
+	report.Table5(out, res.Table5(10))
+	fmt.Fprintln(out)
+	report.Bar(out, "Figure 8a: top overwriting domains", res.Fig8TopOverwriters(20))
+	fmt.Fprintln(out)
+	report.Bar(out, "Figure 8b: top deleting domains", res.Fig8TopDeleters(20))
+	fmt.Fprintln(out)
+
+	// ---------- §5.5 attribute changes ----------
+	attrs := res.OverwriteAttrs()
+	fmt.Fprintln(out, "--- overwrite attribute changes (paper vs measured) ---")
+	report.Compare(out, "overwrites changing value (%)", 85.3, attrs.PctValue, "%")
+	report.Compare(out, "overwrites changing expires (%)", 69.4, attrs.PctExpires, "%")
+	report.Compare(out, "overwrites changing domain (%)", 6.0, attrs.PctDomain, "%")
+	report.Compare(out, "overwrites changing path (%)", 1.2, attrs.PctPath, "%")
+	fmt.Fprintln(out)
+
+	// ---------- Figure 5: guard efficacy ----------
+	fmt.Fprintln(out, "--- Figure 5: cross-domain actions with vs without CookieGuard ---")
+	pol := cookieguard.DefaultGuardPolicy()
+	guarded := cookieguard.NewStudy(cookieguard.StudyConfig{
+		Sites: sites, Workers: workers, Interact: true, GuardPolicy: &pol,
+	})
+	glogs, err := guarded.Crawl(ctx)
+	if err != nil {
+		return err
+	}
+	gres := guarded.Analyze(glogs)
+	fig5(out, res, gres)
+	fmt.Fprintln(out)
+
+	// ---------- Table 3: breakage ----------
+	fmt.Fprintln(out, "--- Table 3: website breakage ---")
+	for _, cond := range []breakage.Condition{breakage.NoGuard, breakage.GuardStrict, breakage.GuardWhitelist} {
+		t3, err := study.EvaluateBreakage(breakN, cond)
+		if err != nil {
+			return err
+		}
+		report.Table3(out, t3)
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out, "paper: strict guard SSO major 11%, functionality 3%+3%;")
+	fmt.Fprintln(out, "entity whitelist reduces overall breakage to 3%")
+	fmt.Fprintln(out)
+
+	// ---------- Table 4 + Figures 6/7/9/10: performance ----------
+	fmt.Fprintln(out, "--- Table 4 / Figures 6, 7, 9, 10: performance ---")
+	pres, err := study.EvaluatePerformance(perfN)
+	if err != nil {
+		return err
+	}
+	report.Table4(out, pres.Table4())
+	fmt.Fprintf(out, "mean LoadEvent overhead: %.0f ms (paper: ~300 ms)\n\n", pres.MeanOverheadMS())
+	for _, m := range perf.Metrics {
+		without, with := pres.Fig6(m)
+		fmt.Fprintf(out, "Figure 6/9 (%s):\n", m)
+		report.Boxplot(out, "no extension", without)
+		report.Boxplot(out, "with cookieguard", with)
+		_, box, median := pres.Fig7(m)
+		fmt.Fprintf(out, "Figure 7/10 (%s): median overhead ratio %.3f (paper: ~1.11)\n", m, median)
+		report.Boxplot(out, "ratio distribution", box)
+	}
+
+	return nil
+}
+
+// fig5 prints the with/without comparison and reduction percentages.
+func fig5(out *os.File, plain, guarded *analysis.Results) {
+	actions := []analysis.ActionKind{analysis.ActOverwriting, analysis.ActDeleting, analysis.ActExfiltration}
+	paperReduction := map[analysis.ActionKind]float64{
+		analysis.ActOverwriting:  82.2,
+		analysis.ActDeleting:     86.2,
+		analysis.ActExfiltration: 83.2,
+	}
+	for _, act := range actions {
+		before := plain.SitePct(act)
+		after := guarded.SitePct(act)
+		reduction := 0.0
+		if before > 0 {
+			reduction = 100 * (before - after) / before
+		}
+		fmt.Fprintf(out, "  %-14s regular %5.1f%% -> guarded %5.1f%%  reduction %5.1f%% (paper: %.1f%%)\n",
+			act, before, after, reduction, paperReduction[act])
+	}
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

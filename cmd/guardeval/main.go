@@ -1,0 +1,99 @@
+// Command guardeval evaluates CookieGuard: Figure 5 (blocking efficacy),
+// Table 3 (breakage under strict and whitelist policies), and Table 4
+// with Figures 6/7 (performance overhead).
+//
+// Usage:
+//
+//	guardeval [-sites N] [-perf N] [-breakage N] [-ablation]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"cookieguard"
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/breakage"
+	"cookieguard/internal/perf"
+	"cookieguard/internal/report"
+)
+
+func main() {
+	sites := flag.Int("sites", 800, "sites for the efficacy crawl")
+	perfN := flag.Int("perf", 300, "sites for the performance pairing")
+	breakN := flag.Int("breakage", 100, "sites for the breakage sample")
+	ablation := flag.Bool("ablation", false, "also run policy ablations")
+	flag.Parse()
+
+	out := os.Stdout
+	ctx := context.Background()
+
+	base := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites, Interact: true})
+	logs, err := base.Crawl(ctx)
+	fatal(err)
+	plain := base.Analyze(logs)
+
+	pol := cookieguard.DefaultGuardPolicy()
+	gStudy := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites, Interact: true, GuardPolicy: &pol})
+	glogs, err := gStudy.Crawl(ctx)
+	fatal(err)
+	guarded := gStudy.Analyze(glogs)
+
+	fmt.Fprintln(out, "Figure 5: cross-domain actions, regular vs CookieGuard")
+	for _, act := range []analysis.ActionKind{analysis.ActOverwriting, analysis.ActDeleting, analysis.ActExfiltration} {
+		b, a := plain.SitePct(act), guarded.SitePct(act)
+		red := 0.0
+		if b > 0 {
+			red = 100 * (b - a) / b
+		}
+		fmt.Fprintf(out, "  %-13s %5.1f%% -> %5.1f%%  (-%.1f%%)\n", act, b, a, red)
+	}
+	fmt.Fprintln(out)
+
+	for _, cond := range []breakage.Condition{breakage.GuardStrict, breakage.GuardWhitelist} {
+		t3, err := base.EvaluateBreakage(*breakN, cond)
+		fatal(err)
+		report.Table3(out, t3)
+		fmt.Fprintln(out)
+	}
+
+	pres, err := base.EvaluatePerformance(*perfN)
+	fatal(err)
+	report.Table4(out, pres.Table4())
+	fmt.Fprintf(out, "mean LoadEvent overhead: %.0f ms\n", pres.MeanOverheadMS())
+	for _, m := range perf.Metrics {
+		_, _, median := pres.Fig7(m)
+		fmt.Fprintf(out, "median overhead ratio (%s): %.3f\n", m, median)
+	}
+
+	if *ablation {
+		fmt.Fprintln(out, "\n--- ablations ---")
+		relaxed := cookieguard.DefaultGuardPolicy()
+		relaxed.Inline = 1
+		runAblation(ctx, out, "inline-relaxed", *sites, relaxed)
+		noOwner := cookieguard.DefaultGuardPolicy()
+		noOwner.OwnerFullAccess = false
+		runAblation(ctx, out, "no-owner-access", *sites, noOwner)
+	}
+}
+
+func runAblation(ctx context.Context, out *os.File, name string, sites int, pol cookieguard.Policy) {
+	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: sites, Interact: true, GuardPolicy: &pol})
+	logs, err := study.Crawl(ctx)
+	fatal(err)
+	res := study.Analyze(logs)
+	fmt.Fprintf(out, "  %-16s exfil %5.1f%%  overwrite %5.1f%%  delete %5.1f%%\n",
+		name,
+		res.SitePct(analysis.ActExfiltration),
+		res.SitePct(analysis.ActOverwriting),
+		res.SitePct(analysis.ActDeleting))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "guardeval:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Command webgen generates a synthetic web and prints its population
+// statistics: site flags, service mix, and calibration summary.
+//
+// Usage:
+//
+//	webgen [-sites N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cookieguard/internal/stats"
+	"cookieguard/internal/webgen"
+)
+
+func main() {
+	sites := flag.Int("sites", 1000, "sites to generate")
+	seed := flag.Uint64("seed", 0, "override the default seed")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig(*sites)
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	w := webgen.Build(cfg)
+
+	var complete, tp, exfil, ow, del, cs, sso, cdn, cloaked, tpScripts int
+	for _, s := range w.Sites {
+		f := s.Flags
+		count := func(b bool, c *int) {
+			if b {
+				*c++
+			}
+		}
+		count(f.Complete, &complete)
+		count(f.HasTP, &tp)
+		count(f.Exfil, &exfil)
+		count(f.Overwrite, &ow)
+		count(f.Delete, &del)
+		count(f.CookieStore, &cs)
+		count(f.SSO != "", &sso)
+		count(f.CDNSplit, &cdn)
+		count(f.Cloaked, &cloaked)
+		tpScripts += len(s.DirectServices) + len(s.InjectedServices)
+	}
+	n := len(w.Sites)
+	fmt.Printf("generated %d sites (%d services, %d entities)\n",
+		n, len(w.Services), len(w.Entities.Entities()))
+	row := func(name string, c int) {
+		fmt.Printf("  %-24s %6d  (%.1f%%)\n", name, c, stats.Percent(c, n))
+	}
+	row("complete", complete)
+	row("third-party scripts", tp)
+	row("exfiltration planned", exfil)
+	row("overwriting planned", ow)
+	row("deleting planned", del)
+	row("cookieStore usage", cs)
+	row("SSO login flows", sso)
+	row("CDN-split widgets", cdn)
+	row("CNAME-cloaked trackers", cloaked)
+	fmt.Printf("  %-24s %6.1f per site with TP\n", "mean TP scripts",
+		float64(tpScripts)/float64(max(1, tp)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,37 @@
+// Command webserve exposes the synthetic web on a real TCP port, routed
+// by Host header, so a real browser (with /etc/hosts entries or a proxy)
+// can explore the generated sites.
+//
+// Usage:
+//
+//	webserve [-sites N] [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"cookieguard"
+)
+
+func main() {
+	sites := flag.Int("sites", 50, "sites to generate")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites})
+	fmt.Printf("serving %d synthetic sites on %s (route by Host header)\n", *sites, *addr)
+	for i, e := range study.SiteList() {
+		if i >= 10 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  curl -H 'Host: www.%s' http://localhost%s/\n", e.Domain, *addr)
+	}
+	if err := http.ListenAndServe(*addr, study.Net); err != nil {
+		fmt.Fprintln(os.Stderr, "webserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+// Package cookieguard is the public API of the CookieGuard reproduction:
+// a full-system implementation of "CookieGuard: Characterizing and
+// Isolating the First-Party Cookie Jar" (IMC 2025) in pure Go.
+//
+// The package bundles three layers:
+//
+//   - a synthetic web plus browser-engine substrate (generated sites,
+//     in-memory network fabric, SiteScript interpreter, RFC 6265 jar);
+//   - the measurement pipeline of the paper's §4–5 (instrumented crawl,
+//     cross-domain cookie analysis, exfiltration detection);
+//   - the CookieGuard defense of §6–7 (per-script-domain cookie
+//     isolation) with its breakage and performance evaluations.
+//
+// A minimal end-to-end run:
+//
+//	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: 500})
+//	logs, _ := study.Crawl(context.Background())
+//	results := study.Analyze(logs)
+//	fmt.Println(results.Summary.SitesComplete)
+package cookieguard
+
+import (
+	"context"
+
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/breakage"
+	"cookieguard/internal/browser"
+	"cookieguard/internal/crawler"
+	"cookieguard/internal/entity"
+	"cookieguard/internal/filterlist"
+	"cookieguard/internal/guard"
+	"cookieguard/internal/instrument"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/perf"
+	"cookieguard/internal/trancolist"
+	"cookieguard/internal/webgen"
+)
+
+// Re-exported core types, so downstream users work with one import path.
+type (
+	// Web is a generated synthetic web universe.
+	Web = webgen.Web
+	// Site is one generated website.
+	Site = webgen.Site
+	// Internet is the in-memory network fabric.
+	Internet = netsim.Internet
+	// Browser is the virtual browser.
+	Browser = browser.Browser
+	// Page is a loaded page.
+	Page = browser.Page
+	// VisitLog is the per-site measurement record.
+	VisitLog = instrument.VisitLog
+	// Results is the aggregated analysis output.
+	Results = analysis.Results
+	// Guard is a CookieGuard enforcement instance.
+	Guard = guard.Guard
+	// Policy configures CookieGuard enforcement.
+	Policy = guard.Policy
+	// EntityMap groups domains by owning entity.
+	EntityMap = entity.Map
+)
+
+// StudyConfig configures an end-to-end reproduction run.
+type StudyConfig struct {
+	// Sites is the number of sites to generate (the paper used 20,000).
+	Sites int
+	// Seed overrides the default deterministic seed when non-zero.
+	Seed uint64
+	// Workers bounds crawl concurrency (default 8).
+	Workers int
+	// Interact enables the light user-interaction step (§4.2).
+	Interact bool
+	// GuardPolicy, when non-nil, crawls with CookieGuard enabled.
+	GuardPolicy *Policy
+}
+
+// Study owns a generated web and the pipelines over it.
+type Study struct {
+	Config StudyConfig
+	Web    *Web
+	Net    *Internet
+}
+
+// NewStudy generates the synthetic web for a configuration.
+func NewStudy(cfg StudyConfig) *Study {
+	gen := webgen.DefaultConfig(cfg.Sites)
+	if cfg.Seed != 0 {
+		gen.Seed = cfg.Seed
+	}
+	w := webgen.Build(gen)
+	return &Study{Config: cfg, Web: w, Net: w.BuildInternet()}
+}
+
+// SiteList returns the study's ranked site list (Tranco analogue).
+func (s *Study) SiteList() []trancolist.Entry {
+	entries := make([]trancolist.Entry, len(s.Web.Sites))
+	for i, site := range s.Web.Sites {
+		entries[i] = trancolist.Entry{Rank: site.Rank, Domain: site.Domain}
+	}
+	return entries
+}
+
+// Crawl runs the instrumented measurement crawl (§4) over every site.
+func (s *Study) Crawl(ctx context.Context) ([]VisitLog, error) {
+	opts := crawler.Options{
+		Internet: s.Net,
+		Workers:  s.Config.Workers,
+		Interact: s.Config.Interact,
+		Seed:     s.Config.Seed,
+	}
+	if s.Config.GuardPolicy != nil {
+		pol := *s.Config.GuardPolicy
+		opts.PerVisit = func() ([]browser.CookieMiddleware, func(*Browser)) {
+			g := guard.New(pol)
+			return []browser.CookieMiddleware{g.Middleware()},
+				func(b *Browser) { g.AttachBrowser(b) }
+		}
+	}
+	res, err := crawler.Crawl(ctx, crawler.SiteURLs(trancolist.Domains(s.SiteList())), opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Logs, nil
+}
+
+// Analyze runs the §4.4 analysis framework over visit logs, retaining
+// only complete visits.
+func (s *Study) Analyze(logs []VisitLog) *Results {
+	clf := filterlist.DefaultClassifier()
+	an := analysis.New()
+	an.Entities = s.Web.Entities
+	an.IsTracker = func(scriptURL, siteDomain string) bool {
+		ok, _ := clf.IsTracker(filterlist.Request{
+			URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript,
+		})
+		return ok
+	}
+	return an.Run(logs) // Run applies the completeness criterion itself
+}
+
+// EvaluateBreakage runs the Table 3 assessment over a sample of n sites.
+func (s *Study) EvaluateBreakage(n int, cond breakage.Condition) (breakage.Table3, error) {
+	sample := breakage.Sample(s.Web, n)
+	t, _, err := breakage.Evaluate(s.Net, s.Web, sample, cond)
+	return t, err
+}
+
+// EvaluatePerformance runs the §7.3 paired timing measurement over up to
+// n complete sites.
+func (s *Study) EvaluatePerformance(n int) (*perf.Results, error) {
+	sites := s.Web.CompleteSites()
+	if n > 0 && n < len(sites) {
+		sites = sites[:n]
+	}
+	return perf.Run(s.Net, s.Web, sites)
+}
+
+// NewGuard constructs a CookieGuard instance with the paper's default
+// policy (strict inline handling, owner full access).
+func NewGuard() *Guard { return guard.New(guard.DefaultPolicy()) }
+
+// NewGuardWithWhitelist constructs a CookieGuard using the study's entity
+// map as the breakage-reducing whitelist (§7.2).
+func (s *Study) NewGuardWithWhitelist() *Guard {
+	return guard.New(guard.WhitelistPolicy(s.Web.Entities))
+}
+
+// DefaultGuardPolicy exposes the paper's evaluated policy.
+func DefaultGuardPolicy() Policy { return guard.DefaultPolicy() }
+
+// WhitelistGuardPolicy exposes the whitelist-augmented policy.
+func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }

@@ -1,0 +1,554 @@
+// Package analysis implements the paper's analysis framework (§4.4): it
+// replays visit logs to attribute cookie ownership, detects cross-domain
+// reads, overwrites, deletions, and exfiltration, and aggregates the
+// results into every table and figure of the evaluation.
+package analysis
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/hex"
+	"sort"
+	"strings"
+
+	"cookieguard/internal/entity"
+	"cookieguard/internal/instrument"
+	"cookieguard/internal/urlutil"
+)
+
+// CookieKey identifies a unique cookie pair: (name, owner domain). The
+// owner is the eTLD+1 of the script (or server) that first set it on a
+// site — the paper's "(cookie_name, domain of the script that set the
+// cookie)" tuple (§5.2).
+type CookieKey struct {
+	Name  string `json:"name"`
+	Owner string `json:"owner"`
+}
+
+// ActionKind is a cross-domain action category (Table 1 rows).
+type ActionKind string
+
+// Cross-domain action kinds.
+const (
+	ActExfiltration ActionKind = "exfiltration"
+	ActOverwriting  ActionKind = "overwriting"
+	ActDeleting     ActionKind = "deleting"
+)
+
+// Event is one detected cross-domain action.
+type Event struct {
+	Site        string
+	Kind        ActionKind
+	Cookie      CookieKey
+	ActorScript string // script URL performing the action
+	ActorDomain string
+	API         instrument.API
+	Destination string // exfiltration destination domain
+	// Attribute-change flags for overwrites (§5.5).
+	ChangedValue   bool
+	ChangedExpires bool
+	ChangedDomain  bool
+	ChangedPath    bool
+}
+
+// Analyzer holds configuration for a run.
+type Analyzer struct {
+	Entities *entity.Map
+	// IsTracker classifies script URLs (nil disables classification).
+	IsTracker func(scriptURL, siteDomain string) bool
+	// MinIdentifierLen is the candidate-identifier threshold (§4.4,
+	// default 8).
+	MinIdentifierLen int
+}
+
+// New returns an Analyzer with the default entity map.
+func New() *Analyzer {
+	return &Analyzer{Entities: entity.Default(), MinIdentifierLen: 8}
+}
+
+// Results aggregates everything the report generators need.
+type Results struct {
+	Summary    Summary
+	Events     []Event
+	Pairs      map[CookieKey]*PairInfo
+	PairsByAPI map[instrument.API]int
+
+	// Per-site action presence (for Table 1 and Figure 5).
+	SiteActions map[string]map[actionAPIKey]bool
+}
+
+type actionAPIKey struct {
+	Kind ActionKind
+	API  instrument.API
+}
+
+// PairInfo accumulates per-cookie-pair statistics.
+type PairInfo struct {
+	Key CookieKey
+	API instrument.API
+
+	ExfilEntities map[string]bool // entities whose scripts exfiltrated it
+	DestEntities  map[string]bool
+	OverwriterEnt map[string]bool
+	DeleterEnt    map[string]bool
+
+	ExfilDomains      map[string]bool // script domains (Figure 2)
+	OverwriterDomains map[string]bool // Figure 8a
+	DeleterDomains    map[string]bool // Figure 8b
+}
+
+func newPairInfo(key CookieKey, api instrument.API) *PairInfo {
+	return &PairInfo{
+		Key: key, API: api,
+		ExfilEntities: map[string]bool{}, DestEntities: map[string]bool{},
+		OverwriterEnt: map[string]bool{}, DeleterEnt: map[string]bool{},
+		ExfilDomains:      map[string]bool{},
+		OverwriterDomains: map[string]bool{},
+		DeleterDomains:    map[string]bool{},
+	}
+}
+
+// Summary carries the §5.1/5.2/5.6/§8 headline statistics.
+type Summary struct {
+	SitesTotal    int
+	SitesComplete int
+
+	SitesWithThirdParty   int
+	MeanTPScriptsPerSite  float64
+	TrackerScriptShare    float64 // of third-party script occurrences
+	MeanTPCookiesPerSite  float64
+	MeanFPCookiesPerSite  float64
+	SitesUsingDocCookie   int
+	SitesUsingCookieStore int
+
+	UniquePairsDocument    int
+	UniquePairsCookieStore int
+
+	DirectScripts        int
+	IndirectScripts      int
+	IndirectTrackerShare float64
+
+	SitesWithCrossDomainDOM int
+}
+
+// Run analyzes the retained visit logs.
+func (a *Analyzer) Run(logs []instrument.VisitLog) *Results {
+	if a.MinIdentifierLen <= 0 {
+		a.MinIdentifierLen = 8
+	}
+	if a.Entities == nil {
+		a.Entities = entity.Default()
+	}
+	res := &Results{
+		Pairs:       map[CookieKey]*PairInfo{},
+		PairsByAPI:  map[instrument.API]int{},
+		SiteActions: map[string]map[actionAPIKey]bool{},
+	}
+	var tpScriptTotal, tpCookieTotal, fpCookieTotal int
+	var trackerOcc, tpOcc int
+	var indirectTrackers int
+
+	for i := range logs {
+		v := &logs[i]
+		res.Summary.SitesTotal++
+		if !v.Complete() {
+			continue
+		}
+		res.Summary.SitesComplete++
+		a.analyzeSite(v, res, &tpScriptTotal, &tpCookieTotal, &fpCookieTotal,
+			&trackerOcc, &tpOcc, &indirectTrackers)
+	}
+
+	s := &res.Summary
+	if s.SitesComplete > 0 {
+		s.MeanTPScriptsPerSite = float64(tpScriptTotal) / float64(s.SitesComplete)
+		s.MeanTPCookiesPerSite = float64(tpCookieTotal) / float64(s.SitesComplete)
+		s.MeanFPCookiesPerSite = float64(fpCookieTotal) / float64(s.SitesComplete)
+	}
+	if tpOcc > 0 {
+		s.TrackerScriptShare = float64(trackerOcc) / float64(tpOcc)
+	}
+	if s.IndirectScripts > 0 {
+		s.IndirectTrackerShare = float64(indirectTrackers) / float64(s.IndirectScripts)
+	}
+	for key, p := range res.Pairs {
+		_ = key
+		res.PairsByAPI[p.API]++
+	}
+	s.UniquePairsDocument = res.PairsByAPI[instrument.APIDocument] + res.PairsByAPI[instrument.APIHTTP]
+	s.UniquePairsCookieStore = res.PairsByAPI[instrument.APICookieStore]
+	return res
+}
+
+// ownership tracks per-site cookie state during replay.
+type cookieState struct {
+	owner    string // eTLD+1 of the first setter
+	ownerURL string
+	api      instrument.API
+	value    string
+	maxAge   int64
+	domain   string
+	path     string
+	live     bool
+}
+
+func (a *Analyzer) analyzeSite(v *instrument.VisitLog, res *Results,
+	tpScripts, tpCookies, fpCookies, trackerOcc, tpOcc, indirectTrackers *int) {
+
+	site := v.Site
+	siteActs := res.SiteActions[site]
+	if siteActs == nil {
+		siteActs = map[actionAPIKey]bool{}
+		res.SiteActions[site] = siteActs
+	}
+
+	// --- Script inventory (§5.1, §5.6) ---
+	seenScript := map[string]bool{}
+	usesDoc, usesStore := false, false
+	for _, sr := range v.Scripts {
+		if sr.Inline || sr.Failed {
+			continue
+		}
+		if sr.Domain == "" || sr.Domain == site {
+			continue
+		}
+		if seenScript[sr.URL] {
+			continue
+		}
+		seenScript[sr.URL] = true
+		*tpScripts++
+		*tpOcc++
+		isTrk := a.IsTracker != nil && a.IsTracker(sr.URL, site)
+		if isTrk {
+			*trackerOcc++
+		}
+		if sr.Direct() {
+			res.Summary.DirectScripts++
+		} else {
+			res.Summary.IndirectScripts++
+			if isTrk {
+				*indirectTrackers++
+			}
+		}
+	}
+	if len(seenScript) > 0 {
+		res.Summary.SitesWithThirdParty++
+	}
+
+	// --- Cookie replay: ownership, manipulation ---
+	state := map[string]*cookieState{}
+	ensurePair := func(key CookieKey, api instrument.API) *PairInfo {
+		p := res.Pairs[key]
+		if p == nil {
+			p = newPairInfo(key, api)
+			res.Pairs[key] = p
+		}
+		return p
+	}
+
+	for _, ev := range v.Cookies {
+		if !ev.MainFrame {
+			continue
+		}
+		switch ev.Op {
+		case instrument.OpHTTPSet:
+			cs := state[ev.Name]
+			if cs == nil {
+				owner := ev.Domain // response domain
+				state[ev.Name] = &cookieState{owner: owner, api: instrument.APIHTTP,
+					value: ev.Value, live: true}
+				ensurePair(CookieKey{Name: ev.Name, Owner: owner}, instrument.APIHTTP)
+				if owner == site {
+					*fpCookies++
+				} else {
+					*tpCookies++
+				}
+			} else {
+				cs.value = ev.Value
+				cs.live = true
+			}
+
+		case instrument.OpWrite:
+			usesDoc = usesDoc || ev.API == instrument.APIDocument
+			usesStore = usesStore || ev.API == instrument.APICookieStore
+			actor := a.actorDomain(ev, site)
+			cs := state[ev.Name]
+			if cs == nil || !cs.live {
+				// creation (or resurrection): actor becomes owner
+				state[ev.Name] = &cookieState{
+					owner: actor, ownerURL: ev.ScriptURL, api: ev.API,
+					value: ev.Value, maxAge: ev.MaxAge,
+					domain: ev.Domain, path: ev.Path, live: true,
+				}
+				ensurePair(CookieKey{Name: ev.Name, Owner: actor}, ev.API)
+				if actor == site {
+					*fpCookies++
+				} else {
+					*tpCookies++
+				}
+				continue
+			}
+			// overwrite of a live cookie
+			if actor != cs.owner && actor != "" {
+				key := CookieKey{Name: ev.Name, Owner: cs.owner}
+				p := ensurePair(key, cs.api)
+				e := Event{
+					Site: site, Kind: ActOverwriting, Cookie: key,
+					ActorScript: ev.ScriptURL, ActorDomain: actor, API: ev.API,
+					ChangedValue:   ev.Value != cs.value,
+					ChangedExpires: ev.MaxAge != cs.maxAge,
+					ChangedDomain:  ev.Domain != cs.domain && ev.Domain != "",
+					ChangedPath:    ev.Path != cs.path && ev.Path != "",
+				}
+				res.Events = append(res.Events, e)
+				p.OverwriterEnt[a.Entities.EntityOf(actor)] = true
+				p.OverwriterDomains[actor] = true
+				siteActs[actionAPIKey{ActOverwriting, cs.api}] = true
+			}
+			cs.value = ev.Value
+			cs.maxAge = ev.MaxAge
+
+		case instrument.OpDelete:
+			usesDoc = usesDoc || ev.API == instrument.APIDocument
+			usesStore = usesStore || ev.API == instrument.APICookieStore
+			actor := a.actorDomain(ev, site)
+			cs := state[ev.Name]
+			if cs == nil || !cs.live {
+				continue // deleting a non-existent cookie: no effect
+			}
+			if actor != cs.owner && actor != "" {
+				key := CookieKey{Name: ev.Name, Owner: cs.owner}
+				p := ensurePair(key, cs.api)
+				res.Events = append(res.Events, Event{
+					Site: site, Kind: ActDeleting, Cookie: key,
+					ActorScript: ev.ScriptURL, ActorDomain: actor, API: ev.API,
+				})
+				p.DeleterEnt[a.Entities.EntityOf(actor)] = true
+				p.DeleterDomains[actor] = true
+				siteActs[actionAPIKey{ActDeleting, cs.api}] = true
+			}
+			cs.live = false
+
+		case instrument.OpRead:
+			usesDoc = usesDoc || ev.API == instrument.APIDocument
+			usesStore = usesStore || ev.API == instrument.APICookieStore
+		}
+	}
+	if usesDoc {
+		res.Summary.SitesUsingDocCookie++
+	}
+	if usesStore {
+		res.Summary.SitesUsingCookieStore++
+	}
+
+	// --- Exfiltration (§4.4) ---
+	a.detectExfiltration(v, site, state, res, siteActs)
+
+	// --- Cross-domain DOM modification (§8 pilot) ---
+	for _, m := range v.Mutations {
+		if instrument.MutationCrossDomain(m, site) {
+			res.Summary.SitesWithCrossDomainDOM++
+			break
+		}
+	}
+}
+
+// actorDomain resolves the acting script's eTLD+1; inline scripts are
+// unattributable and the page itself acts as the site.
+func (a *Analyzer) actorDomain(ev instrument.CookieEvent, site string) string {
+	if ev.ScriptDomain != "" {
+		return ev.ScriptDomain
+	}
+	if ev.Inline {
+		return "" // unattributable
+	}
+	return site
+}
+
+// detectExfiltration implements the identifier pipeline: split cookie
+// values on non-alphanumeric delimiters, keep candidates ≥ MinIdentifierLen,
+// derive raw/Base64/MD5/SHA1 forms, and match them against the query
+// strings of outbound requests initiated by main-frame scripts.
+func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
+	state map[string]*cookieState, res *Results, siteActs map[actionAPIKey]bool) {
+
+	// Tokens of the page URL are not identifiers: cookies often embed
+	// the page location (e.g. Marketo's _mch token), and every beacon
+	// reports the page URL, so URL-derived segments would match
+	// everywhere without carrying any user-specific information.
+	urlTokens := map[string]bool{}
+	for _, tok := range ExtractIdentifiers(v.URL, a.MinIdentifierLen) {
+		urlTokens[tok] = true
+	}
+
+	// Candidate identifiers per cookie.
+	type candidate struct {
+		key   CookieKey
+		api   instrument.API
+		forms []string
+	}
+	var candidates []candidate
+	for name, cs := range state {
+		if cs.value == "" {
+			continue
+		}
+		ids := ExtractIdentifiers(cs.value, a.MinIdentifierLen)
+		if len(ids) == 0 {
+			continue
+		}
+		var forms []string
+		for _, id := range ids {
+			if urlTokens[id] {
+				continue
+			}
+			forms = append(forms, EncodedForms(id)...)
+		}
+		candidates = append(candidates, candidate{
+			key:   CookieKey{Name: name, Owner: cs.owner},
+			api:   cs.api,
+			forms: forms,
+		})
+	}
+	if len(candidates) == 0 {
+		return
+	}
+
+	for _, req := range v.Requests {
+		if !req.MainFrame || req.InitiatorScript == "" {
+			continue
+		}
+		query := urlutil.QueryString(req.URL)
+		if query == "" {
+			continue
+		}
+		// decoded values too: encodings may be %-escaped in the query
+		decoded := strings.Join(urlutil.QueryValues(req.URL), "\n")
+		destDomain := urlutil.RegistrableDomain(req.URL)
+		actorDomain := req.InitiatorDomain
+
+		// Tokenize once: short identifier forms must match a whole
+		// query token; only long forms (≥ 12 chars, e.g. Base64 and
+		// hash encodings) may match as substrings. Plain containment
+		// would false-positive on timestamps, where one cookie's
+		// seconds-resolution value is a prefix of another script's
+		// millisecond timestamp.
+		tokens := map[string]bool{}
+		for _, tok := range ExtractIdentifiers(query, a.MinIdentifierLen) {
+			tokens[tok] = true
+		}
+		for _, tok := range ExtractIdentifiers(decoded, a.MinIdentifierLen) {
+			tokens[tok] = true
+		}
+
+		for _, c := range candidates {
+			if actorDomain == "" || actorDomain == c.key.Owner {
+				continue // authorized (same-domain) exfiltration
+			}
+			if destDomain == c.key.Owner {
+				continue // sent back to the owner: not a third-party leak
+			}
+			hit := false
+			for _, f := range c.forms {
+				if tokens[f] {
+					hit = true
+					break
+				}
+				if len(f) >= 12 && (strings.Contains(query, f) || strings.Contains(decoded, f)) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			p := res.Pairs[c.key]
+			if p == nil {
+				p = newPairInfo(c.key, c.api)
+				res.Pairs[c.key] = p
+			}
+			res.Events = append(res.Events, Event{
+				Site: site, Kind: ActExfiltration, Cookie: c.key,
+				ActorScript: req.InitiatorScript, ActorDomain: actorDomain,
+				API: c.api, Destination: destDomain,
+			})
+			actorEnt := a.Entities.EntityOf(actorDomain)
+			ownerEnt := a.Entities.EntityOf(c.key.Owner)
+			if actorEnt != ownerEnt {
+				p.ExfilEntities[actorEnt] = true
+			}
+			p.DestEntities[a.Entities.EntityOf(destDomain)] = true
+			p.ExfilDomains[actorDomain] = true
+			siteActs[actionAPIKey{ActExfiltration, c.api}] = true
+		}
+	}
+}
+
+// ExtractIdentifiers splits a cookie value on non-alphanumeric delimiters
+// and returns the segments of at least minLen characters (§4.4).
+func ExtractIdentifiers(value string, minLen int) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end-start >= minLen {
+			out = append(out, value[start:end])
+		}
+		start = -1
+	}
+	for i := 0; i < len(value); i++ {
+		c := value[i]
+		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(value))
+	return out
+}
+
+// EncodedForms returns the matchable representations of an identifier:
+// raw, Base64 (padding stripped — delimiters would split it anyway), MD5
+// hex, and SHA1 hex (§4.4).
+func EncodedForms(id string) []string {
+	b64 := strings.TrimRight(base64.StdEncoding.EncodeToString([]byte(id)), "=")
+	m := md5.Sum([]byte(id))
+	s := sha1.Sum([]byte(id))
+	return []string{id, b64, hex.EncodeToString(m[:]), hex.EncodeToString(s[:])}
+}
+
+// SortedPairs returns pair infos ordered by a metric, descending.
+func SortedPairs(pairs map[CookieKey]*PairInfo, metric func(*PairInfo) int) []*PairInfo {
+	out := make([]*PairInfo, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		mi, mj := metric(out[i]), metric(out[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if out[i].Key.Name != out[j].Key.Name {
+			return out[i].Key.Name < out[j].Key.Name
+		}
+		return out[i].Key.Owner < out[j].Key.Owner
+	})
+	return out
+}
+
+// TopEntities returns up to k entity names sorted alphabetically (used
+// for the "Top 3" columns; deterministic presentation).
+func TopEntities(set map[string]bool, k int) []string {
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

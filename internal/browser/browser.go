@@ -1,0 +1,131 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cookieguard/internal/cookiejar"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/stats"
+	"cookieguard/internal/vclock"
+)
+
+// Options configures a Browser.
+type Options struct {
+	// Internet is the network fabric to browse (required).
+	Internet *netsim.Internet
+	// Clock is the virtual time source; a fresh one is created if nil.
+	Clock *vclock.Clock
+	// CookieMiddleware wraps the direct cookie API, innermost first.
+	// The instrumentation extension and CookieGuard install themselves
+	// here.
+	CookieMiddleware []CookieMiddleware
+	// MaxInjectionDepth bounds transitive script-inclusion chains
+	// (defaults to 6); MaxScriptsPerPage bounds total executed scripts
+	// (defaults to 400).
+	MaxInjectionDepth int
+	MaxScriptsPerPage int
+	// DropAsyncAttribution models the stack-trace loss in asynchronous
+	// callbacks discussed in paper §8: when set, deferred callbacks
+	// execute with no script attribution.
+	DropAsyncAttribution bool
+	// Seed drives the browser-side PRNG (rand_id values, interaction
+	// choices).
+	Seed uint64
+	// ExecCostPerStep is the virtual milliseconds charged per
+	// interpreter step (default 0.002), and ParseCostPerKB the cost of
+	// HTML parsing per kilobyte (default 0.15).
+	ExecCostPerStep float64
+	ParseCostPerKB  float64
+}
+
+// Browser is a virtual browser instance: one cookie jar, one clock, one
+// network identity. Create one per crawled site visit for isolation, or
+// reuse across navigations to model a continuing session.
+type Browser struct {
+	opts   Options
+	jar    *cookiejar.Jar
+	clock  *vclock.Clock
+	client *http.Client
+	api    CookieAPI
+	rng    *stats.Rand
+}
+
+// New constructs a Browser.
+func New(opts Options) (*Browser, error) {
+	if opts.Internet == nil {
+		return nil, errors.New("browser: Options.Internet is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.New()
+	}
+	if opts.MaxInjectionDepth <= 0 {
+		opts.MaxInjectionDepth = 6
+	}
+	if opts.MaxScriptsPerPage <= 0 {
+		opts.MaxScriptsPerPage = 400
+	}
+	if opts.ExecCostPerStep <= 0 {
+		opts.ExecCostPerStep = 0.002
+	}
+	if opts.ParseCostPerKB <= 0 {
+		opts.ParseCostPerKB = 0.15
+	}
+	b := &Browser{
+		opts:   opts,
+		jar:    cookiejar.New(opts.Clock),
+		clock:  opts.Clock,
+		client: opts.Internet.Client(),
+		rng:    stats.NewRand(opts.Seed ^ 0xb5297a4d),
+	}
+	var api CookieAPI = NewDirectCookieAPI(b.jar)
+	for _, mw := range opts.CookieMiddleware {
+		api = mw(api)
+	}
+	b.api = api
+	return b, nil
+}
+
+// Jar exposes the browser's cookie jar (observers, assertions).
+func (b *Browser) Jar() *cookiejar.Jar { return b.jar }
+
+// Clock exposes the browser's virtual clock.
+func (b *Browser) Clock() *vclock.Clock { return b.clock }
+
+// CookieAPI returns the (wrapped) cookie API in use.
+func (b *Browser) CookieAPI() CookieAPI { return b.api }
+
+// Visit loads the page at url, executing its scripts to completion
+// (including injected ones and deferred callbacks), and returns the page.
+func (b *Browser) Visit(url string) (*Page, error) {
+	p := newPage(b, url, true)
+	if err := p.load(); err != nil {
+		return nil, fmt.Errorf("browser: visit %s: %w", url, err)
+	}
+	return p, nil
+}
+
+// fetch performs one network exchange, advancing the clock by the
+// simulated latency. It attaches the jar's cookies to the request (as the
+// network stack does) and stores any Set-Cookie response headers back. It
+// returns the response body.
+func (b *Browser) fetch(url string) (body string, status int, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	if hdr := b.jar.CookieHeader(url); hdr != "" {
+		req.Header.Set("Cookie", hdr)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	b.clock.AdvanceMillis(netsim.Latency(resp))
+	for _, sc := range resp.Header.Values("Set-Cookie") {
+		b.jar.SetFromHeader(url, sc)
+	}
+	body, err = netsim.ReadBody(resp)
+	return body, resp.StatusCode, err
+}

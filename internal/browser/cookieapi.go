@@ -1,0 +1,139 @@
+// Package browser implements the browser engine simulator: page loading
+// over a netsim fabric, HTML parsing, sequential and dynamically injected
+// script execution with inclusion-chain tracking, SOP-isolated iframes,
+// stack-based script attribution, virtual-clock load timing, and the
+// pluggable cookie-API surface where the measurement extension and
+// CookieGuard interpose.
+package browser
+
+import (
+	"strconv"
+
+	"cookieguard/internal/cookiejar"
+	"cookieguard/internal/jsdsl"
+	"cookieguard/internal/urlutil"
+)
+
+// AccessContext identifies who is performing a cookie operation. It is the
+// analogue of the JavaScript stack trace the paper's extension inspects to
+// find "the last external script URL" (§6.2).
+type AccessContext struct {
+	// PageURL is the URL of the document whose cookie jar is accessed.
+	PageURL string
+	// ScriptURL is the URL of the executing script; empty for inline
+	// scripts and page-level code, whose origin cannot be attributed.
+	ScriptURL string
+	// Inline reports that the executing code is an inline script.
+	Inline bool
+	// Stack is the chain of script URLs active at the call, outermost
+	// first. For deferred callbacks it is the registering script's
+	// stack unless attribution was dropped (paper §8, async loss).
+	Stack []string
+	// MainFrame reports whether the access happens in the main frame.
+	MainFrame bool
+}
+
+// ScriptDomain returns the eTLD+1 of the executing script, or "" when
+// unattributable.
+func (c AccessContext) ScriptDomain() string {
+	return urlutil.RegistrableDomain(c.ScriptURL)
+}
+
+// PageDomain returns the eTLD+1 of the page.
+func (c AccessContext) PageDomain() string {
+	return urlutil.RegistrableDomain(c.PageURL)
+}
+
+// CookieAPI is the cookie surface exposed to scripts. The browser installs
+// a direct implementation over the jar; middleware (instrumentation,
+// CookieGuard) wraps it — the Go equivalent of redefining document.cookie
+// and the cookieStore methods with Object.defineProperty.
+type CookieAPI interface {
+	GetDocumentCookie(ctx AccessContext) string
+	SetDocumentCookie(ctx AccessContext, assignment string)
+
+	StoreGet(ctx AccessContext, name string) (jsdsl.CookieRecord, bool)
+	StoreGetAll(ctx AccessContext) []jsdsl.CookieRecord
+	StoreSet(ctx AccessContext, rec jsdsl.CookieRecord)
+	StoreDelete(ctx AccessContext, name string)
+}
+
+// CookieMiddleware wraps a CookieAPI with additional behaviour.
+type CookieMiddleware func(next CookieAPI) CookieAPI
+
+// directCookieAPI is the unwrapped browser behaviour: full access for
+// every script in the frame, exactly the missing-isolation baseline the
+// paper measures.
+type directCookieAPI struct {
+	jar *cookiejar.Jar
+}
+
+// NewDirectCookieAPI returns the baseline CookieAPI over jar.
+func NewDirectCookieAPI(jar *cookiejar.Jar) CookieAPI {
+	return &directCookieAPI{jar: jar}
+}
+
+func (d *directCookieAPI) GetDocumentCookie(ctx AccessContext) string {
+	return d.jar.DocumentCookie(ctx.PageURL)
+}
+
+func (d *directCookieAPI) SetDocumentCookie(ctx AccessContext, assignment string) {
+	d.jar.SetFromDocument(ctx.PageURL, assignment)
+}
+
+func (d *directCookieAPI) StoreGet(ctx AccessContext, name string) (jsdsl.CookieRecord, bool) {
+	c := d.jar.Get(ctx.PageURL, name)
+	if c == nil {
+		return jsdsl.CookieRecord{}, false
+	}
+	return toRecord(c), true
+}
+
+func (d *directCookieAPI) StoreGetAll(ctx AccessContext) []jsdsl.CookieRecord {
+	cs := d.jar.ScriptCookies(ctx.PageURL)
+	out := make([]jsdsl.CookieRecord, len(cs))
+	for i, c := range cs {
+		out[i] = toRecord(c)
+	}
+	return out
+}
+
+func (d *directCookieAPI) StoreSet(ctx AccessContext, rec jsdsl.CookieRecord) {
+	d.jar.SetFromCookieStoreAssignment(ctx.PageURL, RecordAssignment(rec))
+}
+
+func (d *directCookieAPI) StoreDelete(ctx AccessContext, name string) {
+	d.jar.Delete(ctx.PageURL, name)
+}
+
+func toRecord(c *cookiejar.Cookie) jsdsl.CookieRecord {
+	return jsdsl.CookieRecord{
+		Name:   c.Name,
+		Value:  c.Value,
+		Domain: c.Domain,
+		Path:   c.Path,
+		Secure: c.Secure,
+	}
+}
+
+// RecordAssignment renders a CookieRecord as a Set-Cookie-style assignment
+// line, preserving Max-Age semantics.
+func RecordAssignment(rec jsdsl.CookieRecord) string {
+	line := rec.Name + "=" + rec.Value
+	if rec.Path != "" {
+		line += "; Path=" + rec.Path
+	}
+	if rec.Domain != "" {
+		line += "; Domain=" + rec.Domain
+	}
+	if rec.MaxAge != 0 {
+		line += "; Max-Age=" + strconv.FormatInt(rec.MaxAge, 10)
+	}
+	if rec.Secure {
+		line += "; Secure"
+	}
+	if rec.SameSite != "" {
+		line += "; SameSite=" + rec.SameSite
+	}
+	return line
+}

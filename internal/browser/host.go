@@ -1,0 +1,158 @@
+package browser
+
+import (
+	"cookieguard/internal/jsdsl"
+	"cookieguard/internal/urlutil"
+)
+
+// hostBinding implements jsdsl.Host for scripts executing in a page. Every
+// cookie operation flows through the browser's (possibly wrapped)
+// CookieAPI with the current attribution context attached.
+type hostBinding struct {
+	page *Page
+}
+
+var _ jsdsl.Host = (*hostBinding)(nil)
+
+func (h *hostBinding) ctx() AccessContext { return h.page.accessContext() }
+
+func (h *hostBinding) DocCookie() string {
+	return h.page.browser.api.GetDocumentCookie(h.ctx())
+}
+
+func (h *hostBinding) SetDocCookie(assignment string) {
+	h.page.browser.api.SetDocumentCookie(h.ctx(), assignment)
+}
+
+func (h *hostBinding) CookieStoreGet(name string) (jsdsl.CookieRecord, bool) {
+	return h.page.browser.api.StoreGet(h.ctx(), name)
+}
+
+func (h *hostBinding) CookieStoreGetAll() []jsdsl.CookieRecord {
+	return h.page.browser.api.StoreGetAll(h.ctx())
+}
+
+func (h *hostBinding) CookieStoreSet(rec jsdsl.CookieRecord) {
+	h.page.browser.api.StoreSet(h.ctx(), rec)
+}
+
+func (h *hostBinding) CookieStoreDelete(name string) {
+	h.page.browser.api.StoreDelete(h.ctx(), name)
+}
+
+// Send issues a script-initiated GET (image pixel / fetch beacon). The
+// request is recorded with full stack attribution before the network
+// attempt, mirroring Network.requestWillBeSent, and failures are ignored
+// just like a dropped tracking pixel.
+func (h *hostBinding) Send(url string, params map[string]string) {
+	full := urlutil.WithParams(urlutil.Resolve(h.page.URL, url), params)
+	fr := h.page.currentFrame()
+	h.page.recordRequest(full, ReqBeacon, fr)
+	if _, _, err := h.page.browser.fetch(full); err != nil {
+		h.page.markFailed(full)
+	}
+}
+
+// Inject queues a dynamically inserted external script (indirect
+// inclusion). The inclusion path extends the injecting script's path,
+// which travels on the execution frame.
+func (h *hostBinding) Inject(src string) {
+	p := h.page
+	fr := p.currentFrame()
+	full := urlutil.Resolve(p.URL, src)
+	path := make([]string, 0, len(fr.path)+1)
+	path = append(path, fr.path...)
+	if fr.scriptURL != "" {
+		path = append(path, fr.scriptURL)
+	} else {
+		// Inline or page-level injector: mark the hop as inline.
+		path = append(path, "inline:"+p.URL)
+	}
+	p.injectQ = append(p.injectQ, injection{src: full, parent: fr.scriptURL, path: path})
+}
+
+func (h *hostBinding) DOMSetText(id, text string) bool {
+	n := h.page.Doc.ByID(id)
+	if n == nil {
+		return false
+	}
+	h.page.Doc.SetText(n, text, h.page.currentFrame().scriptURL)
+	return true
+}
+
+func (h *hostBinding) DOMSetAttr(id, attr, value string) bool {
+	n := h.page.Doc.ByID(id)
+	if n == nil {
+		return false
+	}
+	h.page.Doc.SetAttr(n, attr, value, h.page.currentFrame().scriptURL)
+	return true
+}
+
+func (h *hostBinding) DOMSetStyle(id, prop, value string) bool {
+	n := h.page.Doc.ByID(id)
+	if n == nil {
+		return false
+	}
+	h.page.Doc.SetStyle(n, prop, value, h.page.currentFrame().scriptURL)
+	return true
+}
+
+func (h *hostBinding) DOMInsert(parentID, tag string, attrs map[string]string) bool {
+	var parent = h.page.Doc.ByID(parentID)
+	if parent == nil {
+		if parentID == "body" || parentID == "head" {
+			if els := h.page.Doc.ByTag(parentID); len(els) > 0 {
+				parent = els[0]
+			}
+		}
+	}
+	if parent == nil {
+		return false
+	}
+	h.page.Doc.Insert(parent, tag, attrs, h.page.currentFrame().scriptURL)
+	return true
+}
+
+func (h *hostBinding) DOMRemove(id string) bool {
+	n := h.page.Doc.ByID(id)
+	if n == nil {
+		return false
+	}
+	return h.page.Doc.Remove(n, h.page.currentFrame().scriptURL)
+}
+
+func (h *hostBinding) DOMGetText(id string) (string, bool) {
+	n := h.page.Doc.ByID(id)
+	if n == nil {
+		return "", false
+	}
+	return n.InnerText(), true
+}
+
+func (h *hostBinding) OnClick(cb func()) {
+	h.page.clicks = append(h.page.clicks, clickHandler{frame: h.page.currentFrame(), run: cb})
+}
+
+func (h *hostBinding) DeferRun(cb func()) {
+	h.page.deferQ = append(h.page.deferQ, deferredTask{frame: h.page.currentFrame(), run: cb})
+}
+
+func (h *hostBinding) NowMillis() int64 {
+	return h.page.browser.clock.UnixMillis()
+}
+
+func (h *hostBinding) RandID(n int) string {
+	const hexDigits = "0123456789abcdef"
+	out := make([]byte, n)
+	r := h.page.browser.rng
+	for i := range out {
+		out[i] = hexDigits[r.Intn(16)]
+	}
+	return string(out)
+}
+
+func (h *hostBinding) PageURL() string { return h.page.URL }
+
+// Log discards console output; tests observe logs via jsdsl.NopHost.
+func (h *hostBinding) Log(msg string) {}

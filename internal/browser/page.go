@@ -1,0 +1,436 @@
+package browser
+
+import (
+	"fmt"
+
+	"cookieguard/internal/dom"
+	"cookieguard/internal/jsdsl"
+	"cookieguard/internal/urlutil"
+)
+
+// RequestKind classifies observed network requests.
+type RequestKind int
+
+// Request kinds.
+const (
+	ReqDocument RequestKind = iota
+	ReqScript
+	ReqSubresource // images, stylesheets
+	ReqFrame
+	ReqBeacon // script-initiated send()
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case ReqDocument:
+		return "document"
+	case ReqScript:
+		return "script"
+	case ReqSubresource:
+		return "subresource"
+	case ReqFrame:
+		return "frame"
+	case ReqBeacon:
+		return "beacon"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is one network request observed during a page load, with the
+// initiator attribution the paper obtains from the Chrome debugger
+// protocol's Network.requestWillBeSent stack traces (§4.1).
+type Request struct {
+	URL             string
+	Kind            RequestKind
+	InitiatorScript string   // "" = the page itself
+	Stack           []string // script URL chain at initiation
+	Failed          bool
+}
+
+// ScriptExec records one executed script with its inclusion path.
+type ScriptExec struct {
+	// URL of the external script; "" for inline scripts.
+	URL    string
+	Inline bool
+	// Parent is the script that injected this one; "" when included
+	// directly in the page HTML.
+	Parent string
+	// InclusionPath is the chain of injecting script URLs from the
+	// HTML down to (excluding) this script.
+	InclusionPath []string
+	// Err is the parse or runtime error, if the script failed.
+	Err error
+	// Steps is the number of interpreter steps executed.
+	Steps int
+}
+
+// Direct reports whether the script was included directly by the page
+// HTML rather than injected by another script (§5.6).
+func (s ScriptExec) Direct() bool { return len(s.InclusionPath) == 0 }
+
+// Timing is the page-load milestone set from paper §7.3, in virtual ms.
+type Timing struct {
+	DOMInteractive   float64
+	DOMContentLoaded float64
+	LoadEvent        float64
+}
+
+type clickHandler struct {
+	frame frame
+	run   func()
+}
+
+type deferredTask struct {
+	frame frame
+	run   func()
+}
+
+// frame is one entry of the execution stack. path is the inclusion chain
+// that led to the executing script, so transitive injections extend it.
+type frame struct {
+	scriptURL string
+	inline    bool
+	path      []string
+}
+
+// Page is a loaded document plus everything observed while loading it.
+type Page struct {
+	URL    string
+	Origin urlutil.Origin
+	Doc    *dom.Document
+
+	Scripts  []ScriptExec
+	Requests []Request
+	Timing   Timing
+
+	// Frames holds sub-pages loaded in iframes (SOP-isolated: their
+	// scripts ran against their own origin and cannot touch this page).
+	Frames []*Page
+
+	browser   *Browser
+	mainFrame bool
+
+	execStack []frame
+	injectQ   []injection
+	deferQ    []deferredTask
+	clicks    []clickHandler
+	startMS   float64 // clock at navigation start, ms since epoch
+	scriptCnt int
+	// parallelCredit is virtual time saved by the parallel-resource
+	// model: the fabric fetches sequentially, so we credit back the
+	// difference between the sequential sum and the slowest resource.
+	parallelCredit float64
+}
+
+type injection struct {
+	src    string
+	parent string
+	path   []string
+}
+
+func newPage(b *Browser, url string, mainFrame bool) *Page {
+	origin, _ := urlutil.ParseOrigin(url)
+	return &Page{
+		URL:       url,
+		Origin:    origin,
+		browser:   b,
+		mainFrame: mainFrame,
+	}
+}
+
+// elapsed returns ms since navigation start.
+func (p *Page) elapsed() float64 {
+	return float64(p.browser.clock.UnixMillis()) - p.startMS
+}
+
+// load runs the full page-load pipeline.
+func (p *Page) load() error {
+	b := p.browser
+	p.startMS = float64(b.clock.UnixMillis())
+
+	// 1. Fetch the document.
+	p.recordRequest(p.URL, ReqDocument, frame{})
+	body, status, err := b.fetch(p.URL)
+	if err != nil {
+		p.markFailed(p.URL)
+		return err
+	}
+	if status >= 400 {
+		return fmt.Errorf("document status %d", status)
+	}
+
+	// 2. Parse HTML.
+	b.clock.AdvanceMillis(float64(len(body)) / 1024 * b.opts.ParseCostPerKB)
+	p.Doc = dom.NewDocument(p.URL, dom.Parse(body))
+
+	// 3. Execute scripts in document order (parser-blocking, as real
+	// classic scripts are).
+	for _, s := range p.Doc.Scripts() {
+		if src := s.Attr("src"); src != "" {
+			p.runExternal(urlutil.Resolve(p.URL, src), "", nil)
+		} else {
+			p.runInline(s.InnerText())
+		}
+	}
+	p.Timing.DOMInteractive = p.elapsed()
+
+	// 4. DOMContentLoaded fires after DOMContentLoaded handlers run;
+	// charge a small handler cost so DI < DCL as in Table 4.
+	b.clock.AdvanceMillis(2 + 0.4*float64(len(p.Scripts)))
+	p.Timing.DOMContentLoaded = p.elapsed()
+
+	// 5. Subresources and iframes (modelled as parallel: the clock
+	// advances by the max latency, not the sum).
+	p.loadSubresources()
+
+	// 6. Injected scripts arrive after DCL (async insertion), then
+	// deferred callbacks.
+	p.drainInjections()
+	p.drainDeferred()
+
+	p.Timing.LoadEvent = p.elapsed() - p.parallelCredit
+	if p.Timing.LoadEvent < p.Timing.DOMContentLoaded {
+		p.Timing.LoadEvent = p.Timing.DOMContentLoaded
+	}
+	return nil
+}
+
+func (p *Page) loadSubresources() {
+	if p.Doc == nil {
+		return
+	}
+	b := p.browser
+	var maxLat float64
+
+	var resources []struct {
+		url  string
+		kind RequestKind
+	}
+	for _, img := range p.Doc.ByTag("img") {
+		if src := img.Attr("src"); src != "" {
+			resources = append(resources, struct {
+				url  string
+				kind RequestKind
+			}{urlutil.Resolve(p.URL, src), ReqSubresource})
+		}
+	}
+	for _, l := range p.Doc.ByTag("link") {
+		if href := l.Attr("href"); href != "" {
+			resources = append(resources, struct {
+				url  string
+				kind RequestKind
+			}{urlutil.Resolve(p.URL, href), ReqSubresource})
+		}
+	}
+
+	// Parallel model: total wall time is the max individual time.
+	// We fetch sequentially (the fabric is synchronous) but only charge
+	// the maximum latency: record clock, fetch all, then set the clock
+	// to start + max.
+	startMS := b.clock.UnixMillis()
+	for _, r := range resources {
+		preMS := b.clock.UnixMillis()
+		p.recordRequest(r.url, r.kind, frame{})
+		if _, _, err := b.fetch(r.url); err != nil {
+			p.markFailed(r.url)
+		}
+		lat := float64(b.clock.UnixMillis() - preMS)
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	// Iframes load their own documents (sequential within the frame,
+	// parallel across frames at this level of fidelity).
+	for _, f := range p.Doc.IFrames() {
+		src := urlutil.Resolve(p.URL, f.Attr("src"))
+		preMS := b.clock.UnixMillis()
+		p.recordRequest(src, ReqFrame, frame{})
+		sub := newPage(b, src, false)
+		if err := sub.load(); err == nil {
+			p.Frames = append(p.Frames, sub)
+		} else {
+			p.markFailed(src)
+		}
+		lat := float64(b.clock.UnixMillis() - preMS)
+		if lat > maxLat {
+			maxLat = lat
+		}
+	}
+	// Credit back the difference between the sequential sum and the
+	// slowest single resource: the virtual clock cannot move backwards,
+	// so load() subtracts the credit from the LoadEvent milestone.
+	endMS := b.clock.UnixMillis()
+	sequential := float64(endMS - startMS)
+	if sequential > maxLat {
+		p.parallelCredit += sequential - maxLat
+	}
+}
+
+// drainInjections executes dynamically injected scripts breadth-first.
+func (p *Page) drainInjections() {
+	for len(p.injectQ) > 0 {
+		inj := p.injectQ[0]
+		p.injectQ = p.injectQ[1:]
+		if len(inj.path) > p.browser.opts.MaxInjectionDepth {
+			continue
+		}
+		p.runExternal(inj.src, inj.parent, inj.path)
+	}
+}
+
+// drainDeferred runs setTimeout-style callbacks (which may inject more
+// scripts or defer more work).
+func (p *Page) drainDeferred() {
+	for len(p.deferQ) > 0 || len(p.injectQ) > 0 {
+		if len(p.deferQ) == 0 {
+			p.drainInjections()
+			continue
+		}
+		task := p.deferQ[0]
+		p.deferQ = p.deferQ[1:]
+		fr := task.frame
+		if p.browser.opts.DropAsyncAttribution {
+			fr = frame{} // stack lost: unattributable (paper §8)
+		}
+		p.execStack = append(p.execStack, fr)
+		task.run()
+		p.execStack = p.execStack[:len(p.execStack)-1]
+		p.drainInjections()
+	}
+}
+
+// runExternal fetches and executes an external script.
+func (p *Page) runExternal(src, parent string, path []string) {
+	if p.scriptCnt >= p.browser.opts.MaxScriptsPerPage {
+		return
+	}
+	p.scriptCnt++
+	p.recordRequest(src, ReqScript, p.currentFrame())
+	body, status, err := p.browser.fetch(src)
+	exec := ScriptExec{URL: src, Parent: parent, InclusionPath: append([]string(nil), path...)}
+	if err != nil || status >= 400 {
+		p.markFailed(src)
+		exec.Err = fmt.Errorf("fetch script %s: status=%d err=%w", src, status, errOr(err))
+		p.Scripts = append(p.Scripts, exec)
+		return
+	}
+	p.execScript(body, frame{scriptURL: src, path: exec.InclusionPath}, &exec)
+	p.Scripts = append(p.Scripts, exec)
+}
+
+func errOr(err error) error {
+	if err == nil {
+		return fmt.Errorf("http error")
+	}
+	return err
+}
+
+// runInline executes an inline script (no attributable origin).
+func (p *Page) runInline(source string) {
+	if p.scriptCnt >= p.browser.opts.MaxScriptsPerPage {
+		return
+	}
+	p.scriptCnt++
+	exec := ScriptExec{Inline: true}
+	p.execScript(source, frame{inline: true}, &exec)
+	p.Scripts = append(p.Scripts, exec)
+}
+
+func (p *Page) execScript(source string, fr frame, exec *ScriptExec) {
+	prog, err := jsdsl.Parse(source)
+	if err != nil {
+		exec.Err = err
+		return
+	}
+	p.execStack = append(p.execStack, fr)
+	interp := jsdsl.NewInterp(&hostBinding{page: p})
+	err = interp.Run(prog)
+	p.execStack = p.execStack[:len(p.execStack)-1]
+	exec.Err = err
+	exec.Steps = interp.Steps()
+	p.browser.clock.AdvanceMillis(float64(exec.Steps) * p.browser.opts.ExecCostPerStep)
+}
+
+// currentFrame returns the executing frame (zero when page-level).
+func (p *Page) currentFrame() frame {
+	if len(p.execStack) == 0 {
+		return frame{}
+	}
+	return p.execStack[len(p.execStack)-1]
+}
+
+// accessContext builds the attribution context for the current execution.
+func (p *Page) accessContext() AccessContext {
+	fr := p.currentFrame()
+	stack := make([]string, 0, len(p.execStack))
+	for _, f := range p.execStack {
+		if f.scriptURL != "" {
+			stack = append(stack, f.scriptURL)
+		}
+	}
+	return AccessContext{
+		PageURL:   p.URL,
+		ScriptURL: fr.scriptURL,
+		Inline:    fr.inline,
+		Stack:     stack,
+		MainFrame: p.mainFrame,
+	}
+}
+
+func (p *Page) recordRequest(url string, kind RequestKind, fr frame) {
+	ctx := p.accessContext()
+	p.Requests = append(p.Requests, Request{
+		URL:             url,
+		Kind:            kind,
+		InitiatorScript: fr.scriptURL,
+		Stack:           ctx.Stack,
+	})
+}
+
+func (p *Page) markFailed(url string) {
+	for i := len(p.Requests) - 1; i >= 0; i-- {
+		if p.Requests[i].URL == url {
+			p.Requests[i].Failed = true
+			return
+		}
+	}
+}
+
+// Click simulates a user click: fires every registered click handler and
+// returns how many ran. The crawler's light interaction (§4.2) calls this.
+func (p *Page) Click() int {
+	n := 0
+	for _, h := range p.clicks {
+		p.execStack = append(p.execStack, h.frame)
+		h.run()
+		p.execStack = p.execStack[:len(p.execStack)-1]
+		n++
+	}
+	p.drainInjections()
+	p.drainDeferred()
+	return n
+}
+
+// Scroll simulates scrolling: it only advances the clock (lazy-load
+// behaviours are not modelled).
+func (p *Page) Scroll() {
+	p.browser.clock.AdvanceMillis(16)
+}
+
+// RandomLink returns a uniformly chosen same-parse link href resolved
+// against the page, or "" if the page has none.
+func (p *Page) RandomLink() string {
+	if p.Doc == nil {
+		return ""
+	}
+	links := p.Doc.Links()
+	if len(links) == 0 {
+		return ""
+	}
+	l := links[p.browser.rng.Intn(len(links))]
+	return urlutil.Resolve(p.URL, l.Attr("href"))
+}
+
+// MainFrame reports whether this page is a top-level document.
+func (p *Page) MainFrame() bool { return p.mainFrame }

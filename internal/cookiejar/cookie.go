@@ -1,0 +1,243 @@
+// Package cookiejar implements the browser cookie jar the paper's whole
+// measurement targets: RFC 6265 Set-Cookie parsing, domain- and
+// path-matching, the document.cookie string interface, HttpOnly
+// visibility, expiry-based deletion, and the structured CookieStore view.
+//
+// The jar itself enforces exactly what real browsers enforce — and no more:
+// any script running in the main frame can read, overwrite, or delete any
+// non-HttpOnly first-party cookie regardless of which domain's script set
+// it. That missing isolation is what internal/guard adds back.
+package cookiejar
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SameSite is the SameSite cookie attribute.
+type SameSite int
+
+// SameSite values.
+const (
+	SameSiteDefault SameSite = iota
+	SameSiteLax
+	SameSiteStrict
+	SameSiteNone
+)
+
+func (s SameSite) String() string {
+	switch s {
+	case SameSiteLax:
+		return "Lax"
+	case SameSiteStrict:
+		return "Strict"
+	case SameSiteNone:
+		return "None"
+	default:
+		return ""
+	}
+}
+
+// Cookie is a single cookie with its RFC 6265 attributes plus the
+// bookkeeping fields a jar needs.
+type Cookie struct {
+	Name  string
+	Value string
+
+	// Domain is the Domain attribute as stored: empty for a host-only
+	// cookie. HostOnly distinguishes "no Domain attribute" from an
+	// explicit Domain equal to the host.
+	Domain   string
+	HostOnly bool
+	Path     string
+	Expires  time.Time // zero means session cookie
+	Secure   bool
+	HttpOnly bool
+	SameSite SameSite
+
+	Created      time.Time
+	LastAccessed time.Time
+}
+
+// Expired reports whether the cookie is expired at time now. Session
+// cookies (zero Expires) never expire within a simulation run.
+func (c *Cookie) Expired(now time.Time) bool {
+	return !c.Expires.IsZero() && !c.Expires.After(now)
+}
+
+// Pair renders "name=value".
+func (c *Cookie) Pair() string { return c.Name + "=" + c.Value }
+
+// Clone returns a copy of the cookie.
+func (c *Cookie) Clone() *Cookie {
+	cp := *c
+	return &cp
+}
+
+// ParseSetCookie parses one Set-Cookie header line (or a document.cookie
+// assignment string, which uses the same grammar) relative to now.
+// It returns nil if the line has no parsable name=value prefix.
+func ParseSetCookie(line string, now time.Time) *Cookie {
+	parts := strings.Split(line, ";")
+	nv := strings.TrimSpace(parts[0])
+	eq := strings.IndexByte(nv, '=')
+	if eq <= 0 {
+		return nil // empty name not allowed
+	}
+	c := &Cookie{
+		Name:    strings.TrimSpace(nv[:eq]),
+		Value:   strings.TrimSpace(nv[eq+1:]),
+		Created: now,
+	}
+	if c.Name == "" {
+		return nil
+	}
+	var maxAgeSet bool
+	for _, attr := range parts[1:] {
+		attr = strings.TrimSpace(attr)
+		if attr == "" {
+			continue
+		}
+		var key, val string
+		if i := strings.IndexByte(attr, '='); i >= 0 {
+			key, val = attr[:i], strings.TrimSpace(attr[i+1:])
+		} else {
+			key = attr
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "domain":
+			c.Domain = strings.ToLower(strings.TrimPrefix(val, "."))
+		case "path":
+			c.Path = val
+		case "expires":
+			if !maxAgeSet { // Max-Age has precedence (RFC 6265 §4.1.2.2)
+				if t, err := parseCookieTime(val); err == nil {
+					c.Expires = t
+				}
+			}
+		case "max-age":
+			if secs, err := strconv.Atoi(val); err == nil {
+				maxAgeSet = true
+				if secs <= 0 {
+					// immediate expiry: the standard deletion idiom
+					c.Expires = now.Add(-time.Second)
+				} else {
+					c.Expires = now.Add(time.Duration(secs) * time.Second)
+				}
+			}
+		case "secure":
+			c.Secure = true
+		case "httponly":
+			c.HttpOnly = true
+		case "samesite":
+			switch strings.ToLower(val) {
+			case "lax":
+				c.SameSite = SameSiteLax
+			case "strict":
+				c.SameSite = SameSiteStrict
+			case "none":
+				c.SameSite = SameSiteNone
+			}
+		}
+	}
+	return c
+}
+
+var cookieTimeFormats = []string{
+	time.RFC1123,
+	"Mon, 02-Jan-2006 15:04:05 MST",
+	time.RFC1123Z,
+	time.ANSIC,
+	time.RFC850,
+}
+
+func parseCookieTime(s string) (time.Time, error) {
+	for _, f := range cookieTimeFormats {
+		if t, err := time.Parse(f, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("cookiejar: unparsable cookie time %q", s)
+}
+
+// SerializeSetCookie renders the cookie as a Set-Cookie header value.
+func SerializeSetCookie(c *Cookie) string {
+	var b strings.Builder
+	b.WriteString(c.Pair())
+	if c.Domain != "" && !c.HostOnly {
+		b.WriteString("; Domain=")
+		b.WriteString(c.Domain)
+	}
+	if c.Path != "" {
+		b.WriteString("; Path=")
+		b.WriteString(c.Path)
+	}
+	if !c.Expires.IsZero() {
+		b.WriteString("; Expires=")
+		b.WriteString(c.Expires.UTC().Format(time.RFC1123))
+	}
+	if c.Secure {
+		b.WriteString("; Secure")
+	}
+	if c.HttpOnly {
+		b.WriteString("; HttpOnly")
+	}
+	if s := c.SameSite.String(); s != "" {
+		b.WriteString("; SameSite=")
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// domainMatch implements RFC 6265 §5.1.3.
+func domainMatch(host, domain string) bool {
+	if domain == "" {
+		return false
+	}
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}
+
+// defaultPath implements RFC 6265 §5.1.4.
+func defaultPath(requestPath string) string {
+	if requestPath == "" || !strings.HasPrefix(requestPath, "/") {
+		return "/"
+	}
+	i := strings.LastIndexByte(requestPath, '/')
+	if i == 0 {
+		return "/"
+	}
+	return requestPath[:i]
+}
+
+// pathMatch implements RFC 6265 §5.1.4.
+func pathMatch(requestPath, cookiePath string) bool {
+	if requestPath == cookiePath {
+		return true
+	}
+	if strings.HasPrefix(requestPath, cookiePath) {
+		if strings.HasSuffix(cookiePath, "/") {
+			return true
+		}
+		if len(requestPath) > len(cookiePath) && requestPath[len(cookiePath)] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// sortCookies orders cookies for header serialization: longer paths first,
+// then earlier creation time (RFC 6265 §5.4 step 2).
+func sortCookies(cs []*Cookie) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		if len(cs[i].Path) != len(cs[j].Path) {
+			return len(cs[i].Path) > len(cs[j].Path)
+		}
+		return cs[i].Created.Before(cs[j].Created)
+	})
+}

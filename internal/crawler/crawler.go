@@ -1,0 +1,182 @@
+// Package crawler drives the measurement crawl of §4.2: it visits each
+// site's landing page with an instrumented browser, performs the paper's
+// light interaction (scrolling and clicking up to three random links with
+// two-second pauses), and retains only visits with complete data.
+//
+// Visits run on a bounded worker pool; every browser gets its own virtual
+// clock and cookie jar, so concurrent visits are fully isolated — the
+// fabric (netsim.Internet) is the only shared component, as on the real
+// web.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cookieguard/internal/browser"
+	"cookieguard/internal/instrument"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/urlutil"
+)
+
+// Options configures a crawl.
+type Options struct {
+	// Internet is the fabric to crawl (required).
+	Internet *netsim.Internet
+	// Workers bounds concurrent visits (default 8).
+	Workers int
+	// Interact enables the light-interaction step (§4.2).
+	Interact bool
+	// MaxClicks bounds the random link clicks (default 3).
+	MaxClicks int
+	// PerVisit, when set, is invoked once per visit and supplies extra
+	// cookie middleware (innermost first) plus an optional hook called
+	// with the freshly created browser (e.g. to attach a CookieGuard
+	// instance's jar observer). The instrumentation recorder always
+	// wraps last (outermost), observing post-enforcement behaviour.
+	PerVisit func() (mw []browser.CookieMiddleware, attach func(*browser.Browser))
+	// Seed differentiates browser randomness across visits.
+	Seed uint64
+	// Progress, when set, receives (done, total) after every visit.
+	Progress func(done, total int)
+}
+
+// Result is the outcome of a crawl.
+type Result struct {
+	Logs []instrument.VisitLog
+}
+
+// Complete returns the retained logs (the paper's completeness filter).
+func (r *Result) Complete() []instrument.VisitLog {
+	var out []instrument.VisitLog
+	for _, l := range r.Logs {
+		if l.Complete() {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Crawl visits every URL in sites and returns the collected logs, in the
+// order of the input list. The context cancels outstanding visits.
+func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
+	if opts.Internet == nil {
+		return nil, fmt.Errorf("crawler: Options.Internet is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	maxClicks := opts.MaxClicks
+	if maxClicks <= 0 {
+		maxClicks = 3
+	}
+
+	logs := make([]instrument.VisitLog, len(sites))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var done int
+	var progressMu sync.Mutex
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range jobs {
+				logs[idx] = visit(sites[idx], opts, maxClicks, uint64(idx))
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					d := done
+					progressMu.Unlock()
+					opts.Progress(d, len(sites))
+				}
+			}
+		}(w)
+	}
+
+loop:
+	for i := range sites {
+		select {
+		case <-ctx.Done():
+			break loop
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return &Result{Logs: logs}, err
+	}
+	return &Result{Logs: logs}, nil
+}
+
+// visit performs one instrumented site visit.
+func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLog {
+	site := urlutil.RegistrableDomain(url)
+	rec := instrument.NewRecorder()
+
+	// The recorder installs innermost — between the jar and any guard —
+	// so it logs the operations that actually take effect. A guard
+	// placed above it filters reads and swallows blocked writes before
+	// they reach the log, which is what the Figure 5 comparison
+	// measures (effective cross-domain actions under enforcement).
+	mw := []browser.CookieMiddleware{rec.Middleware()}
+	var attach func(*browser.Browser)
+	if opts.PerVisit != nil {
+		var extra []browser.CookieMiddleware
+		extra, attach = opts.PerVisit()
+		mw = append(mw, extra...)
+	}
+
+	b, err := browser.New(browser.Options{
+		Internet:         opts.Internet,
+		CookieMiddleware: mw,
+		Seed:             opts.Seed ^ (n * 0x9e3779b97f4a7c15),
+	})
+	if err != nil {
+		return instrument.VisitLog{Site: site, URL: url, Error: err.Error()}
+	}
+	if attach != nil {
+		attach(b)
+	}
+	rec.ObserveJar(b.Jar())
+
+	var pages []*browser.Page
+	landing, err := b.Visit(url)
+	if err != nil {
+		return rec.BuildVisitLog(site, nil, err)
+	}
+	pages = append(pages, landing)
+
+	if opts.Interact {
+		current := landing
+		current.Scroll()
+		for c := 0; c < maxClicks; c++ {
+			current.Click()
+			link := current.RandomLink()
+			b.Clock().AdvanceMillis(2000) // the paper's two-second pause
+			if link == "" || urlutil.RegistrableDomain(link) != site {
+				continue
+			}
+			next, err := b.Visit(link)
+			if err != nil {
+				continue
+			}
+			pages = append(pages, next)
+			current = next
+			current.Scroll()
+		}
+	}
+	return rec.BuildVisitLog(site, pages, nil)
+}
+
+// SiteURLs extracts the URL list for a crawl from ranked site domains.
+func SiteURLs(domains []string) []string {
+	out := make([]string, len(domains))
+	for i, d := range domains {
+		out[i] = "https://www." + d + "/"
+	}
+	return out
+}

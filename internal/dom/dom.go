@@ -1,0 +1,274 @@
+// Package dom implements the minimal document object model the browser
+// engine exposes to scripts: an element tree parsed from the synthetic
+// web's HTML, queries by id/tag, and attributed mutations.
+//
+// Mutations record which script performed them and which script (or the
+// page itself) owns the mutated element. That attribution feeds the
+// paper's §8 pilot study, which found cross-domain scripts modifying DOM
+// elements they do not own on 9.4% of sites.
+package dom
+
+import (
+	"strings"
+)
+
+// NodeKind discriminates element and text nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindElement NodeKind = iota
+	KindText
+)
+
+// Node is one DOM node. Element nodes have a Tag and Attrs; text nodes
+// have Text.
+type Node struct {
+	Kind     NodeKind
+	Tag      string
+	Attrs    map[string]string
+	Text     string
+	Children []*Node
+	Parent   *Node
+
+	// Owner is the URL of the script that created this node, or "" for
+	// nodes created by the HTML parser (i.e. owned by the page).
+	Owner string
+}
+
+// Attr returns the value of an attribute ("" if absent).
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[strings.ToLower(name)]
+}
+
+// ID returns the element's id attribute.
+func (n *Node) ID() string { return n.Attr("id") }
+
+// InnerText concatenates the text content of the subtree.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.collectText(&b)
+	return b.String()
+}
+
+func (n *Node) collectText(b *strings.Builder) {
+	if n.Kind == KindText {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.collectText(b)
+	}
+}
+
+// AppendChild attaches child to n.
+func (n *Node) AppendChild(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// RemoveChild detaches child from n; it reports whether it was present.
+func (n *Node) RemoveChild(child *Node) bool {
+	for i, c := range n.Children {
+		if c == child {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			child.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// walk visits the subtree rooted at n in document order.
+func (n *Node) walk(f func(*Node) bool) bool {
+	if !f(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.walk(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MutationKind classifies DOM mutations.
+type MutationKind int
+
+// Mutation kinds.
+const (
+	MutText MutationKind = iota
+	MutAttr
+	MutStyle
+	MutInsert
+	MutRemove
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutText:
+		return "text"
+	case MutAttr:
+		return "attr"
+	case MutStyle:
+		return "style"
+	case MutInsert:
+		return "insert"
+	case MutRemove:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// Mutation is one attributed DOM modification.
+type Mutation struct {
+	Kind      MutationKind
+	Target    *Node
+	TargetID  string // id attribute at mutation time, for reporting
+	Owner     string // script URL owning the target ("" = the page)
+	ByScript  string // script URL performing the mutation
+	Attribute string // for MutAttr/MutStyle
+	NewValue  string
+}
+
+// Document is the parsed page plus its mutation log.
+type Document struct {
+	URL       string
+	Root      *Node
+	Mutations []Mutation
+}
+
+// NewDocument wraps a root node (usually from Parse).
+func NewDocument(url string, root *Node) *Document {
+	return &Document{URL: url, Root: root}
+}
+
+// ByID returns the first element with the given id, or nil.
+func (d *Document) ByID(id string) *Node {
+	var found *Node
+	d.Root.walk(func(n *Node) bool {
+		if n.Kind == KindElement && n.ID() == id {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ByTag returns all elements with the given tag, in document order.
+func (d *Document) ByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	d.Root.walk(func(n *Node) bool {
+		if n.Kind == KindElement && n.Tag == tag {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Scripts returns all <script> elements in document order.
+func (d *Document) Scripts() []*Node { return d.ByTag("script") }
+
+// Links returns all <a> elements with an href.
+func (d *Document) Links() []*Node {
+	var out []*Node
+	for _, a := range d.ByTag("a") {
+		if a.Attr("href") != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IFrames returns all <iframe> elements with a src.
+func (d *Document) IFrames() []*Node {
+	var out []*Node
+	for _, f := range d.ByTag("iframe") {
+		if f.Attr("src") != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CountElements returns the number of element nodes.
+func (d *Document) CountElements() int {
+	n := 0
+	d.Root.walk(func(node *Node) bool {
+		if node.Kind == KindElement {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// --- Attributed mutations (the API scripts call) ---
+
+func (d *Document) record(m Mutation) {
+	if m.Target != nil {
+		m.TargetID = m.Target.ID()
+		m.Owner = m.Target.Owner
+	}
+	d.Mutations = append(d.Mutations, m)
+}
+
+// SetText replaces the text content of target, attributed to byScript.
+func (d *Document) SetText(target *Node, text, byScript string) {
+	target.Children = []*Node{{Kind: KindText, Text: text, Parent: target}}
+	d.record(Mutation{Kind: MutText, Target: target, ByScript: byScript, NewValue: text})
+}
+
+// SetAttr sets an attribute on target, attributed to byScript.
+func (d *Document) SetAttr(target *Node, name, value, byScript string) {
+	if target.Attrs == nil {
+		target.Attrs = make(map[string]string)
+	}
+	target.Attrs[strings.ToLower(name)] = value
+	d.record(Mutation{Kind: MutAttr, Target: target, ByScript: byScript, Attribute: name, NewValue: value})
+}
+
+// SetStyle sets a style property (modelled as style:<prop> attributes).
+func (d *Document) SetStyle(target *Node, prop, value, byScript string) {
+	if target.Attrs == nil {
+		target.Attrs = make(map[string]string)
+	}
+	target.Attrs["style:"+strings.ToLower(prop)] = value
+	d.record(Mutation{Kind: MutStyle, Target: target, ByScript: byScript, Attribute: prop, NewValue: value})
+}
+
+// Insert creates a new element under parent, owned by and attributed to
+// byScript, returning the node.
+func (d *Document) Insert(parent *Node, tag string, attrs map[string]string, byScript string) *Node {
+	n := &Node{Kind: KindElement, Tag: strings.ToLower(tag), Attrs: lowerKeys(attrs), Owner: byScript}
+	parent.AppendChild(n)
+	d.record(Mutation{Kind: MutInsert, Target: n, ByScript: byScript})
+	return n
+}
+
+// Remove detaches target from its parent, attributed to byScript.
+func (d *Document) Remove(target *Node, byScript string) bool {
+	if target.Parent == nil {
+		return false
+	}
+	d.record(Mutation{Kind: MutRemove, Target: target, ByScript: byScript})
+	return target.Parent.RemoveChild(target)
+}
+
+func lowerKeys(in map[string]string) map[string]string {
+	if in == nil {
+		return map[string]string{}
+	}
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[strings.ToLower(k)] = v
+	}
+	return out
+}

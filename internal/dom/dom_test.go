@@ -1,0 +1,207 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head>
+  <title>Shop</title>
+  <link rel="stylesheet" href="/main.css">
+  <script src="https://www.googletagmanager.com/gtm.js"></script>
+  <script>set_cookie("inline", "1");</script>
+</head>
+<body>
+  <div id="banner" class="hero">Welcome</div>
+  <a href="/products">Products</a>
+  <a href="/about">About</a>
+  <a name="nohref">skip me</a>
+  <img src="/logo.png">
+  <iframe src="https://ads.example.net/frame"></iframe>
+  <!-- a comment <a href="/hidden">x</a> -->
+  <div id="content"><p>Hello <span>world</span></p></div>
+</body>
+</html>`
+
+func parseDoc(t *testing.T) *Document {
+	t.Helper()
+	return NewDocument("https://shop.example.com/", Parse(samplePage))
+}
+
+func TestParseStructure(t *testing.T) {
+	d := parseDoc(t)
+	if got := len(d.Scripts()); got != 2 {
+		t.Fatalf("Scripts = %d, want 2", got)
+	}
+	if got := len(d.Links()); got != 2 {
+		t.Fatalf("Links = %d, want 2 (href-less <a> excluded)", got)
+	}
+	if got := len(d.IFrames()); got != 1 {
+		t.Fatalf("IFrames = %d, want 1", got)
+	}
+}
+
+func TestScriptSrcAndInlineBody(t *testing.T) {
+	d := parseDoc(t)
+	scripts := d.Scripts()
+	if src := scripts[0].Attr("src"); src != "https://www.googletagmanager.com/gtm.js" {
+		t.Fatalf("script src = %q", src)
+	}
+	if body := scripts[1].InnerText(); !strings.Contains(body, `set_cookie("inline", "1")`) {
+		t.Fatalf("inline body = %q", body)
+	}
+}
+
+func TestByID(t *testing.T) {
+	d := parseDoc(t)
+	banner := d.ByID("banner")
+	if banner == nil || banner.Tag != "div" {
+		t.Fatalf("ByID(banner) = %+v", banner)
+	}
+	if banner.Attr("class") != "hero" {
+		t.Fatalf("class = %q", banner.Attr("class"))
+	}
+	if d.ByID("nope") != nil {
+		t.Fatal("ByID(nope) should be nil")
+	}
+}
+
+func TestInnerText(t *testing.T) {
+	d := parseDoc(t)
+	content := d.ByID("content")
+	if got := content.InnerText(); got != "Hello world" {
+		t.Fatalf("InnerText = %q", got)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	d := parseDoc(t)
+	for _, a := range d.Links() {
+		if a.Attr("href") == "/hidden" {
+			t.Fatal("link inside comment was parsed")
+		}
+	}
+}
+
+func TestVoidAndSelfClosing(t *testing.T) {
+	root := Parse(`<div><img src="/a.png"><br/><p>text</p></div>`)
+	d := NewDocument("", root)
+	if len(d.ByTag("img")) != 1 || len(d.ByTag("br")) != 1 || len(d.ByTag("p")) != 1 {
+		t.Fatal("void/self-closing parsing broken")
+	}
+	if got := d.ByTag("p")[0].InnerText(); got != "text" {
+		t.Fatalf("p text = %q", got)
+	}
+}
+
+func TestMalformedInputsDoNotPanic(t *testing.T) {
+	inputs := []string{
+		"", "<", "<<", "<div", "</unopened>", "<div><span></div>",
+		"text only", "<a href=>x</a>", `<div id="unterminated`,
+		"<script>never closed", "<!-- unterminated", "<!doctype",
+		"< notatag", "<div id=bare>x</div>",
+	}
+	for _, in := range inputs {
+		root := Parse(in)
+		if root == nil {
+			t.Fatalf("Parse(%q) returned nil", in)
+		}
+	}
+	// Unquoted attribute values parse.
+	d := NewDocument("", Parse("<div id=bare>x</div>"))
+	if d.ByID("bare") == nil {
+		t.Fatal("unquoted attribute value not parsed")
+	}
+}
+
+func TestRawTextSwallowsMarkup(t *testing.T) {
+	root := Parse(`<script>if (a < b) { x("</div>ish"); }</script><div id="after"></div>`)
+	d := NewDocument("", root)
+	if d.ByID("after") == nil {
+		t.Fatal("element after script not parsed")
+	}
+	body := d.Scripts()[0].InnerText()
+	if !strings.Contains(body, "a < b") {
+		t.Fatalf("script body = %q", body)
+	}
+}
+
+func TestMutationsAttributed(t *testing.T) {
+	d := parseDoc(t)
+	banner := d.ByID("banner")
+	tracker := "https://cdn.tracker.example/t.js"
+
+	d.SetText(banner, "BUY NOW", tracker)
+	d.SetAttr(banner, "class", "promo", tracker)
+	d.SetStyle(banner, "display", "none", tracker)
+	inserted := d.Insert(banner.Parent, "div", map[string]string{"ID": "ad-slot"}, tracker)
+	d.Remove(inserted, "https://other.example/o.js")
+
+	if len(d.Mutations) != 5 {
+		t.Fatalf("Mutations = %d", len(d.Mutations))
+	}
+	m := d.Mutations[0]
+	if m.Kind != MutText || m.ByScript != tracker || m.Owner != "" || m.TargetID != "banner" {
+		t.Fatalf("mutation 0 = %+v", m)
+	}
+	if banner.InnerText() != "BUY NOW" {
+		t.Fatalf("text = %q", banner.InnerText())
+	}
+	if banner.Attr("class") != "promo" {
+		t.Fatalf("class = %q", banner.Attr("class"))
+	}
+	if banner.Attr("style:display") != "none" {
+		t.Fatalf("style = %q", banner.Attr("style:display"))
+	}
+	// The inserted element is owned by the inserting script, and the
+	// remover is attributed with that owner — the cross-domain DOM case.
+	rm := d.Mutations[4]
+	if rm.Kind != MutRemove || rm.Owner != tracker || rm.ByScript != "https://other.example/o.js" {
+		t.Fatalf("remove mutation = %+v", rm)
+	}
+	if d.ByID("ad-slot") != nil {
+		t.Fatal("removed element still reachable")
+	}
+}
+
+func TestInsertedElementFindable(t *testing.T) {
+	d := parseDoc(t)
+	body := d.ByTag("body")[0]
+	d.Insert(body, "script", map[string]string{"src": "https://x.example/i.js"}, "https://x.example/parent.js")
+	if len(d.Scripts()) != 3 {
+		t.Fatalf("Scripts after insert = %d", len(d.Scripts()))
+	}
+}
+
+func TestRemoveDetachedReturnsFalse(t *testing.T) {
+	d := parseDoc(t)
+	orphan := &Node{Kind: KindElement, Tag: "div"}
+	if d.Remove(orphan, "s") {
+		t.Fatal("removing detached node should return false")
+	}
+}
+
+func TestCountElements(t *testing.T) {
+	d := NewDocument("", Parse("<div><p>a</p><p>b</p></div>"))
+	// #document + div + 2 p = 4
+	if got := d.CountElements(); got != 4 {
+		t.Fatalf("CountElements = %d", got)
+	}
+}
+
+func TestAttrCaseInsensitive(t *testing.T) {
+	d := NewDocument("", Parse(`<div ID="x" CLASS="y"></div>`))
+	n := d.ByID("x")
+	if n == nil || n.Attr("Class") != "y" {
+		t.Fatal("attribute names must be case-insensitive")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(samplePage)
+	}
+}

@@ -1,0 +1,203 @@
+package dom
+
+import (
+	"strings"
+)
+
+// voidElements never have children or closing tags.
+var voidElements = map[string]bool{
+	"img": true, "input": true, "br": true, "hr": true, "meta": true,
+	"link": true, "area": true, "base": true, "col": true, "embed": true,
+	"source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the closing tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Parse builds a node tree from HTML. It covers the well-formed subset the
+// synthetic web generator emits (nested elements, quoted attributes, void
+// elements, raw-text script/style bodies, comments) and degrades
+// gracefully on anything else: unknown constructs become text, and
+// unclosed elements are closed at EOF. It never fails — a browser doesn't
+// either.
+func Parse(html string) *Node {
+	p := &parser{src: html}
+	root := &Node{Kind: KindElement, Tag: "#document", Attrs: map[string]string{}}
+	p.parseChildren(root, "")
+	return root
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+// parseChildren consumes nodes until the closing tag for `until` (or EOF)
+// and appends them to parent.
+func (p *parser) parseChildren(parent *Node, until string) {
+	for !p.eof() {
+		lt := strings.IndexByte(p.src[p.pos:], '<')
+		if lt < 0 {
+			p.appendText(parent, p.src[p.pos:])
+			p.pos = len(p.src)
+			return
+		}
+		if lt > 0 {
+			p.appendText(parent, p.src[p.pos:p.pos+lt])
+			p.pos += lt
+		}
+		// At '<'.
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!") { // doctype etc.
+			gt := strings.IndexByte(p.src[p.pos:], '>')
+			if gt < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += gt + 1
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			gt := strings.IndexByte(p.src[p.pos:], '>')
+			if gt < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			name := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+gt]))
+			p.pos += gt + 1
+			if name == until {
+				return
+			}
+			continue // stray closing tag: ignore
+		}
+		// Opening tag.
+		tag, attrs, selfClose, ok := p.parseTag()
+		if !ok {
+			// Lone '<' that is not a tag: treat as text.
+			p.appendText(parent, "<")
+			p.pos++
+			continue
+		}
+		el := &Node{Kind: KindElement, Tag: tag, Attrs: attrs}
+		parent.AppendChild(el)
+		if selfClose || voidElements[tag] {
+			continue
+		}
+		if rawTextElements[tag] {
+			close := "</" + tag + ">"
+			idx := strings.Index(strings.ToLower(p.src[p.pos:]), close)
+			if idx < 0 {
+				p.appendText(el, p.src[p.pos:])
+				p.pos = len(p.src)
+				continue
+			}
+			if idx > 0 {
+				p.appendText(el, p.src[p.pos:p.pos+idx])
+			}
+			p.pos += idx + len(close)
+			continue
+		}
+		p.parseChildren(el, tag)
+	}
+}
+
+func (p *parser) appendText(parent *Node, text string) {
+	if strings.TrimSpace(text) == "" {
+		return
+	}
+	parent.AppendChild(&Node{Kind: KindText, Text: text})
+}
+
+// parseTag parses "<name attr=... >" starting at p.pos (which points at
+// '<'). On success p.pos is just past '>'.
+func (p *parser) parseTag() (tag string, attrs map[string]string, selfClose, ok bool) {
+	start := p.pos + 1
+	i := start
+	for i < len(p.src) && isNameChar(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return "", nil, false, false
+	}
+	tag = strings.ToLower(p.src[start:i])
+	attrs = map[string]string{}
+	for i < len(p.src) {
+		// skip whitespace
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			p.pos = i
+			return tag, attrs, false, true
+		}
+		if p.src[i] == '>' {
+			p.pos = i + 1
+			return tag, attrs, false, true
+		}
+		if p.src[i] == '/' && i+1 < len(p.src) && p.src[i+1] == '>' {
+			p.pos = i + 2
+			return tag, attrs, true, true
+		}
+		// attribute name
+		ns := i
+		for i < len(p.src) && isAttrNameChar(p.src[i]) {
+			i++
+		}
+		if i == ns {
+			i++ // skip junk byte
+			continue
+		}
+		name := strings.ToLower(p.src[ns:i])
+		for i < len(p.src) && isSpace(p.src[i]) {
+			i++
+		}
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			for i < len(p.src) && isSpace(p.src[i]) {
+				i++
+			}
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				q := p.src[i]
+				i++
+				vs := i
+				for i < len(p.src) && p.src[i] != q {
+					i++
+				}
+				attrs[name] = p.src[vs:i]
+				if i < len(p.src) {
+					i++ // closing quote
+				}
+			} else {
+				vs := i
+				for i < len(p.src) && !isSpace(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				attrs[name] = p.src[vs:i]
+			}
+		} else {
+			attrs[name] = "" // boolean attribute
+		}
+	}
+	p.pos = i
+	return tag, attrs, false, true
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func isNameChar(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '-'
+}
+
+func isAttrNameChar(b byte) bool {
+	return isNameChar(b) || b == '_' || b == ':'
+}

@@ -1,0 +1,93 @@
+package entity
+
+import (
+	"testing"
+)
+
+func TestEntityOfKnownDomains(t *testing.T) {
+	m := Default()
+	cases := []struct{ host, want string }{
+		{"googletagmanager.com", "Google"},
+		{"www.googletagmanager.com", "Google"},
+		{"google-analytics.com", "Google"},
+		{"doubleclick.net", "Google"},
+		{"facebook.net", "Meta"},
+		{"fbcdn.net", "Meta"},
+		{"px.ads.linkedin.com", "Microsoft"},
+		{"licdn.com", "Microsoft"},
+		{"cdn-cookieyes.com", "CookieYes"},
+		{"tiqcdn.com", "Tealium"},
+		{"cdn.shopifycloud.com", "Shopify"},
+	}
+	for _, c := range cases {
+		if got := m.EntityOf(c.host); got != c.want {
+			t.Errorf("EntityOf(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestUnknownDomainIsItsOwnEntity(t *testing.T) {
+	m := Default()
+	if got := m.EntityOf("www.prettylittlething.com"); got != "prettylittlething.com" {
+		t.Errorf("EntityOf = %q", got)
+	}
+}
+
+func TestSameEntity(t *testing.T) {
+	m := Default()
+	// The paper's facebook.com / fbcdn.net Messenger case (§7.2):
+	// cross-domain but same entity.
+	if !m.SameEntity("facebook.com", "fbcdn.net") {
+		t.Error("facebook.com and fbcdn.net must be same entity")
+	}
+	if !m.SameEntity("www.zoom.us", "zoom.us") {
+		t.Error("subdomain must match its own domain's entity")
+	}
+	// zoom.us SSO via microsoft.com and live.com: same entity as each
+	// other but not as zoom.
+	if !m.SameEntity("microsoft.com", "live.com") {
+		t.Error("microsoft.com and live.com must be same entity")
+	}
+	if m.SameEntity("zoom.us", "live.com") {
+		t.Error("zoom.us and live.com must differ")
+	}
+	if m.SameEntity("google-analytics.com", "facebook.net") {
+		t.Error("Google and Meta must differ")
+	}
+}
+
+func TestDomainsAndEntities(t *testing.T) {
+	m := Default()
+	ds := m.Domains("Google")
+	if len(ds) < 5 {
+		t.Fatalf("Google domains = %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] < ds[i-1] {
+			t.Fatal("Domains not sorted")
+		}
+	}
+	if m.Domains("NoSuchEntity") != nil {
+		t.Error("unknown entity should have nil domains")
+	}
+	es := m.Entities()
+	if len(es) < 50 {
+		t.Fatalf("only %d entities", len(es))
+	}
+	if m.Len() < 100 {
+		t.Fatalf("only %d domain mappings", m.Len())
+	}
+}
+
+func TestNewMapNormalizes(t *testing.T) {
+	m := NewMap(map[string][]string{"Acme": {" ACME.COM ", "acme.net", ""}})
+	if got := m.EntityOf("acme.com"); got != "Acme" {
+		t.Errorf("EntityOf = %q", got)
+	}
+	if got := m.EntityOf("cdn.acme.net"); got != "Acme" {
+		t.Errorf("EntityOf = %q", got)
+	}
+	if len(m.Domains("Acme")) != 2 {
+		t.Errorf("Domains = %v", m.Domains("Acme"))
+	}
+}

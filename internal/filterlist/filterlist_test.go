@@ -1,0 +1,196 @@
+package filterlist
+
+import (
+	"testing"
+)
+
+func scriptReq(url, site string) Request {
+	return Request{URL: url, SiteDomain: site, Type: TypeScript}
+}
+
+func TestParseRuleBasics(t *testing.T) {
+	if ParseRule("") != nil || ParseRule("! comment") != nil ||
+		ParseRule("[Adblock Plus 2.0]") != nil || ParseRule("example.com##.ad") != nil {
+		t.Fatal("comments/headers/element-hiding must parse to nil")
+	}
+	r := ParseRule("||doubleclick.net^")
+	if r == nil || r.domainAnchor != "doubleclick.net" || r.Exception {
+		t.Fatalf("rule = %+v", r)
+	}
+	ex := ParseRule("@@||cookielaw.org^$script")
+	if ex == nil || !ex.Exception || !ex.optScript {
+		t.Fatalf("exception = %+v", ex)
+	}
+}
+
+func TestDomainAnchorMatching(t *testing.T) {
+	l := Compile("t", []string{"||doubleclick.net^"})
+	cases := []struct {
+		url  string
+		want bool
+	}{
+		{"https://doubleclick.net/ads.js", true},
+		{"https://stats.g.doubleclick.net/dc.js", true},
+		{"https://notdoubleclick.net/x.js", false},
+		{"https://example.com/doubleclick.net.js", false},
+	}
+	for _, c := range cases {
+		_, got := l.Match(scriptReq(c.url, "example.com"))
+		if got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.url, got, c.want)
+		}
+	}
+}
+
+func TestSubstringAndWildcardRules(t *testing.T) {
+	l := Compile("t", []string{"/collect?*=", "-analytics.js"})
+	if _, ok := l.Match(scriptReq("https://t.example/collect?id=7", "s.com")); !ok {
+		t.Error("wildcard substring rule should match")
+	}
+	if _, ok := l.Match(scriptReq("https://t.example/collect", "s.com")); ok {
+		t.Error("rule needs the query part")
+	}
+	if _, ok := l.Match(scriptReq("https://cdn.example/my-analytics.js", "s.com")); !ok {
+		t.Error("substring rule should match")
+	}
+}
+
+func TestLeftAnchor(t *testing.T) {
+	l := Compile("t", []string{"|https://exact.example/path"})
+	if _, ok := l.Match(scriptReq("https://exact.example/path.js", "s.com")); !ok {
+		t.Error("left-anchored rule should match prefix")
+	}
+	if _, ok := l.Match(scriptReq("https://other.example/https://exact.example/path", "s.com")); ok {
+		t.Error("left anchor must bind to the start")
+	}
+}
+
+func TestSeparatorCaret(t *testing.T) {
+	l := Compile("t", []string{"||ads.example^"})
+	if _, ok := l.Match(scriptReq("https://ads.example/banner", "s.com")); !ok {
+		t.Error("^ should match /")
+	}
+	if _, ok := l.Match(scriptReq("https://ads.example", "s.com")); !ok {
+		t.Error("^ should match end of URL")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	l := Compile("t", []string{"||facebook.net^$third-party"})
+	if _, ok := l.Match(scriptReq("https://connect.facebook.net/pixel.js", "shop.com")); !ok {
+		t.Error("third-party include should match")
+	}
+	if _, ok := l.Match(scriptReq("https://connect.facebook.net/pixel.js", "facebook.net")); ok {
+		t.Error("first-party context must not match $third-party rule")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	l := Compile("t", []string{"/pixel.$image"})
+	if _, ok := l.Match(Request{URL: "https://x.example/pixel.gif", SiteDomain: "s.com", Type: TypeImage}); !ok {
+		t.Error("$image should match image requests")
+	}
+	if _, ok := l.Match(Request{URL: "https://x.example/pixel.gif", SiteDomain: "s.com", Type: TypeScript}); ok {
+		t.Error("$image must not match script requests")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	l := Compile("t", []string{"||tracker.example^$domain=news.com|blog.com"})
+	if _, ok := l.Match(scriptReq("https://tracker.example/t.js", "news.com")); !ok {
+		t.Error("domain= include should match")
+	}
+	if _, ok := l.Match(scriptReq("https://tracker.example/t.js", "other.com")); ok {
+		t.Error("domain= must restrict to listed sites")
+	}
+	neg := Compile("t", []string{"||tracker.example^$domain=~safe.com"})
+	if _, ok := neg.Match(scriptReq("https://tracker.example/t.js", "safe.com")); ok {
+		t.Error("~domain must exclude")
+	}
+	if _, ok := neg.Match(scriptReq("https://tracker.example/t.js", "other.com")); !ok {
+		t.Error("~domain should match elsewhere")
+	}
+}
+
+func TestExceptionPrecedence(t *testing.T) {
+	l := Compile("t", []string{
+		"||cdn.example^$script",
+		"@@||cdn.example/safe.js$script",
+	})
+	if _, ok := l.Match(scriptReq("https://cdn.example/track.js", "s.com")); !ok {
+		t.Error("block rule should match")
+	}
+	if _, ok := l.Match(scriptReq("https://cdn.example/safe.js", "s.com")); ok {
+		t.Error("exception must win")
+	}
+}
+
+func TestClassifierCrossListException(t *testing.T) {
+	block := Compile("block", []string{"||consent.example^$script"})
+	allow := Compile("allow", []string{"@@||consent.example^$script"})
+	c := NewClassifier(block, allow)
+	if ok, _ := c.IsTracker(scriptReq("https://consent.example/cmp.js", "s.com")); ok {
+		t.Error("cross-list exception must suppress block rules")
+	}
+}
+
+func TestDefaultClassifier(t *testing.T) {
+	c := DefaultClassifier()
+	trackers := []string{
+		"https://www.google-analytics.com/analytics.js",
+		"https://stats.g.doubleclick.net/dc.js",
+		"https://connect.facebook.net/en_US/fbevents.js",
+		"https://snap.licdn.com/li.lms-analytics/insight.min.js",
+		"https://cdn.segment.com/analytics.js/v1/x/analytics.min.js",
+		"https://trk-0042.example/t.js",
+		"https://cdn-trk-7.example/lib.js",
+		"https://px.tracking.dev/p.js",
+		"https://mc.yandex.ru/metrika/tag.js",
+	}
+	for _, u := range trackers {
+		if ok, _ := c.IsTracker(scriptReq(u, "somepublisher.com")); !ok {
+			t.Errorf("IsTracker(%q) = false, want true", u)
+		}
+	}
+	nonTrackers := []string{
+		"https://cdn.somepublisher.com/app.js",
+		"https://code.jquery.example/jquery.min.js",
+		// consent managers are whitelisted by the warning-removal list
+		"https://cdn.cookielaw.org/consent/otSDKStub.js",
+		"https://cdn-cookieyes.com/client_data/banner.js",
+	}
+	for _, u := range nonTrackers {
+		if ok, rule := c.IsTracker(scriptReq(u, "somepublisher.com")); ok {
+			t.Errorf("IsTracker(%q) = true (rule %q), want false", u, rule.Raw)
+		}
+	}
+	// First-party GTM self-hosting: $third-party rule must not fire.
+	if ok, _ := c.IsTracker(scriptReq("https://www.googletagmanager.com/gtm.js", "googletagmanager.com")); ok {
+		t.Error("first-party context should not match $third-party GTM rule")
+	}
+	if ok, _ := c.IsTracker(scriptReq("https://www.googletagmanager.com/gtm.js", "publisher.com")); !ok {
+		t.Error("third-party GTM must be flagged")
+	}
+}
+
+func TestListLen(t *testing.T) {
+	l := Compile("t", []string{"||a.example^", "! c", "", "/x.js"})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func BenchmarkClassifier(b *testing.B) {
+	c := DefaultClassifier()
+	urls := []string{
+		"https://www.google-analytics.com/analytics.js",
+		"https://cdn.publisher.example/app.js",
+		"https://trk-0042.example/t.js",
+		"https://connect.facebook.net/en_US/fbevents.js",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.IsTracker(scriptReq(urls[i%len(urls)], "publisher.example"))
+	}
+}

@@ -1,0 +1,112 @@
+package guard
+
+// background is the extension's background.js analogue: the metadata
+// store mapping cookie names to their creator eTLD+1, serving snapshot
+// requests from the page wrapper over a message channel (the
+// contentScript.js relay hop).
+type background struct {
+	msgs chan bgMsg
+	done chan struct{}
+}
+
+type bgMsgKind int
+
+const (
+	msgRecord bgMsgKind = iota
+	msgSnapshot
+	msgLookup
+)
+
+type bgMsg struct {
+	kind    bgMsgKind
+	name    string
+	creator string
+
+	snapReply   chan map[string]string
+	lookupReply chan lookupResult
+}
+
+type lookupResult struct {
+	creator string
+	exists  bool
+}
+
+func newBackground() *background {
+	b := &background{msgs: make(chan bgMsg, 16), done: make(chan struct{})}
+	go b.loop()
+	return b
+}
+
+func (b *background) loop() {
+	creators := map[string]string{}
+	for {
+		select {
+		case m := <-b.msgs:
+			switch m.kind {
+			case msgRecord:
+				if _, exists := creators[m.name]; !exists {
+					creators[m.name] = m.creator
+				}
+			case msgSnapshot:
+				cp := make(map[string]string, len(creators))
+				for k, v := range creators {
+					cp[k] = v
+				}
+				m.snapReply <- cp
+			case msgLookup:
+				c, ok := creators[m.name]
+				m.lookupReply <- lookupResult{creator: c, exists: ok}
+			}
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// record registers a cookie creation (first creator wins, matching the
+// extension's dataset semantics).
+func (b *background) record(name, creator string) {
+	select {
+	case b.msgs <- bgMsg{kind: msgRecord, name: name, creator: creator}:
+	case <-b.done:
+	}
+}
+
+// snapshot returns a copy of the dataset (the "provide a current copy of
+// the dataset" message of §6.2).
+func (b *background) snapshot() map[string]string {
+	reply := make(chan map[string]string, 1)
+	select {
+	case b.msgs <- bgMsg{kind: msgSnapshot, snapReply: reply}:
+		return <-reply
+	case <-b.done:
+		return map[string]string{}
+	}
+}
+
+// lookup fetches one cookie's creator.
+func (b *background) lookup(name string) (string, bool) {
+	reply := make(chan lookupResult, 1)
+	select {
+	case b.msgs <- bgMsg{kind: msgLookup, name: name, lookupReply: reply}:
+		r := <-reply
+		return r.creator, r.exists
+	case <-b.done:
+		return "", false
+	}
+}
+
+// creatorOf is lookup ignoring existence.
+func (b *background) creatorOf(name string) string {
+	c, _ := b.lookup(name)
+	return c
+}
+
+// close terminates the background goroutine.
+func (b *background) close() {
+	select {
+	case <-b.done:
+	default:
+		close(b.done)
+	}
+}

@@ -1,0 +1,376 @@
+// Package instrument is the measurement extension of the paper (§4.1) in
+// Go form: it records every document.cookie and CookieStore operation
+// with script-level attribution, captures HTTP Set-Cookie headers, and
+// logs outbound requests — producing one VisitLog per crawled site for
+// the analysis pipeline.
+//
+// It installs as browser.CookieMiddleware, mirroring how the extension
+// wraps the native cookie APIs with Object.defineProperty, and as a jar
+// observer for server-set cookies (webRequest.onHeadersReceived).
+package instrument
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"cookieguard/internal/browser"
+	"cookieguard/internal/cookiejar"
+	"cookieguard/internal/jsdsl"
+	"cookieguard/internal/publicsuffix"
+	"cookieguard/internal/urlutil"
+)
+
+// Op is the kind of a recorded cookie operation.
+type Op string
+
+// Cookie operation kinds.
+const (
+	OpRead    Op = "read"    // document.cookie getter / cookieStore get(All)
+	OpWrite   Op = "write"   // assignment / cookieStore.set
+	OpDelete  Op = "delete"  // expired write / cookieStore.delete
+	OpHTTPSet Op = "httpset" // Set-Cookie response header
+)
+
+// API distinguishes the cookie interface used.
+type API string
+
+// Cookie API surfaces.
+const (
+	APIDocument    API = "document.cookie"
+	APICookieStore API = "cookieStore"
+	APIHTTP        API = "http"
+)
+
+// CookieEvent is one recorded cookie operation.
+type CookieEvent struct {
+	Op  Op  `json:"op"`
+	API API `json:"api"`
+
+	// Name/Value: for writes and deletes, the affected cookie; for
+	// reads, Value holds the full returned cookie string and Name is
+	// empty (a getAll) or the requested name (cookieStore.get).
+	Name  string `json:"name,omitempty"`
+	Value string `json:"value,omitempty"`
+
+	// Write attributes parsed from the assignment.
+	Domain string `json:"domain,omitempty"`
+	Path   string `json:"path,omitempty"`
+	MaxAge int64  `json:"max_age,omitempty"`
+
+	// Attribution.
+	ScriptURL    string   `json:"script_url,omitempty"`
+	ScriptDomain string   `json:"script_domain,omitempty"`
+	Inline       bool     `json:"inline,omitempty"`
+	Stack        []string `json:"stack,omitempty"`
+	MainFrame    bool     `json:"main_frame"`
+}
+
+// RequestEvent is one recorded outbound request.
+type RequestEvent struct {
+	URL             string `json:"url"`
+	Kind            string `json:"kind"`
+	InitiatorScript string `json:"initiator_script,omitempty"`
+	InitiatorDomain string `json:"initiator_domain,omitempty"`
+	Failed          bool   `json:"failed,omitempty"`
+	MainFrame       bool   `json:"main_frame"`
+}
+
+// ScriptRecord is one executed script with its inclusion path.
+type ScriptRecord struct {
+	URL           string   `json:"url,omitempty"`
+	Domain        string   `json:"domain,omitempty"`
+	Inline        bool     `json:"inline,omitempty"`
+	Parent        string   `json:"parent,omitempty"`
+	InclusionPath []string `json:"inclusion_path,omitempty"`
+	Failed        bool     `json:"failed,omitempty"`
+}
+
+// Direct reports direct inclusion in page HTML.
+func (s ScriptRecord) Direct() bool { return len(s.InclusionPath) == 0 }
+
+// MutationRecord is one attributed DOM mutation.
+type MutationRecord struct {
+	Kind        string `json:"kind"`
+	TargetID    string `json:"target_id,omitempty"`
+	OwnerScript string `json:"owner_script,omitempty"` // "" = the page
+	ByScript    string `json:"by_script,omitempty"`
+}
+
+// VisitLog is everything observed while visiting one site.
+type VisitLog struct {
+	Site  string `json:"site"` // eTLD+1
+	URL   string `json:"url"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Cookies   []CookieEvent    `json:"cookies,omitempty"`
+	Requests  []RequestEvent   `json:"requests,omitempty"`
+	Scripts   []ScriptRecord   `json:"scripts,omitempty"`
+	Mutations []MutationRecord `json:"mutations,omitempty"`
+
+	Timing browser.Timing `json:"timing"`
+}
+
+// Complete implements the paper's retention criterion: both cookie access
+// logs and network request data must be present (§4.2).
+func (v VisitLog) Complete() bool {
+	return v.OK && len(v.Cookies) > 0 && len(v.Requests) > 0
+}
+
+// Recorder accumulates events for one browser session (one site visit,
+// possibly spanning several page navigations).
+type Recorder struct {
+	mu     sync.Mutex
+	events []CookieEvent
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Middleware returns the cookie-API wrapper that records operations. It
+// forwards to next after recording, so it can wrap either the raw API (a
+// measurement crawl) or a CookieGuard-wrapped API (a defense-evaluation
+// crawl, where it observes post-enforcement behaviour).
+func (r *Recorder) Middleware() browser.CookieMiddleware {
+	return func(next browser.CookieAPI) browser.CookieAPI {
+		return &recordingAPI{rec: r, next: next}
+	}
+}
+
+// ObserveJar captures HTTP Set-Cookie headers (server-set cookies).
+// HttpOnly cookies are skipped, exactly as the paper's extension extracts
+// only non-HttpOnly Set-Cookie values (§4.1).
+func (r *Recorder) ObserveJar(jar *cookiejar.Jar) {
+	jar.Observe(func(ch cookiejar.Change) {
+		if ch.Source != cookiejar.SourceHTTP || ch.Cookie.HttpOnly {
+			return
+		}
+		ev := CookieEvent{
+			Op:        OpHTTPSet,
+			API:       APIHTTP,
+			Name:      ch.Cookie.Name,
+			Value:     ch.Cookie.Value,
+			Domain:    publicsuffix.RegistrableDomain(ch.Host),
+			MainFrame: true,
+		}
+		if ch.Kind == cookiejar.ChangeDeleted {
+			ev.Op = OpDelete
+		}
+		r.append(ev)
+	})
+}
+
+func (r *Recorder) append(ev CookieEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of recorded cookie events.
+func (r *Recorder) Events() []CookieEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CookieEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// BuildVisitLog assembles the VisitLog for a finished visit. pages lists
+// every main-frame page loaded during the visit (landing plus clicked
+// links); err is the landing-load error, if any.
+func (r *Recorder) BuildVisitLog(site string, pages []*browser.Page, err error) VisitLog {
+	v := VisitLog{Site: site, OK: err == nil}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	v.Cookies = r.Events()
+	for i, p := range pages {
+		if i == 0 {
+			v.URL = p.URL
+			v.Timing = p.Timing
+		}
+		for _, req := range p.Requests {
+			v.Requests = append(v.Requests, RequestEvent{
+				URL:             req.URL,
+				Kind:            req.Kind.String(),
+				InitiatorScript: req.InitiatorScript,
+				InitiatorDomain: urlutil.RegistrableDomain(req.InitiatorScript),
+				Failed:          req.Failed,
+				MainFrame:       p.MainFrame(),
+			})
+		}
+		for _, se := range p.Scripts {
+			v.Scripts = append(v.Scripts, ScriptRecord{
+				URL:           se.URL,
+				Domain:        urlutil.RegistrableDomain(se.URL),
+				Inline:        se.Inline,
+				Parent:        se.Parent,
+				InclusionPath: se.InclusionPath,
+				Failed:        se.Err != nil,
+			})
+		}
+		if p.Doc != nil {
+			for _, m := range p.Doc.Mutations {
+				v.Mutations = append(v.Mutations, MutationRecord{
+					Kind:        m.Kind.String(),
+					TargetID:    m.TargetID,
+					OwnerScript: m.Owner,
+					ByScript:    m.ByScript,
+				})
+			}
+		}
+	}
+	return v
+}
+
+// recordingAPI wraps a CookieAPI and records every call.
+type recordingAPI struct {
+	rec  *Recorder
+	next browser.CookieAPI
+}
+
+func (a *recordingAPI) base(ctx browser.AccessContext, op Op, api API) CookieEvent {
+	return CookieEvent{
+		Op:           op,
+		API:          api,
+		ScriptURL:    ctx.ScriptURL,
+		ScriptDomain: ctx.ScriptDomain(),
+		Inline:       ctx.Inline,
+		Stack:        ctx.Stack,
+		MainFrame:    ctx.MainFrame,
+	}
+}
+
+func (a *recordingAPI) GetDocumentCookie(ctx browser.AccessContext) string {
+	out := a.next.GetDocumentCookie(ctx)
+	ev := a.base(ctx, OpRead, APIDocument)
+	ev.Value = out
+	a.rec.append(ev)
+	return out
+}
+
+func (a *recordingAPI) SetDocumentCookie(ctx browser.AccessContext, assignment string) {
+	ev := a.base(ctx, OpWrite, APIDocument)
+	fillFromAssignment(&ev, assignment)
+	a.rec.append(ev)
+	a.next.SetDocumentCookie(ctx, assignment)
+}
+
+func (a *recordingAPI) StoreGet(ctx browser.AccessContext, name string) (jsdsl.CookieRecord, bool) {
+	rec, ok := a.next.StoreGet(ctx, name)
+	ev := a.base(ctx, OpRead, APICookieStore)
+	ev.Name = name
+	if ok {
+		ev.Value = rec.Name + "=" + rec.Value
+	}
+	a.rec.append(ev)
+	return rec, ok
+}
+
+func (a *recordingAPI) StoreGetAll(ctx browser.AccessContext) []jsdsl.CookieRecord {
+	recs := a.next.StoreGetAll(ctx)
+	ev := a.base(ctx, OpRead, APICookieStore)
+	pairs := make([]string, len(recs))
+	for i, rec := range recs {
+		pairs[i] = rec.Name + "=" + rec.Value
+	}
+	ev.Value = strings.Join(pairs, "; ")
+	a.rec.append(ev)
+	return recs
+}
+
+func (a *recordingAPI) StoreSet(ctx browser.AccessContext, rec jsdsl.CookieRecord) {
+	ev := a.base(ctx, OpWrite, APICookieStore)
+	ev.Name = rec.Name
+	ev.Value = rec.Value
+	ev.Domain = rec.Domain
+	ev.Path = rec.Path
+	ev.MaxAge = rec.MaxAge
+	if rec.MaxAge < 0 {
+		ev.Op = OpDelete
+	}
+	a.rec.append(ev)
+	a.next.StoreSet(ctx, rec)
+}
+
+func (a *recordingAPI) StoreDelete(ctx browser.AccessContext, name string) {
+	ev := a.base(ctx, OpDelete, APICookieStore)
+	ev.Name = name
+	a.rec.append(ev)
+	a.next.StoreDelete(ctx, name)
+}
+
+// fillFromAssignment parses a document.cookie assignment into the event,
+// classifying expired writes as deletions.
+func fillFromAssignment(ev *CookieEvent, assignment string) {
+	parts := strings.Split(assignment, ";")
+	nv := strings.TrimSpace(parts[0])
+	if eq := strings.IndexByte(nv, '='); eq > 0 {
+		ev.Name = strings.TrimSpace(nv[:eq])
+		ev.Value = strings.TrimSpace(nv[eq+1:])
+	}
+	for _, attr := range parts[1:] {
+		attr = strings.TrimSpace(attr)
+		var key, val string
+		if i := strings.IndexByte(attr, '='); i >= 0 {
+			key, val = strings.ToLower(strings.TrimSpace(attr[:i])), strings.TrimSpace(attr[i+1:])
+		} else {
+			key = strings.ToLower(attr)
+		}
+		switch key {
+		case "domain":
+			ev.Domain = strings.ToLower(strings.TrimPrefix(val, "."))
+		case "path":
+			ev.Path = val
+		case "max-age":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				ev.MaxAge = n
+			}
+		case "expires":
+			// Expired Expires dates are handled by replay in analysis;
+			// scripts in this universe delete via Max-Age.
+		}
+	}
+	if ev.MaxAge < 0 || (ev.MaxAge == 0 && hasMaxAge(assignment)) {
+		// Max-Age=0 or negative is the deletion idiom.
+		if hasExplicitZeroMaxAge(assignment) {
+			ev.Op = OpDelete
+		}
+	}
+}
+
+func hasMaxAge(assignment string) bool {
+	return strings.Contains(strings.ToLower(assignment), "max-age")
+}
+
+func hasExplicitZeroMaxAge(assignment string) bool {
+	low := strings.ToLower(assignment)
+	idx := strings.Index(low, "max-age")
+	if idx < 0 {
+		return false
+	}
+	rest := low[idx+len("max-age"):]
+	rest = strings.TrimLeft(rest, " =")
+	end := strings.IndexByte(rest, ';')
+	if end >= 0 {
+		rest = rest[:end]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	return err == nil && n <= 0
+}
+
+// MutationCrossDomain reports whether a DOM mutation crossed domains: the
+// acting script's domain differs from the owner's (the page's domain for
+// parser-created nodes).
+func MutationCrossDomain(m MutationRecord, siteDomain string) bool {
+	by := urlutil.RegistrableDomain(m.ByScript)
+	if by == "" {
+		return false // inline/page-level actor: unattributable
+	}
+	owner := siteDomain
+	if m.OwnerScript != "" {
+		owner = urlutil.RegistrableDomain(m.OwnerScript)
+	}
+	return by != owner
+}

@@ -1,0 +1,211 @@
+package jsdsl
+
+// Node is any AST node.
+type Node interface{ node() }
+
+// --- Statements ---
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Program is a parsed script: a list of top-level statements.
+type Program struct {
+	Stmts []Stmt
+}
+
+// LetStmt declares a new variable in the current scope.
+type LetStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a variable or an index expression. Op is "=",
+// "+=", or "-=".
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Op     string
+	Value  Expr
+	Line   int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else (Else may be nil or another *IfStmt for else-if).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+	Line int
+}
+
+// WhileStmt loops while Cond is truthy.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForInStmt iterates over a list's elements or a map's keys.
+type ForInStmt struct {
+	Var  string
+	Seq  Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt exits the enclosing function (or the script).
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Line  int
+}
+
+// BreakStmt exits the enclosing loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt skips to the next loop iteration.
+type ContinueStmt struct{ Line int }
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+func (*LetStmt) node()      {}
+func (*AssignStmt) node()   {}
+func (*ExprStmt) node()     {}
+func (*IfStmt) node()       {}
+func (*WhileStmt) node()    {}
+func (*ForInStmt) node()    {}
+func (*ReturnStmt) node()   {}
+func (*BreakStmt) node()    {}
+func (*ContinueStmt) node() {}
+func (*BlockStmt) node()    {}
+
+func (*LetStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForInStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*BlockStmt) stmt()    {}
+
+// --- Expressions ---
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident references a variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Line  int
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+	Line  int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Line  int
+}
+
+// NullLit is null.
+type NullLit struct{ Line int }
+
+// ListLit is [a, b, c].
+type ListLit struct {
+	Elems []Expr
+	Line  int
+}
+
+// MapLit is {"k": v, ...}.
+type MapLit struct {
+	Keys   []Expr
+	Values []Expr
+	Line   int
+}
+
+// FuncLit is fn(params) { body } — a closure.
+type FuncLit struct {
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// CallExpr is callee(args...).
+type CallExpr struct {
+	Callee Expr
+	Args   []Expr
+	Line   int
+}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Line  int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*Ident) node()      {}
+func (*NumberLit) node()  {}
+func (*StringLit) node()  {}
+func (*BoolLit) node()    {}
+func (*NullLit) node()    {}
+func (*ListLit) node()    {}
+func (*MapLit) node()     {}
+func (*FuncLit) node()    {}
+func (*CallExpr) node()   {}
+func (*IndexExpr) node()  {}
+func (*BinaryExpr) node() {}
+func (*UnaryExpr) node()  {}
+
+func (*Ident) expr()      {}
+func (*NumberLit) expr()  {}
+func (*StringLit) expr()  {}
+func (*BoolLit) expr()    {}
+func (*NullLit) expr()    {}
+func (*ListLit) expr()    {}
+func (*MapLit) expr()     {}
+func (*FuncLit) expr()    {}
+func (*CallExpr) expr()   {}
+func (*IndexExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}

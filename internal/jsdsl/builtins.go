@@ -1,0 +1,634 @@
+package jsdsl
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/hex"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// builtinFunc is the implementation signature for builtins.
+type builtinFunc func(in *Interp, args []Value) (Value, error)
+
+func errArity(name string) error {
+	return &RuntimeError{Msg: "wrong number of arguments for " + name}
+}
+
+func argString(args []Value, i int) (string, bool) {
+	if i >= len(args) {
+		return "", false
+	}
+	s, ok := args[i].(string)
+	return s, ok
+}
+
+func argNumber(args []Value, i int) (float64, bool) {
+	if i >= len(args) {
+		return 0, false
+	}
+	f, ok := args[i].(float64)
+	return f, ok
+}
+
+func argMap(args []Value, i int) (*Map, bool) {
+	if i >= len(args) {
+		return nil, false
+	}
+	m, ok := args[i].(*Map)
+	return m, ok
+}
+
+// stringMap converts a script Map into map[string]string via ToString.
+func stringMap(m *Map) map[string]string {
+	out := make(map[string]string, len(m.Entries))
+	for k, v := range m.Entries {
+		out[k] = ToString(v)
+	}
+	return out
+}
+
+// ParseCookieString parses a document.cookie string ("a=1; b=2") into
+// ordered name/value pairs. Exported because the guard and analysis also
+// need it.
+func ParseCookieString(s string) (names []string, values map[string]string) {
+	values = map[string]string{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 {
+			continue
+		}
+		name := strings.TrimSpace(part[:eq])
+		if _, dup := values[name]; !dup {
+			names = append(names, name)
+		}
+		values[name] = strings.TrimSpace(part[eq+1:])
+	}
+	return names, values
+}
+
+// buildAssignment renders a set_cookie(name, value, attrs) call into a
+// document.cookie assignment string.
+func buildAssignment(name, value string, attrs *Map) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('=')
+	b.WriteString(value)
+	if attrs != nil {
+		for _, k := range attrs.Keys() {
+			v := ToString(attrs.Entries[k])
+			switch strings.ToLower(k) {
+			case "path":
+				b.WriteString("; Path=" + v)
+			case "domain":
+				b.WriteString("; Domain=" + v)
+			case "max_age", "max-age":
+				b.WriteString("; Max-Age=" + v)
+			case "expires":
+				b.WriteString("; Expires=" + v)
+			case "secure":
+				if v == "true" {
+					b.WriteString("; Secure")
+				}
+			case "samesite":
+				b.WriteString("; SameSite=" + v)
+			}
+		}
+	}
+	return b.String()
+}
+
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		// ---- document.cookie surface ----
+		"doc_cookie": func(in *Interp, args []Value) (Value, error) {
+			return in.Host.DocCookie(), nil
+		},
+		"doc_set_cookie": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("doc_set_cookie")
+			}
+			in.Host.SetDocCookie(s)
+			return nil, nil
+		},
+		// get_cookie/set_cookie/delete_cookie are library sugar layered
+		// on the raw document.cookie property, exactly like the helper
+		// functions real tracker SDKs ship. The raw property remains the
+		// single interception point.
+		"get_cookie": func(in *Interp, args []Value) (Value, error) {
+			name, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("get_cookie")
+			}
+			_, vals := ParseCookieString(in.Host.DocCookie())
+			if v, ok := vals[name]; ok {
+				return v, nil
+			}
+			return nil, nil
+		},
+		"get_all_cookies": func(in *Interp, args []Value) (Value, error) {
+			names, vals := ParseCookieString(in.Host.DocCookie())
+			m := NewMap()
+			for _, n := range names {
+				m.Entries[n] = vals[n]
+			}
+			return m, nil
+		},
+		"set_cookie": func(in *Interp, args []Value) (Value, error) {
+			name, ok1 := argString(args, 0)
+			if !ok1 || len(args) < 2 {
+				return nil, errArity("set_cookie")
+			}
+			value := ToString(args[1])
+			attrs, _ := argMap(args, 2)
+			in.Host.SetDocCookie(buildAssignment(name, value, attrs))
+			return nil, nil
+		},
+		"delete_cookie": func(in *Interp, args []Value) (Value, error) {
+			name, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("delete_cookie")
+			}
+			attrs, _ := argMap(args, 1)
+			assignment := buildAssignment(name, "", attrs) + "; Max-Age=0"
+			in.Host.SetDocCookie(assignment)
+			return nil, nil
+		},
+		"parse_cookies": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("parse_cookies")
+			}
+			names, vals := ParseCookieString(s)
+			m := NewMap()
+			for _, n := range names {
+				m.Entries[n] = vals[n]
+			}
+			return m, nil
+		},
+
+		// ---- CookieStore API ----
+		"cookiestore_get": func(in *Interp, args []Value) (Value, error) {
+			name, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("cookiestore_get")
+			}
+			rec, found := in.Host.CookieStoreGet(name)
+			if !found {
+				return nil, nil
+			}
+			return cookieRecordToMap(rec), nil
+		},
+		"cookiestore_get_all": func(in *Interp, args []Value) (Value, error) {
+			recs := in.Host.CookieStoreGetAll()
+			l := &List{}
+			for _, rec := range recs {
+				l.Elems = append(l.Elems, cookieRecordToMap(rec))
+			}
+			return l, nil
+		},
+		"cookiestore_set": func(in *Interp, args []Value) (Value, error) {
+			name, ok1 := argString(args, 0)
+			if !ok1 || len(args) < 2 {
+				return nil, errArity("cookiestore_set")
+			}
+			rec := CookieRecord{Name: name, Value: ToString(args[1])}
+			if attrs, ok := argMap(args, 2); ok {
+				for k, v := range attrs.Entries {
+					switch strings.ToLower(k) {
+					case "domain":
+						rec.Domain = ToString(v)
+					case "path":
+						rec.Path = ToString(v)
+					case "max_age", "max-age":
+						if f, ok := v.(float64); ok {
+							rec.MaxAge = int64(f)
+						}
+					case "secure":
+						rec.Secure = Truthy(v)
+					case "samesite":
+						rec.SameSite = ToString(v)
+					}
+				}
+			}
+			in.Host.CookieStoreSet(rec)
+			return nil, nil
+		},
+		"cookiestore_delete": func(in *Interp, args []Value) (Value, error) {
+			name, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("cookiestore_delete")
+			}
+			in.Host.CookieStoreDelete(name)
+			return nil, nil
+		},
+
+		// ---- network / injection ----
+		"send": func(in *Interp, args []Value) (Value, error) {
+			url, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("send")
+			}
+			params := map[string]string{}
+			if m, ok := argMap(args, 1); ok {
+				params = stringMap(m)
+			}
+			in.Host.Send(url, params)
+			return nil, nil
+		},
+		"inject": func(in *Interp, args []Value) (Value, error) {
+			src, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("inject")
+			}
+			in.Host.Inject(src)
+			return nil, nil
+		},
+
+		// ---- DOM ----
+		"dom_set_text": func(in *Interp, args []Value) (Value, error) {
+			id, ok1 := argString(args, 0)
+			if !ok1 || len(args) < 2 {
+				return nil, errArity("dom_set_text")
+			}
+			return in.Host.DOMSetText(id, ToString(args[1])), nil
+		},
+		"dom_set_attr": func(in *Interp, args []Value) (Value, error) {
+			id, ok := argString(args, 0)
+			if !ok || len(args) < 3 {
+				return nil, errArity("dom_set_attr")
+			}
+			return in.Host.DOMSetAttr(id, ToString(args[1]), ToString(args[2])), nil
+		},
+		"dom_set_style": func(in *Interp, args []Value) (Value, error) {
+			id, ok := argString(args, 0)
+			if !ok || len(args) < 3 {
+				return nil, errArity("dom_set_style")
+			}
+			return in.Host.DOMSetStyle(id, ToString(args[1]), ToString(args[2])), nil
+		},
+		"dom_insert": func(in *Interp, args []Value) (Value, error) {
+			parent, ok1 := argString(args, 0)
+			tag, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("dom_insert")
+			}
+			attrs := map[string]string{}
+			if m, ok := argMap(args, 2); ok {
+				attrs = stringMap(m)
+			}
+			return in.Host.DOMInsert(parent, tag, attrs), nil
+		},
+		"dom_remove": func(in *Interp, args []Value) (Value, error) {
+			id, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("dom_remove")
+			}
+			return in.Host.DOMRemove(id), nil
+		},
+		"dom_get_text": func(in *Interp, args []Value) (Value, error) {
+			id, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("dom_get_text")
+			}
+			text, found := in.Host.DOMGetText(id)
+			if !found {
+				return nil, nil
+			}
+			return text, nil
+		},
+
+		// ---- events / scheduling ----
+		"on_click": func(in *Interp, args []Value) (Value, error) {
+			c, ok := closureArg(args, 0)
+			if !ok {
+				return nil, errArity("on_click")
+			}
+			in.Host.OnClick(func() { _, _ = in.callClosure(c, nil, 0) })
+			return nil, nil
+		},
+		"defer_run": func(in *Interp, args []Value) (Value, error) {
+			c, ok := closureArg(args, 0)
+			if !ok {
+				return nil, errArity("defer_run")
+			}
+			in.Host.DeferRun(func() { _, _ = in.callClosure(c, nil, 0) })
+			return nil, nil
+		},
+
+		// ---- environment ----
+		"now_ms": func(in *Interp, args []Value) (Value, error) {
+			return float64(in.Host.NowMillis()), nil
+		},
+		"rand_id": func(in *Interp, args []Value) (Value, error) {
+			n, ok := argNumber(args, 0)
+			if !ok || n < 1 || n > 128 {
+				return nil, errArity("rand_id")
+			}
+			return in.Host.RandID(int(n)), nil
+		},
+		"page_url": func(in *Interp, args []Value) (Value, error) {
+			return in.Host.PageURL(), nil
+		},
+		"log": func(in *Interp, args []Value) (Value, error) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = ToString(a)
+			}
+			in.Host.Log(strings.Join(parts, " "))
+			return nil, nil
+		},
+
+		// ---- pure string/number helpers ----
+		"len": func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, errArity("len")
+			}
+			switch x := args[0].(type) {
+			case string:
+				return float64(len(x)), nil
+			case *List:
+				return float64(len(x.Elems)), nil
+			case *Map:
+				return float64(len(x.Entries)), nil
+			case nil:
+				return float64(0), nil
+			default:
+				return nil, &RuntimeError{Msg: "len of unsupported type"}
+			}
+		},
+		"str": func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, errArity("str")
+			}
+			return ToString(args[0]), nil
+		},
+		"num": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				if f, ok := argNumber(args, 0); ok {
+					return f, nil
+				}
+				return nil, errArity("num")
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, nil
+			}
+			return f, nil
+		},
+		"split": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			sep, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("split")
+			}
+			l := &List{}
+			for _, part := range strings.Split(s, sep) {
+				l.Elems = append(l.Elems, part)
+			}
+			return l, nil
+		},
+		"join": func(in *Interp, args []Value) (Value, error) {
+			list, ok := args[0].(*List)
+			sep, ok2 := argString(args, 1)
+			if len(args) < 2 || !ok || !ok2 {
+				return nil, errArity("join")
+			}
+			parts := make([]string, len(list.Elems))
+			for i, e := range list.Elems {
+				parts[i] = ToString(e)
+			}
+			return strings.Join(parts, sep), nil
+		},
+		"substr": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			start, ok2 := argNumber(args, 1)
+			if !ok || !ok2 {
+				return nil, errArity("substr")
+			}
+			end := float64(len(s))
+			if e, ok := argNumber(args, 2); ok {
+				end = e
+			}
+			si, ei := clampIndex(int(start), len(s)), clampIndex(int(end), len(s))
+			if si > ei {
+				return "", nil
+			}
+			return s[si:ei], nil
+		},
+		"contains": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			sub, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("contains")
+			}
+			return strings.Contains(s, sub), nil
+		},
+		"index_of": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			sub, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("index_of")
+			}
+			return float64(strings.Index(s, sub)), nil
+		},
+		"starts_with": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			p, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("starts_with")
+			}
+			return strings.HasPrefix(s, p), nil
+		},
+		"ends_with": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			p, ok2 := argString(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("ends_with")
+			}
+			return strings.HasSuffix(s, p), nil
+		},
+		"lower": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("lower")
+			}
+			return strings.ToLower(s), nil
+		},
+		"upper": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("upper")
+			}
+			return strings.ToUpper(s), nil
+		},
+		"trim": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("trim")
+			}
+			return strings.TrimSpace(s), nil
+		},
+		"replace": func(in *Interp, args []Value) (Value, error) {
+			s, ok1 := argString(args, 0)
+			old, ok2 := argString(args, 1)
+			nw, ok3 := argString(args, 2)
+			if !ok1 || !ok2 || !ok3 {
+				return nil, errArity("replace")
+			}
+			return strings.ReplaceAll(s, old, nw), nil
+		},
+
+		// ---- encodings (the exfiltration obfuscations of §4.4) ----
+		"b64": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("b64")
+			}
+			return base64.StdEncoding.EncodeToString([]byte(s)), nil
+		},
+		"md5": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("md5")
+			}
+			sum := md5.Sum([]byte(s))
+			return hex.EncodeToString(sum[:]), nil
+		},
+		"sha1": func(in *Interp, args []Value) (Value, error) {
+			s, ok := argString(args, 0)
+			if !ok {
+				return nil, errArity("sha1")
+			}
+			sum := sha1.Sum([]byte(s))
+			return hex.EncodeToString(sum[:]), nil
+		},
+
+		// ---- collections ----
+		"keys": func(in *Interp, args []Value) (Value, error) {
+			m, ok := argMap(args, 0)
+			if !ok {
+				return nil, errArity("keys")
+			}
+			l := &List{}
+			for _, k := range m.Keys() {
+				l.Elems = append(l.Elems, k)
+			}
+			return l, nil
+		},
+		"has": func(in *Interp, args []Value) (Value, error) {
+			m, ok := argMap(args, 0)
+			k, ok2 := argString(args, 1)
+			if !ok || !ok2 {
+				return nil, errArity("has")
+			}
+			_, found := m.Entries[k]
+			return found, nil
+		},
+		"push": func(in *Interp, args []Value) (Value, error) {
+			l, ok := args[0].(*List)
+			if len(args) < 2 || !ok {
+				return nil, errArity("push")
+			}
+			l.Elems = append(l.Elems, args[1])
+			return l, nil
+		},
+		"range": func(in *Interp, args []Value) (Value, error) {
+			n, ok := argNumber(args, 0)
+			if !ok || n < 0 || n > 1e6 {
+				return nil, errArity("range")
+			}
+			l := &List{}
+			for i := 0; i < int(n); i++ {
+				l.Elems = append(l.Elems, float64(i))
+			}
+			return l, nil
+		},
+		"min": func(in *Interp, args []Value) (Value, error) {
+			a, ok1 := argNumber(args, 0)
+			b, ok2 := argNumber(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("min")
+			}
+			return math.Min(a, b), nil
+		},
+		"max": func(in *Interp, args []Value) (Value, error) {
+			a, ok1 := argNumber(args, 0)
+			b, ok2 := argNumber(args, 1)
+			if !ok1 || !ok2 {
+				return nil, errArity("max")
+			}
+			return math.Max(a, b), nil
+		},
+		"floor": func(in *Interp, args []Value) (Value, error) {
+			a, ok := argNumber(args, 0)
+			if !ok {
+				return nil, errArity("floor")
+			}
+			return math.Floor(a), nil
+		},
+		"concat": func(in *Interp, args []Value) (Value, error) {
+			var b strings.Builder
+			for _, a := range args {
+				b.WriteString(ToString(a))
+			}
+			return b.String(), nil
+		},
+	}
+}
+
+func closureArg(args []Value, i int) (*Closure, bool) {
+	if i >= len(args) {
+		return nil, false
+	}
+	c, ok := args[i].(*Closure)
+	return c, ok
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func cookieRecordToMap(rec CookieRecord) *Map {
+	m := NewMap()
+	m.Entries["name"] = rec.Name
+	m.Entries["value"] = rec.Value
+	m.Entries["domain"] = rec.Domain
+	m.Entries["path"] = rec.Path
+	return m
+}
+
+// Builtins returns the sorted names of all builtin functions (for docs and
+// for the generator's validation of emitted templates).
+func Builtins() []string {
+	out := make([]string, 0, len(builtins))
+	for k := range builtins {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package jsdsl
+
+// CookieRecord is the structured cookie view the CookieStore builtins
+// exchange with the host (mirroring the CookieStore API's cookie objects).
+type CookieRecord struct {
+	Name     string
+	Value    string
+	Domain   string
+	Path     string
+	MaxAge   int64 // seconds; 0 = session
+	Secure   bool
+	SameSite string
+}
+
+// Host is the browser-side surface a SiteScript program can touch. It is
+// implemented by the page execution context (internal/browser) and is the
+// single choke point where both the measurement instrumentation and
+// CookieGuard interpose — the Go equivalent of wrapping document.cookie
+// and cookieStore with Object.defineProperty (paper §4.1, §6.2).
+type Host interface {
+	// DocCookie is the document.cookie getter: the raw "a=1; b=2"
+	// string of script-visible cookies.
+	DocCookie() string
+	// SetDocCookie is the document.cookie setter: one Set-Cookie-style
+	// assignment string.
+	SetDocCookie(assignment string)
+
+	// CookieStore API (structured, §2.3).
+	CookieStoreGet(name string) (CookieRecord, bool)
+	CookieStoreGetAll() []CookieRecord
+	CookieStoreSet(rec CookieRecord)
+	CookieStoreDelete(name string)
+
+	// Send issues a GET request to url with params appended to its
+	// query string (the exfiltration channel).
+	Send(url string, params map[string]string)
+	// Inject dynamically inserts a script element with the given src
+	// (indirect inclusion, §5.6).
+	Inject(src string)
+
+	// DOM access (used by the §8 pilot and the breakage checks).
+	DOMSetText(id, text string) bool
+	DOMSetAttr(id, attr, value string) bool
+	DOMSetStyle(id, prop, value string) bool
+	DOMInsert(parentID, tag string, attrs map[string]string) bool
+	DOMRemove(id string) bool
+	DOMGetText(id string) (string, bool)
+
+	// OnClick registers a callback run when the user clicks anywhere
+	// (how widget scripts react to the crawler's interaction step).
+	OnClick(cb func())
+	// DeferRun schedules cb to run after the current script finishes
+	// (setTimeout(0) analogue; attribution may detach, paper §8).
+	DeferRun(cb func())
+
+	// Environment.
+	NowMillis() int64    // Date.now()
+	RandID(n int) string // pseudo-random identifier of n hex chars
+	PageURL() string     // location.href
+	Log(msg string)      // console.log
+}
+
+// NopHost is a Host that does nothing; useful for pure-language tests.
+type NopHost struct {
+	Logs []string
+}
+
+// DocCookie implements Host.
+func (h *NopHost) DocCookie() string { return "" }
+
+// SetDocCookie implements Host.
+func (h *NopHost) SetDocCookie(string) {}
+
+// CookieStoreGet implements Host.
+func (h *NopHost) CookieStoreGet(string) (CookieRecord, bool) { return CookieRecord{}, false }
+
+// CookieStoreGetAll implements Host.
+func (h *NopHost) CookieStoreGetAll() []CookieRecord { return nil }
+
+// CookieStoreSet implements Host.
+func (h *NopHost) CookieStoreSet(CookieRecord) {}
+
+// CookieStoreDelete implements Host.
+func (h *NopHost) CookieStoreDelete(string) {}
+
+// Send implements Host.
+func (h *NopHost) Send(string, map[string]string) {}
+
+// Inject implements Host.
+func (h *NopHost) Inject(string) {}
+
+// DOMSetText implements Host.
+func (h *NopHost) DOMSetText(string, string) bool { return false }
+
+// DOMSetAttr implements Host.
+func (h *NopHost) DOMSetAttr(string, string, string) bool { return false }
+
+// DOMSetStyle implements Host.
+func (h *NopHost) DOMSetStyle(string, string, string) bool { return false }
+
+// DOMInsert implements Host.
+func (h *NopHost) DOMInsert(string, string, map[string]string) bool { return false }
+
+// DOMRemove implements Host.
+func (h *NopHost) DOMRemove(string) bool { return false }
+
+// DOMGetText implements Host.
+func (h *NopHost) DOMGetText(string) (string, bool) { return "", false }
+
+// OnClick implements Host.
+func (h *NopHost) OnClick(func()) {}
+
+// DeferRun implements Host: callbacks run immediately.
+func (h *NopHost) DeferRun(cb func()) { cb() }
+
+// NowMillis implements Host.
+func (h *NopHost) NowMillis() int64 { return 0 }
+
+// RandID implements Host.
+func (h *NopHost) RandID(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = 'a'
+	}
+	return string(out)
+}
+
+// PageURL implements Host.
+func (h *NopHost) PageURL() string { return "https://nop.example/" }
+
+// Log implements Host.
+func (h *NopHost) Log(msg string) { h.Logs = append(h.Logs, msg) }
+
+var _ Host = (*NopHost)(nil)

@@ -1,0 +1,567 @@
+package jsdsl
+
+import (
+	"fmt"
+)
+
+// DefaultMaxSteps bounds script execution; a real browser has watchdogs
+// for runaway scripts, and the interpreter needs the same property so a
+// buggy generated script cannot stall a 20,000-site crawl.
+const DefaultMaxSteps = 500_000
+
+// RuntimeError is a script execution error with its source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("jsdsl: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// control-flow signals travel as errors internally.
+type returnSignal struct{ value Value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (returnSignal) Error() string   { return "return outside function" }
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+
+// Interp executes SiteScript programs against a Host.
+type Interp struct {
+	Host     Host
+	MaxSteps int
+
+	steps   int
+	globals *Env
+}
+
+// NewInterp returns an interpreter bound to host.
+func NewInterp(host Host) *Interp {
+	return &Interp{Host: host, MaxSteps: DefaultMaxSteps, globals: NewEnv(nil)}
+}
+
+// Run executes a program in the interpreter's global scope.
+func (in *Interp) Run(prog *Program) error {
+	for _, s := range prog.Stmts {
+		if err := in.execStmt(s, in.globals); err != nil {
+			switch err.(type) {
+			case returnSignal:
+				return nil // top-level return ends the script
+			case breakSignal, continueSignal:
+				return &RuntimeError{Msg: err.Error()}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSource parses and executes src.
+func (in *Interp) RunSource(src string) error {
+	prog, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return in.Run(prog)
+}
+
+// CallClosure invokes a script closure from Go — the path by which the
+// browser fires on_click and defer_run callbacks back into script code.
+func (in *Interp) CallClosure(c *Closure, args ...Value) (Value, error) {
+	return in.callClosure(c, args, 0)
+}
+
+// Steps returns the number of interpreter steps executed so far; the
+// browser charges virtual execution time proportionally.
+func (in *Interp) Steps() int { return in.steps }
+
+func (in *Interp) step(line int) error {
+	in.steps++
+	if in.steps > in.MaxSteps {
+		return &RuntimeError{Line: line, Msg: "step budget exhausted"}
+	}
+	return nil
+}
+
+func (in *Interp) execStmt(s Stmt, env *Env) error {
+	switch st := s.(type) {
+	case *LetStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		v, err := in.eval(st.Init, env)
+		if err != nil {
+			return err
+		}
+		env.Define(st.Name, v)
+		return nil
+
+	case *AssignStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		return in.execAssign(st, env)
+
+	case *ExprStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		_, err := in.eval(st.X, env)
+		return err
+
+	case *IfStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		cond, err := in.eval(st.Cond, env)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.execBlock(st.Then, NewEnv(env))
+		}
+		if st.Else != nil {
+			return in.execStmt(st.Else, env)
+		}
+		return nil
+
+	case *WhileStmt:
+		for {
+			if err := in.step(st.Line); err != nil {
+				return err
+			}
+			cond, err := in.eval(st.Cond, env)
+			if err != nil {
+				return err
+			}
+			if !Truthy(cond) {
+				return nil
+			}
+			err = in.execBlock(st.Body, NewEnv(env))
+			switch err.(type) {
+			case nil, continueSignal:
+			case breakSignal:
+				return nil
+			default:
+				return err
+			}
+		}
+
+	case *ForInStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		seq, err := in.eval(st.Seq, env)
+		if err != nil {
+			return err
+		}
+		var items []Value
+		switch x := seq.(type) {
+		case *List:
+			items = append(items, x.Elems...)
+		case *Map:
+			for _, k := range x.Keys() {
+				items = append(items, k)
+			}
+		case string:
+			for _, ch := range x {
+				items = append(items, string(ch))
+			}
+		case nil:
+			return nil
+		default:
+			return &RuntimeError{Line: st.Line, Msg: "for-in over non-iterable"}
+		}
+		for _, item := range items {
+			if err := in.step(st.Line); err != nil {
+				return err
+			}
+			scope := NewEnv(env)
+			scope.Define(st.Var, item)
+			err := in.execBlock(st.Body, scope)
+			switch err.(type) {
+			case nil, continueSignal:
+			case breakSignal:
+				return nil
+			default:
+				return err
+			}
+		}
+		return nil
+
+	case *ReturnStmt:
+		if err := in.step(st.Line); err != nil {
+			return err
+		}
+		var v Value
+		if st.Value != nil {
+			var err error
+			v, err = in.eval(st.Value, env)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{value: v}
+
+	case *BreakStmt:
+		return breakSignal{}
+	case *ContinueStmt:
+		return continueSignal{}
+	case *BlockStmt:
+		return in.execBlock(st, NewEnv(env))
+	default:
+		return &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}
+	}
+}
+
+func (in *Interp) execBlock(b *BlockStmt, env *Env) error {
+	for _, s := range b.Stmts {
+		if err := in.execStmt(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execAssign(st *AssignStmt, env *Env) error {
+	newVal, err := in.eval(st.Value, env)
+	if err != nil {
+		return err
+	}
+	apply := func(old Value) (Value, error) {
+		switch st.Op {
+		case "=":
+			return newVal, nil
+		case "+=":
+			return in.binop("+", old, newVal, st.Line)
+		case "-=":
+			return in.binop("-", old, newVal, st.Line)
+		}
+		return nil, &RuntimeError{Line: st.Line, Msg: "bad assignment op " + st.Op}
+	}
+
+	switch target := st.Target.(type) {
+	case *Ident:
+		old, ok := env.Lookup(target.Name)
+		if !ok {
+			return &RuntimeError{Line: st.Line, Msg: "assignment to undeclared variable " + target.Name}
+		}
+		v, err := apply(old)
+		if err != nil {
+			return err
+		}
+		env.Set(target.Name, v)
+		return nil
+
+	case *IndexExpr:
+		container, err := in.eval(target.X, env)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(target.Index, env)
+		if err != nil {
+			return err
+		}
+		switch c := container.(type) {
+		case *List:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(c.Elems) {
+				return &RuntimeError{Line: st.Line, Msg: "list index out of range"}
+			}
+			v, err := apply(c.Elems[int(i)])
+			if err != nil {
+				return err
+			}
+			c.Elems[int(i)] = v
+			return nil
+		case *Map:
+			k, ok := idx.(string)
+			if !ok {
+				return &RuntimeError{Line: st.Line, Msg: "map key must be a string"}
+			}
+			v, err := apply(c.Entries[k])
+			if err != nil {
+				return err
+			}
+			c.Entries[k] = v
+			return nil
+		default:
+			return &RuntimeError{Line: st.Line, Msg: "cannot index-assign this value"}
+		}
+	default:
+		return &RuntimeError{Line: st.Line, Msg: "invalid assignment target"}
+	}
+}
+
+func (in *Interp) eval(e Expr, env *Env) (Value, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, nil
+	case *StringLit:
+		return x.Value, nil
+	case *BoolLit:
+		return x.Value, nil
+	case *NullLit:
+		return nil, nil
+
+	case *Ident:
+		if v, ok := env.Lookup(x.Name); ok {
+			return v, nil
+		}
+		if _, ok := builtins[x.Name]; ok {
+			return builtinRef(x.Name), nil
+		}
+		return nil, &RuntimeError{Line: x.Line, Msg: "undefined variable " + x.Name}
+
+	case *ListLit:
+		l := &List{}
+		for _, el := range x.Elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, v)
+		}
+		return l, nil
+
+	case *MapLit:
+		m := NewMap()
+		for i := range x.Keys {
+			kv, err := in.eval(x.Keys[i], env)
+			if err != nil {
+				return nil, err
+			}
+			k, ok := kv.(string)
+			if !ok {
+				return nil, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
+			}
+			v, err := in.eval(x.Values[i], env)
+			if err != nil {
+				return nil, err
+			}
+			m.Entries[k] = v
+		}
+		return m, nil
+
+	case *FuncLit:
+		return &Closure{Fn: x, Env: env}, nil
+
+	case *IndexExpr:
+		container, err := in.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(x.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		switch c := container.(type) {
+		case *List:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(c.Elems) {
+				return nil, nil // out-of-range reads yield null, like JS undefined
+			}
+			return c.Elems[int(i)], nil
+		case *Map:
+			k, ok := idx.(string)
+			if !ok {
+				return nil, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
+			}
+			return c.Entries[k], nil
+		case string:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(c) {
+				return nil, nil
+			}
+			return string(c[int(i)]), nil
+		case nil:
+			return nil, &RuntimeError{Line: x.Line, Msg: "cannot index null"}
+		default:
+			return nil, &RuntimeError{Line: x.Line, Msg: "cannot index this value"}
+		}
+
+	case *UnaryExpr:
+		v, err := in.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "!":
+			return !Truthy(v), nil
+		case "-":
+			f, ok := v.(float64)
+			if !ok {
+				return nil, &RuntimeError{Line: x.Line, Msg: "unary minus on non-number"}
+			}
+			return -f, nil
+		}
+		return nil, &RuntimeError{Line: x.Line, Msg: "unknown unary op " + x.Op}
+
+	case *BinaryExpr:
+		// Short-circuit logical operators.
+		if x.Op == "&&" {
+			l, err := in.eval(x.L, env)
+			if err != nil {
+				return nil, err
+			}
+			if !Truthy(l) {
+				return l, nil
+			}
+			return in.eval(x.R, env)
+		}
+		if x.Op == "||" {
+			l, err := in.eval(x.L, env)
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(l) {
+				return l, nil
+			}
+			return in.eval(x.R, env)
+		}
+		l, err := in.eval(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.binop(x.Op, l, r, x.Line)
+
+	case *CallExpr:
+		callee, err := in.eval(x.Callee, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		switch f := callee.(type) {
+		case *Closure:
+			return in.callClosure(f, args, x.Line)
+		case builtinRef:
+			fn := builtins[string(f)]
+			v, err := fn(in, args)
+			if err != nil {
+				if re, ok := err.(*RuntimeError); ok && re.Line == 0 {
+					re.Line = x.Line
+				}
+				return nil, err
+			}
+			return v, nil
+		default:
+			return nil, &RuntimeError{Line: x.Line, Msg: "not callable"}
+		}
+	default:
+		return nil, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+// builtinRef is a first-class reference to a builtin function.
+type builtinRef string
+
+func (in *Interp) callClosure(c *Closure, args []Value, line int) (Value, error) {
+	if err := in.step(line); err != nil {
+		return nil, err
+	}
+	scope := NewEnv(c.Env)
+	for i, p := range c.Fn.Params {
+		if i < len(args) {
+			scope.Define(p, args[i])
+		} else {
+			scope.Define(p, nil)
+		}
+	}
+	err := in.execBlock(c.Fn.Body, scope)
+	if rs, ok := err.(returnSignal); ok {
+		return rs.value, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (in *Interp) binop(op string, l, r Value, line int) (Value, error) {
+	switch op {
+	case "+":
+		if lf, ok := l.(float64); ok {
+			if rf, ok := r.(float64); ok {
+				return lf + rf, nil
+			}
+		}
+		// string concatenation when either side is a string
+		if _, ok := l.(string); ok {
+			return ToString(l) + ToString(r), nil
+		}
+		if _, ok := r.(string); ok {
+			return ToString(l) + ToString(r), nil
+		}
+		return nil, &RuntimeError{Line: line, Msg: "invalid operands for +"}
+	case "-", "*", "/", "%":
+		lf, lok := l.(float64)
+		rf, rok := r.(float64)
+		if !lok || !rok {
+			return nil, &RuntimeError{Line: line, Msg: "arithmetic on non-numbers"}
+		}
+		switch op {
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return nil, &RuntimeError{Line: line, Msg: "division by zero"}
+			}
+			return lf / rf, nil
+		case "%":
+			if rf == 0 {
+				return nil, &RuntimeError{Line: line, Msg: "modulo by zero"}
+			}
+			return float64(int64(lf) % int64(rf)), nil
+		}
+	case "==":
+		return valueEquals(l, r), nil
+	case "!=":
+		return !valueEquals(l, r), nil
+	case "<", ">", "<=", ">=":
+		if lf, lok := l.(float64); lok {
+			if rf, rok := r.(float64); rok {
+				switch op {
+				case "<":
+					return lf < rf, nil
+				case ">":
+					return lf > rf, nil
+				case "<=":
+					return lf <= rf, nil
+				case ">=":
+					return lf >= rf, nil
+				}
+			}
+		}
+		if ls, lok := l.(string); lok {
+			if rs, rok := r.(string); rok {
+				switch op {
+				case "<":
+					return ls < rs, nil
+				case ">":
+					return ls > rs, nil
+				case "<=":
+					return ls <= rs, nil
+				case ">=":
+					return ls >= rs, nil
+				}
+			}
+		}
+		return nil, &RuntimeError{Line: line, Msg: "invalid comparison operands"}
+	}
+	return nil, &RuntimeError{Line: line, Msg: "unknown operator " + op}
+}

@@ -1,0 +1,371 @@
+package jsdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalHost runs src against a NopHost and returns it for log inspection.
+func evalHost(t *testing.T, src string) *NopHost {
+	t.Helper()
+	h := &NopHost{}
+	in := NewInterp(h)
+	if err := in.RunSource(src); err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	return h
+}
+
+func lastLog(t *testing.T, h *NopHost) string {
+	t.Helper()
+	if len(h.Logs) == 0 {
+		t.Fatal("no logs")
+	}
+	return h.Logs[len(h.Logs)-1]
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	h := evalHost(t, `log(1 + 2 * 3 - 4 / 2);`)
+	if got := lastLog(t, h); got != "5" {
+		t.Fatalf("log = %q", got)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	h := evalHost(t, `log("fb." + 0 + "." + 1746746266109 + "." + "868308");`)
+	if got := lastLog(t, h); got != "fb.0.1746746266109.868308" {
+		t.Fatalf("log = %q", got)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	h := evalHost(t, `
+log(1 < 2 && "a" != "b");
+log(3 >= 4 || false);
+log(!null);
+log("abc" < "abd");`)
+	want := []string{"true", "false", "true", "true"}
+	for i, w := range want {
+		if h.Logs[i] != w {
+			t.Fatalf("log %d = %q, want %q", i, h.Logs[i], w)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Right side would error (division by zero) if evaluated.
+	h := evalHost(t, `
+let x = false && (1 / 0);
+log(x);
+let y = true || (1 / 0);
+log(y);`)
+	if h.Logs[0] != "false" || h.Logs[1] != "true" {
+		t.Fatalf("logs = %v", h.Logs)
+	}
+}
+
+func TestVariablesAndScopes(t *testing.T) {
+	h := evalHost(t, `
+let x = 1;
+{
+  let x = 2;
+  log(x);
+}
+log(x);
+x = 10;
+log(x);`)
+	if h.Logs[0] != "2" || h.Logs[1] != "1" || h.Logs[2] != "10" {
+		t.Fatalf("logs = %v", h.Logs)
+	}
+}
+
+func TestWhileLoopAndBreakContinue(t *testing.T) {
+	h := evalHost(t, `
+let i = 0;
+let sum = 0;
+while (true) {
+  i += 1;
+  if (i > 10) { break; }
+  if (i % 2 == 0) { continue; }
+  sum += i;
+}
+log(sum);`)
+	if got := lastLog(t, h); got != "25" { // 1+3+5+7+9
+		t.Fatalf("sum = %q", got)
+	}
+}
+
+func TestForInListMapString(t *testing.T) {
+	h := evalHost(t, `
+let total = 0;
+for (v in [1, 2, 3]) { total += v; }
+log(total);
+let ks = "";
+for (k in {"b": 1, "a": 2}) { ks = ks + k; }
+log(ks);
+let cnt = 0;
+for (ch in "hey") { cnt += 1; }
+log(cnt);`)
+	if h.Logs[0] != "6" {
+		t.Fatalf("list sum = %q", h.Logs[0])
+	}
+	if h.Logs[1] != "ab" { // map keys iterate sorted: deterministic
+		t.Fatalf("map keys = %q", h.Logs[1])
+	}
+	if h.Logs[2] != "3" {
+		t.Fatalf("string len = %q", h.Logs[2])
+	}
+}
+
+func TestClosuresCaptureEnvironment(t *testing.T) {
+	h := evalHost(t, `
+let make_counter = fn() {
+  let n = 0;
+  return fn() { n += 1; return n; };
+};
+let c = make_counter();
+c();
+c();
+log(c());`)
+	if got := lastLog(t, h); got != "3" {
+		t.Fatalf("counter = %q", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	h := evalHost(t, `
+let fib = fn(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+};
+log(fib(12));`)
+	if got := lastLog(t, h); got != "144" {
+		t.Fatalf("fib = %q", got)
+	}
+}
+
+func TestListAndMapOperations(t *testing.T) {
+	h := evalHost(t, `
+let l = [10, 20];
+push(l, 30);
+l[0] = 11;
+log(l[0] + l[2]);
+let m = {"a": 1};
+m["b"] = 2;
+m["a"] += 5;
+log(m["a"] + m["b"]);
+log(len(l) + len(m));
+log(has(m, "a") && !has(m, "z"));
+log(join(keys(m), ","));`)
+	want := []string{"41", "8", "5", "true", "a,b"}
+	for i, w := range want {
+		if h.Logs[i] != w {
+			t.Fatalf("log %d = %q, want %q", i, h.Logs[i], w)
+		}
+	}
+}
+
+func TestIndexOutOfRangeYieldsNull(t *testing.T) {
+	h := evalHost(t, `
+let l = [1];
+log(l[5] == null);
+log("ab"[9] == null);`)
+	if h.Logs[0] != "true" || h.Logs[1] != "true" {
+		t.Fatalf("logs = %v", h.Logs)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	h := evalHost(t, `
+log(split("GA1.1.444332364.1746838827", ".")[2]);
+log(substr("hello world", 0, 5));
+log(substr("abc", 1));
+log(contains("abcdef", "cde"));
+log(index_of("abc", "c"));
+log(lower("AbC") + upper("dEf"));
+log(trim("  x  "));
+log(replace("a-b-c", "-", "_"));
+log(starts_with("_ga", "_") && ends_with("x.js", ".js"));`)
+	want := []string{"444332364", "hello", "bc", "true", "2", "abcDEF", "x", "a_b_c", "true"}
+	for i, w := range want {
+		if h.Logs[i] != w {
+			t.Fatalf("log %d = %q, want %q", i, h.Logs[i], w)
+		}
+	}
+}
+
+func TestEncodingBuiltins(t *testing.T) {
+	h := evalHost(t, `
+log(b64("444332364"));
+log(md5("hello"));
+log(sha1("hello"));`)
+	if h.Logs[0] != "NDQ0MzMyMzY0" {
+		t.Fatalf("b64 = %q", h.Logs[0])
+	}
+	if h.Logs[1] != "5d41402abc4b2a76b9719d911017c592" {
+		t.Fatalf("md5 = %q", h.Logs[1])
+	}
+	if h.Logs[2] != "aaf4c61ddcc5e8a2dabede0f3b482cd9aea9434d" {
+		t.Fatalf("sha1 = %q", h.Logs[2])
+	}
+}
+
+func TestNumBuiltin(t *testing.T) {
+	h := evalHost(t, `
+log(num("42") + 1);
+log(num("nope") == null);
+log(floor(3.9));
+log(min(2, 5) + max(2, 5));`)
+	want := []string{"43", "true", "3", "7"}
+	for i, w := range want {
+		if h.Logs[i] != w {
+			t.Fatalf("log %d = %q, want %q", i, h.Logs[i], w)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`log(1 / 0);`, "division by zero"},
+		{`log(1 % 0);`, "modulo"},
+		{`log(undefined_var);`, "undefined variable"},
+		{`undeclared = 5;`, "undeclared"},
+		{`log("a" - 1);`, "arithmetic"},
+		{`log(-"x");`, "unary minus"},
+		{`let n = null; log(n[0]);`, "cannot index null"},
+		{`let x = 5; x();`, "not callable"},
+		{`log(1 < "a");`, "comparison"},
+		{`let m = {}; log(m[0]);`, "map key"},
+		{`split("a");`, "split"},
+	}
+	for _, c := range cases {
+		in := NewInterp(&NopHost{})
+		err := in.RunSource(c.src)
+		if err == nil {
+			t.Errorf("RunSource(%q) succeeded, want error %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("RunSource(%q) err = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := NewInterp(&NopHost{})
+	in.MaxSteps = 1000
+	err := in.RunSource(`while (true) { let x = 1; }`)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTopLevelReturnEndsScript(t *testing.T) {
+	h := evalHost(t, `
+log("before");
+return;
+log("after");`)
+	if len(h.Logs) != 1 || h.Logs[0] != "before" {
+		t.Fatalf("logs = %v", h.Logs)
+	}
+}
+
+func TestBreakOutsideLoopIsError(t *testing.T) {
+	in := NewInterp(&NopHost{})
+	if err := in.RunSource(`break;`); err == nil {
+		t.Fatal("break at top level should error")
+	}
+}
+
+func TestCallClosureFromGo(t *testing.T) {
+	in := NewInterp(&NopHost{})
+	if err := in.RunSource(`let add = fn(a, b) { return a + b; };`); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := in.globals.Lookup("add")
+	if !ok {
+		t.Fatal("add not defined")
+	}
+	res, err := in.CallClosure(v.(*Closure), float64(2), float64(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(float64) != 5 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestMissingArgsAreNull(t *testing.T) {
+	h := evalHost(t, `
+let f = fn(a, b) { return b == null; };
+log(f(1));`)
+	if got := lastLog(t, h); got != "true" {
+		t.Fatalf("log = %q", got)
+	}
+}
+
+func TestBuiltinsListNonEmptySorted(t *testing.T) {
+	bs := Builtins()
+	if len(bs) < 30 {
+		t.Fatalf("only %d builtins", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i] < bs[i-1] {
+			t.Fatalf("not sorted at %d: %q < %q", i, bs[i], bs[i-1])
+		}
+	}
+}
+
+func TestParseCookieString(t *testing.T) {
+	names, vals := ParseCookieString("_ga=GA1.1.1.2; _fbp=fb.0.3.4;  empty ; bad")
+	if len(names) != 2 || names[0] != "_ga" || names[1] != "_fbp" {
+		t.Fatalf("names = %v", names)
+	}
+	if vals["_ga"] != "GA1.1.1.2" || vals["_fbp"] != "fb.0.3.4" {
+		t.Fatalf("vals = %v", vals)
+	}
+	names, _ = ParseCookieString("")
+	if len(names) != 0 {
+		t.Fatalf("empty parse = %v", names)
+	}
+}
+
+func BenchmarkInterpTrackerScript(b *testing.B) {
+	src := `
+let g = get_cookie("_ga");
+let all = get_all_cookies();
+let ids = [];
+for (k in all) {
+  let v = all[k];
+  if (len(v) >= 8) { push(ids, b64(v)); }
+}
+send("https://collect.example/px", {"ids": join(ids, "*")});`
+	prog := MustParse(src)
+	h := &NopHost{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInterp(h)
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseScript(b *testing.B) {
+	src := `
+let g = get_cookie("_ga");
+if (g != null) {
+  let parts = split(g, ".");
+  send("https://px.example/t", {"ga": b64(parts[2])});
+}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package jsdsl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLetAndExpr(t *testing.T) {
+	prog, err := Parse(`let x = 1 + 2 * 3; x = x - 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(prog.Stmts))
+	}
+	let, ok := prog.Stmts[0].(*LetStmt)
+	if !ok || let.Name != "x" {
+		t.Fatalf("stmt 0 = %T", prog.Stmts[0])
+	}
+	// precedence: 1 + (2*3)
+	bin, ok := let.Init.(*BinaryExpr)
+	if !ok || bin.Op != "+" {
+		t.Fatalf("init = %#v", let.Init)
+	}
+	if inner, ok := bin.R.(*BinaryExpr); !ok || inner.Op != "*" {
+		t.Fatalf("precedence wrong: %#v", bin.R)
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	src := `
+if (a == 1) { log("one"); }
+else if (a == 2) { log("two"); }
+else { log("other"); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifst := prog.Stmts[0].(*IfStmt)
+	if ifst.Else == nil {
+		t.Fatal("missing else")
+	}
+	elseIf, ok := ifst.Else.(*IfStmt)
+	if !ok || elseIf.Else == nil {
+		t.Fatalf("else-if = %T", ifst.Else)
+	}
+}
+
+func TestParseWhileForIn(t *testing.T) {
+	prog, err := Parse(`
+let i = 0;
+while (i < 10) { i += 1; }
+for (k in m) { log(k); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Stmts[1].(*WhileStmt); !ok {
+		t.Fatalf("stmt 1 = %T", prog.Stmts[1])
+	}
+	fi, ok := prog.Stmts[2].(*ForInStmt)
+	if !ok || fi.Var != "k" {
+		t.Fatalf("stmt 2 = %T", prog.Stmts[2])
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	prog, err := Parse(`let v = [1, "two", true, null, {"a": 1, "b": [2]}];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := prog.Stmts[0].(*LetStmt).Init.(*ListLit)
+	if len(lst.Elems) != 5 {
+		t.Fatalf("list len = %d", len(lst.Elems))
+	}
+	m := lst.Elems[4].(*MapLit)
+	if len(m.Keys) != 2 {
+		t.Fatalf("map keys = %d", len(m.Keys))
+	}
+}
+
+func TestParseFunctionsAndCalls(t *testing.T) {
+	prog, err := Parse(`
+let f = fn(a, b) { return a + b; };
+let r = f(1, 2);
+on_click(fn() { send("https://t.example/px", {"e": "click"}); });`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := prog.Stmts[0].(*LetStmt).Init.(*FuncLit)
+	if len(fl.Params) != 2 {
+		t.Fatalf("params = %v", fl.Params)
+	}
+	call := prog.Stmts[1].(*LetStmt).Init.(*CallExpr)
+	if len(call.Args) != 2 {
+		t.Fatalf("args = %d", len(call.Args))
+	}
+}
+
+func TestParseIndexChain(t *testing.T) {
+	prog, err := Parse(`let x = split(g, ".")[2];`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := prog.Stmts[0].(*LetStmt).Init.(*IndexExpr)
+	if !ok {
+		t.Fatalf("init = %T", prog.Stmts[0].(*LetStmt).Init)
+	}
+	if _, ok := idx.X.(*CallExpr); !ok {
+		t.Fatalf("index base = %T", idx.X)
+	}
+}
+
+func TestParseIndexAssignment(t *testing.T) {
+	prog, err := Parse(`m["k"] = 1; l[0] += 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := prog.Stmts[0].(*AssignStmt)
+	if _, ok := a0.Target.(*IndexExpr); !ok || a0.Op != "=" {
+		t.Fatalf("stmt 0 = %#v", a0)
+	}
+	a1 := prog.Stmts[1].(*AssignStmt)
+	if a1.Op != "+=" {
+		t.Fatalf("stmt 1 op = %q", a1.Op)
+	}
+}
+
+func TestParseBreakContinueReturn(t *testing.T) {
+	_, err := Parse(`
+while (true) {
+  if (x > 3) { break; }
+  if (x == 2) { continue; }
+  return x;
+}
+return;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`let = 1;`, "identifier"},
+		{`let x 1;`, `expected "="`},
+		{`let x = 1`, `expected ";"`},
+		{`if x { }`, `expected "("`},
+		{`1 = 2;`, "assignment target"},
+		{`{ let a = 1;`, "unterminated block"},
+		{`let l = [1, 2;`, `expected "]"`},
+		{`let m = {"a" 1};`, `expected ":"`},
+		{`f(1, 2;`, `expected ")"`},
+		{`let f = fn(1) {};`, "parameter"},
+		{`;`, "unexpected"},
+		{`for (x of l) {}`, `expected "in"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) err = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("let;")
+}
+
+func TestParseRealisticTrackerScript(t *testing.T) {
+	// The shape of the LinkedIn insight-tag case study (§5.4).
+	src := `
+let g = get_cookie("_ga");
+if (g != null) {
+  let parts = split(g, ".");
+  if (len(parts) >= 4) {
+    let cid = parts[2];
+    let ts = parts[3];
+    send("https://px.ads.linkedin.example/attribution_trigger", {
+      "pid": "621340",
+      "time": str(now_ms()),
+      "url": page_url(),
+      "_ga": b64(cid) + "." + b64(ts)
+    });
+  }
+}`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

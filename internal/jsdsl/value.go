@@ -1,0 +1,160 @@
+package jsdsl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a SiteScript runtime value: nil (null), bool, float64, string,
+// *List, *Map, or *Closure.
+type Value interface{}
+
+// List is a mutable sequence.
+type List struct {
+	Elems []Value
+}
+
+// Map is a string-keyed mutable dictionary.
+type Map struct {
+	Entries map[string]Value
+}
+
+// NewMap returns an empty Map.
+func NewMap() *Map { return &Map{Entries: map[string]Value{}} }
+
+// Keys returns sorted keys (determinism matters for generated requests).
+func (m *Map) Keys() []string {
+	ks := make([]string, 0, len(m.Entries))
+	for k := range m.Entries {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Closure is a user function with its captured environment.
+type Closure struct {
+	Fn  *FuncLit
+	Env *Env
+}
+
+// Truthy implements SiteScript truthiness: null and false are falsy, the
+// number 0 is falsy, "" is falsy; everything else is truthy.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// ToString renders a value the way scripts see it when concatenating.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatNumber(x)
+	case string:
+		return x
+	case *List:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = ToString(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case *Map:
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range x.Keys() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%s", k, ToString(x.Entries[k]))
+		}
+		b.WriteByte('}')
+		return b.String()
+	case *Closure:
+		return "<fn>"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// formatNumber renders integers without a decimal point, like JS.
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// valueEquals implements == (deep for lists/maps is not needed by any
+// script; reference equality applies there, like JS objects).
+func valueEquals(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	default:
+		return a == b
+	}
+}
+
+// Env is a lexical scope.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a scope chained to parent (nil for the global scope).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Define creates a variable in this scope.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Lookup finds a variable walking up the scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to an existing variable; it reports whether it was found.
+func (e *Env) Set(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,257 @@
+// Package netsim provides the in-memory internet the reproduction crawls.
+//
+// The paper crawled 20,000 live sites; offline we substitute a virtual
+// network fabric: an Internet is a virtual DNS (host → http.Handler) plus
+// an http.RoundTripper that dispatches requests directly to the registered
+// handler without touching a socket. Everything above it — the browser,
+// the jar, the instrumentation extension, CookieGuard — speaks standard
+// net/http, so the same code would run against the real web.
+//
+// The fabric also models the two network-level phenomena the paper
+// discusses: deterministic per-host latency (driving the page-load-time
+// experiments of §7.3) and CNAME cloaking (§8, "Manipulation of script
+// source"), where a first-party subdomain aliases a third-party server.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyHeader carries the simulated network latency of an exchange, in
+// milliseconds, back to the caller. Browsers advance their virtual clock
+// by this amount per fetch.
+const LatencyHeader = "X-Netsim-Latency-Ms"
+
+// Exchange is one observed request/response pair, passed to taps.
+type Exchange struct {
+	Request  *http.Request
+	Response *http.Response
+	Host     string // the host that served it (post-CNAME resolution)
+}
+
+// Tap observes every exchange on the fabric.
+type Tap func(Exchange)
+
+// LatencyModel computes the simulated latency in milliseconds for a
+// request. Implementations must be deterministic for reproducibility.
+type LatencyModel func(req *http.Request) float64
+
+// Internet is the virtual network fabric. It is safe for concurrent use
+// once construction (Register/AddCNAME calls) has finished; registering
+// while crawling is also safe but unusual.
+type Internet struct {
+	mu       sync.RWMutex
+	hosts    map[string]http.Handler
+	cnames   map[string]string
+	taps     []Tap
+	latency  LatencyModel
+	requests atomic.Int64
+}
+
+// New returns an empty Internet with the default latency model.
+func New() *Internet {
+	i := &Internet{
+		hosts:  make(map[string]http.Handler),
+		cnames: make(map[string]string),
+	}
+	i.latency = DefaultLatency
+	return i
+}
+
+// DefaultLatency is a deterministic per-host latency: a base RTT derived
+// from a hash of the host (8–60 ms) plus a small per-path component. Real
+// third-party stacks spread across many hosts, which is what stretches the
+// load-event tail in Figure 6; a per-host spread reproduces that.
+func DefaultLatency(req *http.Request) float64 {
+	h := fnv64(req.URL.Hostname())
+	base := 8 + float64(h%53)
+	p := fnv64(req.URL.Path)
+	return base + float64(p%7)
+}
+
+func fnv64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SetLatencyModel replaces the latency model (nil restores the default).
+func (i *Internet) SetLatencyModel(m LatencyModel) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if m == nil {
+		m = DefaultLatency
+	}
+	i.latency = m
+}
+
+// Register serves host with handler. The host must be a bare lowercase
+// hostname without scheme or port.
+func (i *Internet) Register(host string, handler http.Handler) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.hosts[strings.ToLower(host)] = handler
+}
+
+// RegisterFunc is Register for plain functions.
+func (i *Internet) RegisterFunc(host string, f func(http.ResponseWriter, *http.Request)) {
+	i.Register(host, http.HandlerFunc(f))
+}
+
+// AddCNAME makes alias resolve to target's handler while requests keep the
+// alias in their URL — exactly how CNAME cloaking hides a third-party
+// tracker behind a first-party subdomain.
+func (i *Internet) AddCNAME(alias, target string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.cnames[strings.ToLower(alias)] = strings.ToLower(target)
+}
+
+// CanonicalHost follows CNAME records from host to the host that actually
+// serves it. It is the hook a DNS-level cloaking defense would use.
+func (i *Internet) CanonicalHost(host string) string {
+	host = strings.ToLower(host)
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	for n := 0; n < 8; n++ { // bounded chain; cycles terminate
+		t, ok := i.cnames[host]
+		if !ok {
+			return host
+		}
+		host = t
+	}
+	return host
+}
+
+// IsCloaked reports whether host reaches its server through a CNAME.
+func (i *Internet) IsCloaked(host string) bool {
+	return i.CanonicalHost(host) != strings.ToLower(host)
+}
+
+// Tap registers a tap on all exchanges.
+func (i *Internet) Tap(t Tap) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.taps = append(i.taps, t)
+}
+
+// Requests returns the total number of exchanges served.
+func (i *Internet) Requests() int64 { return i.requests.Load() }
+
+// Hosts returns the registered hostnames (sorted order not guaranteed).
+func (i *Internet) Hosts() []string {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	out := make([]string, 0, len(i.hosts))
+	for h := range i.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// resolve finds the handler for host, following CNAMEs.
+func (i *Internet) resolve(host string) (http.Handler, string, bool) {
+	canon := i.CanonicalHost(host)
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	h, ok := i.hosts[canon]
+	return h, canon, ok
+}
+
+// RoundTrip implements http.RoundTripper against the fabric.
+func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := strings.ToLower(req.URL.Hostname())
+	if host == "" {
+		return nil, fmt.Errorf("netsim: request %q has no host", req.URL)
+	}
+	handler, servedBy, ok := i.resolve(host)
+	if !ok {
+		return nil, &HostNotFoundError{Host: host}
+	}
+
+	i.mu.RLock()
+	lat := i.latency(req)
+	taps := i.taps
+	i.mu.RUnlock()
+
+	rec := httptest.NewRecorder()
+	// The handler sees the original Host (cloaked requests carry the
+	// alias), matching how HTTP works over a CNAME.
+	inner := req.Clone(req.Context())
+	inner.Host = req.URL.Host
+	if inner.Body == nil {
+		inner.Body = http.NoBody
+	}
+	handler.ServeHTTP(rec, inner)
+
+	resp := rec.Result()
+	resp.Request = req
+	resp.Header.Set(LatencyHeader, strconv.FormatFloat(lat, 'f', 2, 64))
+	i.requests.Add(1)
+
+	ex := Exchange{Request: req, Response: resp, Host: servedBy}
+	for _, t := range taps {
+		t(ex)
+	}
+	return resp, nil
+}
+
+// HostNotFoundError is the fabric's NXDOMAIN.
+type HostNotFoundError struct{ Host string }
+
+func (e *HostNotFoundError) Error() string {
+	return "netsim: no such host: " + e.Host
+}
+
+// Client returns an *http.Client that uses the fabric as its transport.
+func (i *Internet) Client() *http.Client {
+	return &http.Client{Transport: i}
+}
+
+// Latency extracts the simulated latency (ms) recorded on a response,
+// returning 0 when absent.
+func Latency(resp *http.Response) float64 {
+	v := resp.Header.Get(LatencyHeader)
+	if v == "" {
+		return 0
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// ReadBody fully reads and closes a response body.
+func ReadBody(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// ServeHTTP lets an Internet be mounted behind a real net/http server
+// (cmd/webserve): requests are routed by Host header to the registered
+// handler, so a real browser pointed at the listener with appropriate
+// /etc/hosts entries sees the synthetic web.
+func (i *Internet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if idx := strings.IndexByte(host, ':'); idx >= 0 {
+		host = host[:idx]
+	}
+	handler, _, ok := i.resolve(host)
+	if !ok {
+		http.Error(w, "netsim: no such host: "+host, http.StatusBadGateway)
+		return
+	}
+	handler.ServeHTTP(w, r)
+}

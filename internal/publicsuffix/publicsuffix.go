@@ -1,0 +1,193 @@
+// Package publicsuffix determines the public suffix (eTLD) and the
+// registrable domain (eTLD+1) of a host name.
+//
+// CookieGuard's whole isolation model is keyed on eTLD+1: a "cross-domain"
+// interaction is one between scripts whose registrable domains differ even
+// though they execute in the same main-frame origin (paper §2.1). This
+// package implements the standard public-suffix algorithm (normal, wildcard
+// "*.", and exception "!" rules) over an embedded snapshot of the list that
+// covers every suffix used by the synthetic web plus the common real-world
+// multi-label suffixes, so behaviour matches what a browser would compute.
+//
+// Hosts are expected in lower-case ASCII form; IDNA/punycode conversion is
+// out of scope for the simulation and documented as such in DESIGN.md.
+package publicsuffix
+
+import (
+	"errors"
+	"net"
+	"strings"
+)
+
+// rule is one parsed public-suffix rule.
+type rule struct {
+	labels    []string // reversed: com, co.uk -> ["uk","co"]
+	wildcard  bool     // *.ck
+	exception bool     // !www.ck
+}
+
+var (
+	// ErrEmptyHost is returned for an empty host string.
+	ErrEmptyHost = errors.New("publicsuffix: empty host")
+	// ErrIPAddress is returned when the host is an IP literal, which has
+	// no registrable domain.
+	ErrIPAddress = errors.New("publicsuffix: host is an IP address")
+	// ErrIsSuffix is returned when the host itself is a public suffix, so
+	// no eTLD+1 exists (e.g. "com" or "co.uk").
+	ErrIsSuffix = errors.New("publicsuffix: host is a public suffix")
+)
+
+var rules = buildRules()
+
+func buildRules() map[string][]rule {
+	m := make(map[string][]rule, len(listData))
+	for _, line := range listData {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		r := rule{}
+		if strings.HasPrefix(line, "!") {
+			r.exception = true
+			line = line[1:]
+		}
+		if strings.HasPrefix(line, "*.") {
+			r.wildcard = true
+			line = line[2:]
+		}
+		labels := strings.Split(line, ".")
+		// store reversed for suffix matching
+		rev := make([]string, len(labels))
+		for i, l := range labels {
+			rev[len(labels)-1-i] = l
+		}
+		r.labels = rev
+		tld := rev[0]
+		m[tld] = append(m[tld], r)
+	}
+	return m
+}
+
+// normalize lower-cases and strips a trailing dot.
+func normalize(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	host = strings.TrimSuffix(host, ".")
+	return host
+}
+
+// PublicSuffix returns the public suffix of host and whether any rule from
+// the embedded list matched (false means the implicit "*" fallback of the
+// PSL algorithm was used, i.e. the last label alone is the suffix).
+func PublicSuffix(host string) (suffix string, listed bool) {
+	host = normalize(host)
+	if host == "" || net.ParseIP(host) != nil {
+		return host, false
+	}
+	labels := strings.Split(host, ".")
+	n := len(labels)
+	rev := make([]string, n)
+	for i, l := range labels {
+		rev[n-1-i] = l
+	}
+
+	// Find the longest matching rule; exceptions beat everything.
+	var best *rule
+	bestLen := 0
+	for i := range rules[rev[0]] {
+		r := &rules[rev[0]][i]
+		if !matches(r, rev) {
+			continue
+		}
+		effLen := len(r.labels)
+		if r.wildcard {
+			effLen++
+		}
+		if r.exception {
+			// Exception rule: suffix is the rule minus its first
+			// (leftmost) label.
+			best = r
+			bestLen = len(r.labels) - 1
+			goto done
+		}
+		if best == nil || effLen > bestLen || (effLen == bestLen && !r.wildcard && best.wildcard) {
+			best = r
+			bestLen = effLen
+		}
+	}
+done:
+	if best == nil {
+		// Implicit "*" rule: the TLD alone.
+		return labels[n-1], false
+	}
+	if bestLen > n {
+		bestLen = n
+	}
+	return strings.Join(labels[n-bestLen:], "."), true
+}
+
+func matches(r *rule, rev []string) bool {
+	need := len(r.labels)
+	if r.wildcard {
+		// wildcard consumes one extra host label to the left
+		if len(rev) < need+1 && !r.exception {
+			// A wildcard rule also matches a host equal to its
+			// literal part (e.g. host "ck" matches "*.ck" base).
+			if len(rev) < need {
+				return false
+			}
+		}
+	}
+	if len(rev) < need {
+		return false
+	}
+	for i := 0; i < need; i++ {
+		if rev[i] != r.labels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ETLDPlusOne returns the registrable domain of host: the public suffix
+// plus one more label. It errors for empty hosts, IP addresses, and hosts
+// that are themselves public suffixes.
+func ETLDPlusOne(host string) (string, error) {
+	host = normalize(host)
+	if host == "" {
+		return "", ErrEmptyHost
+	}
+	if net.ParseIP(host) != nil {
+		return "", ErrIPAddress
+	}
+	suffix, _ := PublicSuffix(host)
+	if host == suffix {
+		return "", ErrIsSuffix
+	}
+	// one more label than the suffix
+	rest := strings.TrimSuffix(host, "."+suffix)
+	if rest == host {
+		return "", ErrIsSuffix
+	}
+	i := strings.LastIndexByte(rest, '.')
+	return rest[i+1:] + "." + suffix, nil
+}
+
+// RegistrableDomain is like ETLDPlusOne but returns the host unchanged when
+// no registrable domain can be derived (IPs, bare suffixes, localhost).
+// This is the forgiving form used throughout measurement code, where an
+// unattributable host should group under itself rather than be dropped.
+func RegistrableDomain(host string) string {
+	d, err := ETLDPlusOne(host)
+	if err != nil {
+		return normalize(host)
+	}
+	return d
+}
+
+// SameSite reports whether two hosts share a registrable domain
+// ("same-site" in web-platform terminology).
+func SameSite(a, b string) bool {
+	da := RegistrableDomain(a)
+	db := RegistrableDomain(b)
+	return da != "" && da == db
+}

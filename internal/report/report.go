@@ -1,0 +1,164 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned tables for Tables 1/2/3/4/5, ASCII bar charts for Figures 2/8,
+// boxplot summaries for Figures 6/9/10, and paper-vs-measured comparison
+// rows for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/breakage"
+	"cookieguard/internal/perf"
+	"cookieguard/internal/stats"
+)
+
+// Table writes rows as an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a horizontal ASCII bar chart (Figures 2 and 8).
+func Bar(w io.Writer, title string, items []analysis.DomainCount) {
+	fmt.Fprintln(w, title)
+	maxV := 1
+	maxLabel := 0
+	for _, it := range items {
+		if it.Cookies > maxV {
+			maxV = it.Cookies
+		}
+		if len(it.Domain) > maxLabel {
+			maxLabel = len(it.Domain)
+		}
+	}
+	const width = 40
+	for _, it := range items {
+		n := it.Cookies * width / maxV
+		fmt.Fprintf(w, "  %s %s %d (%.2f%%)\n",
+			pad(it.Domain, maxLabel), strings.Repeat("#", n), it.Cookies, it.PctOfPairs)
+	}
+}
+
+// Boxplot renders one boxplot summary line (Figures 6/7/9/10).
+func Boxplot(w io.Writer, label string, b stats.Boxplot) {
+	fmt.Fprintf(w, "  %-28s n=%-6d min=%-9.1f q1=%-9.1f med=%-9.1f q3=%-9.1f max=%-9.1f outliers=%d/%d\n",
+		label, b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.LowOutliers, b.HighOutliers)
+}
+
+// Table1 renders Table 1.
+func Table1(w io.Writer, rows []analysis.Table1Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.API), string(r.Action),
+			fmt.Sprintf("%.1f", r.PctOfWebsites),
+			fmt.Sprintf("%.1f (%d)", r.PctOfCookies, r.CookieCount),
+		})
+	}
+	fmt.Fprintln(w, "Table 1: Prevalence of cross-domain cookie actions")
+	Table(w, []string{"cookie type", "action", "% of websites", "% of cookies (no.)"}, out)
+}
+
+// Table2 renders Table 2.
+func Table2(w io.Writer, rows []analysis.Table2Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Cookie.Name, r.Cookie.Owner,
+			fmt.Sprintf("%d", r.ExfilEntities),
+			fmt.Sprintf("%d", r.DestEntities),
+			strings.Join(r.TopExfilEntities, ", "),
+			strings.Join(r.TopDestEntities, ", "),
+		})
+	}
+	fmt.Fprintln(w, "Table 2: Most frequently exfiltrated cookies")
+	Table(w, []string{"cookie", "owner domain", "#exfil ent", "#dest ent", "top exfiltrators", "top destinations"}, out)
+}
+
+// Table5 renders Table 5.
+func Table5(w io.Writer, rows []analysis.Table5Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Manipulation), r.Cookie.Name, r.Cookie.Owner,
+			fmt.Sprintf("%d", r.Entities),
+			strings.Join(r.TopEntities, ", "),
+		})
+	}
+	fmt.Fprintln(w, "Table 5: Frequently overwritten and deleted cookies")
+	Table(w, []string{"type", "cookie", "creator domain", "#entities", "top manipulators"}, out)
+}
+
+// Table3 renders the breakage table.
+func Table3(w io.Writer, t breakage.Table3) {
+	cats := []breakage.Category{breakage.Navigation, breakage.SSO, breakage.Appearance, breakage.Functionality}
+	var minor, major []string
+	for _, c := range cats {
+		minor = append(minor, fmt.Sprintf("%.0f%%", t.Pct[c][breakage.Minor]))
+		major = append(major, fmt.Sprintf("%.0f%%", t.Pct[c][breakage.Major]))
+	}
+	fmt.Fprintf(w, "Table 3: Breakage under %s (%d sites)\n", t.Condition, t.Sites)
+	Table(w, []string{"severity", "navigation", "sso", "appearance", "functionality"},
+		[][]string{
+			append([]string{"minor"}, minor...),
+			append([]string{"major"}, major...),
+		})
+}
+
+// Table4 renders the performance table.
+func Table4(w io.Writer, rows []perf.Table4Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			string(r.Metric),
+			fmt.Sprintf("%.0f ms, %.0f ms", r.NormalMean, r.NormalMedian),
+			fmt.Sprintf("%.0f ms, %.0f ms", r.GuardedMean, r.GuardedMedian),
+		})
+	}
+	fmt.Fprintln(w, "Table 4: Page-load performance (mean, median)")
+	Table(w, []string{"metric", "normal", "cookieguard"}, out)
+}
+
+// Compare writes one paper-vs-measured line.
+func Compare(w io.Writer, name string, paper, measured float64, unit string) {
+	fmt.Fprintf(w, "  %-46s paper=%-10.1f measured=%-10.1f %s\n", name, paper, measured, unit)
+}

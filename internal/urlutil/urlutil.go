@@ -1,0 +1,165 @@
+// Package urlutil provides the URL, host, and origin helpers shared by the
+// browser engine, the measurement pipeline, and CookieGuard itself.
+//
+// The paper (§2.1) is careful to distinguish cross-ORIGIN (the strict SOP
+// triple scheme/host/port) from cross-DOMAIN (different eTLD+1 executing in
+// the same main-frame origin). Origin implements the former; the
+// RegistrableDomain helpers implement the latter.
+package urlutil
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"cookieguard/internal/publicsuffix"
+)
+
+// Origin is the Same-Origin Policy triple.
+type Origin struct {
+	Scheme string
+	Host   string // host without port
+	Port   string // normalized: "" means scheme default
+}
+
+// ParseOrigin extracts the origin of a URL string. The port is normalized:
+// explicit default ports (80 for http, 443 for https) become "".
+func ParseOrigin(rawURL string) (Origin, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return Origin{}, fmt.Errorf("urlutil: parse origin: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return Origin{}, fmt.Errorf("urlutil: %q has no scheme or host", rawURL)
+	}
+	o := Origin{Scheme: strings.ToLower(u.Scheme), Host: strings.ToLower(u.Hostname()), Port: u.Port()}
+	if (o.Scheme == "http" && o.Port == "80") || (o.Scheme == "https" && o.Port == "443") {
+		o.Port = ""
+	}
+	return o, nil
+}
+
+// String renders the origin in serialized form, e.g. "https://example.com"
+// or "http://example.com:8080".
+func (o Origin) String() string {
+	if o.Port != "" {
+		return o.Scheme + "://" + o.Host + ":" + o.Port
+	}
+	return o.Scheme + "://" + o.Host
+}
+
+// Equal reports SOP equality: same scheme, host, and port.
+func (o Origin) Equal(other Origin) bool { return o == other }
+
+// RegistrableDomain returns the eTLD+1 of the origin's host.
+func (o Origin) RegistrableDomain() string {
+	return publicsuffix.RegistrableDomain(o.Host)
+}
+
+// Hostname extracts the lower-cased host (without port) from a URL string,
+// returning "" if the URL does not parse or has no host.
+func Hostname(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// RegistrableDomain returns the eTLD+1 of the host of a URL string, or ""
+// when the URL has no usable host. Inline scripts and data: URLs have no
+// host and therefore no domain — callers treat "" as "unattributable".
+func RegistrableDomain(rawURL string) string {
+	h := Hostname(rawURL)
+	if h == "" {
+		return ""
+	}
+	return publicsuffix.RegistrableDomain(h)
+}
+
+// SameDomain reports whether two URLs share an eTLD+1. Either side being
+// unattributable ("" domain) is never same-domain.
+func SameDomain(urlA, urlB string) bool {
+	da, db := RegistrableDomain(urlA), RegistrableDomain(urlB)
+	return da != "" && da == db
+}
+
+// IsThirdParty reports whether scriptURL is third-party with respect to
+// siteURL, i.e. their registrable domains differ. An unattributable script
+// URL is conservatively treated as third party.
+func IsThirdParty(scriptURL, siteURL string) bool {
+	sd := RegistrableDomain(scriptURL)
+	pd := RegistrableDomain(siteURL)
+	if sd == "" {
+		return true
+	}
+	return sd != pd
+}
+
+// QueryValues returns all decoded query-string values of a URL, in a
+// deterministic order (sorted by key, then by position). These are the
+// strings the exfiltration detector scans for cookie-derived identifiers.
+func QueryValues(rawURL string) []string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil
+	}
+	q := u.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, q[k]...)
+	}
+	return out
+}
+
+// QueryString returns the raw (undecoded) query string of a URL, without
+// the leading "?". The exfiltration pipeline also scans this raw form
+// because trackers commonly pack identifiers with custom separators ("*",
+// ".") that survive URL encoding (see the LinkedIn case study in §5.4).
+func QueryString(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	return u.RawQuery
+}
+
+// WithParams returns base with the given parameters appended to its query
+// string. Keys are added in sorted order for determinism.
+func WithParams(base string, params map[string]string) string {
+	u, err := url.Parse(base)
+	if err != nil {
+		return base
+	}
+	q := u.Query()
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		q.Set(k, params[k])
+	}
+	u.RawQuery = q.Encode()
+	return u.String()
+}
+
+// Resolve resolves ref against base, mirroring how a browser resolves a
+// relative src attribute. Invalid inputs return ref unchanged.
+func Resolve(base, ref string) string {
+	b, err := url.Parse(base)
+	if err != nil {
+		return ref
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return b.ResolveReference(r).String()
+}

@@ -1,0 +1,62 @@
+// Package vclock provides a virtual clock that drives the entire
+// simulation. All page-load timing, cookie expiry, and crawler pacing in
+// this repository is expressed against a Clock rather than the wall clock,
+// which makes every experiment deterministic and allows the performance
+// model (internal/perf) to measure simulated milliseconds exactly.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual time source. The zero value is
+// not usable; construct one with New.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// Epoch is the default simulation start time: a fixed instant so that
+// generated cookie timestamps and expiries are reproducible.
+var Epoch = time.Date(2025, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// New returns a Clock starting at Epoch.
+func New() *Clock { return NewAt(Epoch) }
+
+// NewAt returns a Clock starting at the given instant.
+func NewAt(t time.Time) *Clock { return &Clock{now: t} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: virtual time never moves backwards.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceMillis moves the clock forward by ms milliseconds.
+func (c *Clock) AdvanceMillis(ms float64) time.Time {
+	return c.Advance(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// Since reports the virtual duration elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// UnixMillis returns the current virtual time as Unix milliseconds, the
+// representation scripts use for timestamps (mirroring Date.now()).
+func (c *Clock) UnixMillis() int64 {
+	return c.Now().UnixMilli()
+}

@@ -1,0 +1,78 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewStartsAtEpoch(t *testing.T) {
+	c := New()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), Epoch)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	got := c.Advance(1500 * time.Millisecond)
+	want := Epoch.Add(1500 * time.Millisecond)
+	if !got.Equal(want) {
+		t.Fatalf("Advance = %v, want %v", got, want)
+	}
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	c := New()
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("negative Advance moved clock to %v", c.Now())
+	}
+}
+
+func TestAdvanceMillis(t *testing.T) {
+	c := New()
+	c.AdvanceMillis(250.5)
+	want := Epoch.Add(250500 * time.Microsecond)
+	if !c.Now().Equal(want) {
+		t.Fatalf("AdvanceMillis = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestSince(t *testing.T) {
+	c := New()
+	start := c.Now()
+	c.Advance(3 * time.Second)
+	if got := c.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestUnixMillis(t *testing.T) {
+	c := NewAt(time.UnixMilli(1_746_838_827_000).UTC())
+	if got := c.UnixMillis(); got != 1_746_838_827_000 {
+		t.Fatalf("UnixMillis = %d", got)
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := Epoch.Add(5000 * time.Millisecond)
+	if !c.Now().Equal(want) {
+		t.Fatalf("concurrent Advance = %v, want %v", c.Now(), want)
+	}
+}

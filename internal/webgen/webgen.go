@@ -1,0 +1,386 @@
+// Package webgen generates the synthetic web the reproduction crawls: a
+// deterministic population of sites whose scripts exhibit the behaviours
+// the paper measures — ghost-written first-party cookies, cross-domain
+// exfiltration/overwriting/deletion, tag-manager injection chains,
+// CookieStore usage, consent managers, RTB exchanges, SSO flows, and
+// CDN-split functionality — at rates calibrated to the paper's findings.
+//
+// Everything is derived from Config.Seed: building the same config twice
+// yields byte-identical sites, scripts, and cookie values, which is what
+// makes the experiment tables in EXPERIMENTS.md reproducible.
+package webgen
+
+import (
+	"fmt"
+
+	"cookieguard/internal/entity"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/stats"
+)
+
+// Config holds the generation parameters. Defaults (DefaultConfig) encode
+// the prevalences the paper reports so that the measurement pipeline,
+// run over the generated web, lands near the published numbers.
+type Config struct {
+	Seed     uint64
+	NumSites int
+
+	// Completeness: fraction of sites that yield complete crawl data
+	// (paper: 14,917 / 20,000 ≈ 0.746).
+	PComplete float64
+
+	// Third-party inclusion (§5.1).
+	PThirdParty      float64 // sites with ≥1 third-party script (0.933)
+	MeanTPBase       float64 // Poisson mean of the light component
+	PHeavySite       float64 // share of ad-heavy sites
+	MeanTPHeavy      float64 // extra scripts on ad-heavy sites
+	PDirectInclusion float64 // share of third-party scripts included directly (§5.6; rest injected)
+
+	// Cookie API usage (§5.2).
+	PFPScriptCookies float64 // sites whose first-party script sets cookies
+	PCookieStoreSite float64 // sites using the CookieStore API (0.028)
+
+	// Cross-domain behaviour flags (§5.3).
+	PExfilSite     float64 // sites with ≥1 cross-domain exfiltrating script (0.557)
+	PBulkExfil     float64 // of exfil sites, share whose exfiltrator sends every identifier
+	POverwriteSite float64 // sites with ≥1 cross-domain overwriting script (0.315)
+	PDeleteSite    float64 // sites with ≥1 cross-domain deleting script (0.063)
+	PCSExfilSite   float64 // sites with cookieStore cross-domain exfiltration (0.007)
+	PDOMModSite    float64 // sites with cross-domain DOM modification (§8, 0.094)
+
+	// Site-owner (first-party) cross-domain actions: these survive
+	// CookieGuard's owner-full-access policy and produce the residual
+	// bars of Figure 5.
+	PFPExfil     float64
+	PFPOverwrite float64
+	PFPDelete    float64
+
+	// Breakage-relevant features (§7.2).
+	PSSOSingle      float64 // single-provider SSO (works under guard)
+	PSSOSameEntity  float64 // two-domain same-entity SSO (fixed by whitelist)
+	PSSOCrossEntity float64 // two-domain cross-entity SSO (3% residual)
+	PSSORefresher   float64 // refresh-dependent SSO (minor breakage)
+	PAdSlotSite     float64 // ad rendering depends on cross-domain cookie (minor)
+	PCDNSplitSite   float64 // own functionality served from a sibling domain (major, whitelist-fixed)
+
+	// CNAME cloaking (§8 limitation; exercised as an ablation).
+	PCloakedTracker float64
+
+	// Long-tail universe sizes.
+	NLongTailTrackers int
+	NLongTailWidgets  int
+	NIdPPairs         int
+}
+
+// DefaultConfig returns the paper-calibrated configuration for n sites.
+func DefaultConfig(n int) Config {
+	return Config{
+		Seed:     20250301,
+		NumSites: n,
+
+		PComplete: 0.746,
+
+		PThirdParty:      0.933,
+		MeanTPBase:       6,
+		PHeavySite:       0.30,
+		MeanTPHeavy:      40,
+		PDirectInclusion: 0.17, // indirect:direct ≈ 2.5:1 measured (the
+		// GTM base library and per-site container are always direct)
+
+		PFPScriptCookies: 0.80,
+		PCookieStoreSite: 0.028,
+
+		PExfilSite:     0.557,
+		PBulkExfil:     0.10,
+		POverwriteSite: 0.315,
+		PDeleteSite:    0.063,
+		PCSExfilSite:   0.007,
+		PDOMModSite:    0.094,
+
+		PFPExfil:     0.094,
+		PFPOverwrite: 0.056,
+		PFPDelete:    0.009,
+
+		PSSOSingle:      0.20,
+		PSSOSameEntity:  0.08,
+		PSSOCrossEntity: 0.03,
+		PSSORefresher:   0.01,
+		PAdSlotSite:     0.03,
+		PCDNSplitSite:   0.03,
+
+		PCloakedTracker: 0.01,
+
+		NLongTailTrackers: 220,
+		NLongTailWidgets:  80,
+		NIdPPairs:         6,
+	}
+}
+
+// SiteFlags records the behaviours planned for one site; the analysis
+// pipeline later measures these same properties independently from logs.
+type SiteFlags struct {
+	Complete    bool
+	HasTP       bool
+	FPCookies   bool
+	CookieStore bool
+	Exfil       bool
+	BulkExfil   bool
+	Overwrite   bool
+	Delete      bool
+	CSExfil     bool
+	DOMMod      bool
+	FPExfil     bool
+	FPOverwrite bool
+	FPDelete    bool
+	AdSlot      bool
+	CDNSplit    bool
+	Cloaked     bool
+
+	// SSO is one of "", "single", "same-entity", "cross-entity",
+	// "refresher".
+	SSO string
+}
+
+// Site is one generated website.
+type Site struct {
+	Rank   int
+	Domain string // eTLD+1, e.g. site00042.com
+	Host   string // www host
+	URL    string // landing page
+
+	Flags SiteFlags
+
+	// DirectServices are included via <script src> in the HTML; the
+	// tag manager (when present) injects InjectedServices.
+	DirectServices   []*Service
+	InjectedServices []*Service
+	HasTagManager    bool
+
+	// IdP names the identity-provider pair for SSO sites.
+	IdPA, IdPB string
+}
+
+// Web is the fully generated universe, ready to register on an Internet.
+type Web struct {
+	Config   Config
+	Sites    []*Site
+	Services []*Service
+	Entities *entity.Map
+
+	// IdPs lists identity-provider script hosts (for breakage checks).
+	IdPs []IdPPair
+}
+
+// IdPPair is a two-domain SSO provider.
+type IdPPair struct {
+	Name       string
+	LoginHost  string // sets the sso token
+	SessHost   string // reads the token, confirms the session
+	SameEntity bool
+}
+
+// SiteTLDs is the TLD mixture for generated sites.
+var SiteTLDs = []string{"com", "com", "com", "org", "net", "io", "co", "de", "co.uk", "fr"}
+
+// Build generates the universe.
+func Build(cfg Config) *Web {
+	if cfg.NumSites <= 0 {
+		cfg.NumSites = 100
+	}
+	rng := stats.NewRand(cfg.Seed)
+
+	w := &Web{Config: cfg}
+	w.Services = buildServices(cfg, rng.Fork(1))
+	w.IdPs = buildIdPs(cfg)
+	w.Entities = buildEntities(cfg, w)
+
+	siteRng := rng.Fork(2)
+	w.Sites = make([]*Site, cfg.NumSites)
+	picker := newServicePicker(w.Services, cfg)
+	for i := 0; i < cfg.NumSites; i++ {
+		w.Sites[i] = buildSite(cfg, i+1, siteRng.Fork(uint64(i+1)), picker, w)
+	}
+	finalizeEntities(w)
+	return w
+}
+
+// buildSite plans one site: flags first, then a script mix realizing them.
+func buildSite(cfg Config, rank int, rng *stats.Rand, picker *servicePicker, w *Web) *Site {
+	tld := SiteTLDs[rng.Intn(len(SiteTLDs))]
+	domain := fmt.Sprintf("site%05d.%s", rank, tld)
+	s := &Site{
+		Rank:   rank,
+		Domain: domain,
+		Host:   "www." + domain,
+		URL:    "https://www." + domain + "/",
+	}
+	f := &s.Flags
+	f.Complete = rng.Bool(cfg.PComplete)
+	f.HasTP = rng.Bool(cfg.PThirdParty)
+	f.FPCookies = rng.Bool(cfg.PFPScriptCookies)
+	f.CookieStore = rng.Bool(cfg.PCookieStoreSite)
+	if f.HasTP {
+		f.Exfil = rng.Bool(cfg.PExfilSite)
+		f.BulkExfil = f.Exfil && rng.Bool(cfg.PBulkExfil)
+		f.Overwrite = rng.Bool(cfg.POverwriteSite)
+		f.Delete = rng.Bool(cfg.PDeleteSite)
+		f.CSExfil = f.CookieStore && rng.Bool(cfg.PCSExfilSite/cfg.PCookieStoreSite)
+		f.DOMMod = rng.Bool(cfg.PDOMModSite)
+	}
+	f.FPExfil = rng.Bool(cfg.PFPExfil)
+	f.FPOverwrite = rng.Bool(cfg.PFPOverwrite)
+	f.FPDelete = rng.Bool(cfg.PFPDelete)
+	f.AdSlot = f.HasTP && rng.Bool(cfg.PAdSlotSite)
+	f.CDNSplit = rng.Bool(cfg.PCDNSplitSite)
+	f.Cloaked = f.HasTP && rng.Bool(cfg.PCloakedTracker)
+
+	// SSO mode.
+	u := rng.Float64()
+	switch {
+	case u < cfg.PSSOCrossEntity:
+		f.SSO = "cross-entity"
+	case u < cfg.PSSOCrossEntity+cfg.PSSOSameEntity:
+		f.SSO = "same-entity"
+	case u < cfg.PSSOCrossEntity+cfg.PSSOSameEntity+cfg.PSSORefresher:
+		f.SSO = "refresher"
+	case u < cfg.PSSOCrossEntity+cfg.PSSOSameEntity+cfg.PSSORefresher+cfg.PSSOSingle:
+		f.SSO = "single"
+	}
+	if f.SSO != "" {
+		pair := pickIdP(w.IdPs, f.SSO, rng)
+		s.IdPA, s.IdPB = pair.LoginHost, pair.SessHost
+	}
+
+	if f.HasTP {
+		planServices(cfg, s, rng, picker)
+	}
+	return s
+}
+
+func pickIdP(pairs []IdPPair, mode string, rng *stats.Rand) IdPPair {
+	var candidates []IdPPair
+	for _, p := range pairs {
+		switch mode {
+		case "same-entity":
+			if p.SameEntity {
+				candidates = append(candidates, p)
+			}
+		case "cross-entity":
+			if !p.SameEntity {
+				candidates = append(candidates, p)
+			}
+		default:
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = pairs
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// Register installs every site and service on the fabric.
+func (w *Web) Register(in *netsim.Internet) {
+	registerServices(in, w)
+	for _, s := range w.Sites {
+		registerSite(in, w, s)
+	}
+	registerIdPs(in, w)
+}
+
+// Build registers a fresh Internet for the web and returns it.
+func (w *Web) BuildInternet() *netsim.Internet {
+	in := netsim.New()
+	w.Register(in)
+	return in
+}
+
+// CompleteSites returns the sites expected to yield complete crawl data.
+func (w *Web) CompleteSites() []*Site {
+	var out []*Site
+	for _, s := range w.Sites {
+		if s.Flags.Complete {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SiteByDomain finds a site by its eTLD+1 (nil if absent).
+func (w *Web) SiteByDomain(domain string) *Site {
+	for _, s := range w.Sites {
+		if s.Domain == domain {
+			return s
+		}
+	}
+	return nil
+}
+
+func buildIdPs(cfg Config) []IdPPair {
+	n := cfg.NIdPPairs
+	if n < 2 {
+		n = 2
+	}
+	pairs := make([]IdPPair, 0, n)
+	for i := 0; i < n; i++ {
+		same := i%2 == 0 // half the providers split across same-entity domains
+		p := IdPPair{
+			Name:       fmt.Sprintf("idp-%02d", i),
+			LoginHost:  fmt.Sprintf("login.idp-%02d.example", i),
+			SameEntity: same,
+		}
+		if same {
+			// Same entity, different eTLD+1 (the microsoft.com/live.com
+			// shape from the paper's zoom.us example).
+			p.SessHost = fmt.Sprintf("session.idp-%02d-live.example", i)
+		} else {
+			p.SessHost = fmt.Sprintf("session.other-idp-%02d.example", i)
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// buildEntities extends the default entity dataset with the synthetic
+// universe: IdP pairs (same-entity ones share an entity) and site⇄CDN
+// sibling domains for CDN-split sites.
+func buildEntities(cfg Config, w *Web) *entity.Map {
+	ents := map[string][]string{}
+	for _, name := range entity.Default().Entities() {
+		ents[name] = entity.Default().Domains(name)
+	}
+	for _, p := range w.IdPs {
+		if p.SameEntity {
+			ents["IdP "+p.Name] = []string{
+				fmt.Sprintf("idp-%s.example", p.Name[4:]),
+				fmt.Sprintf("idp-%s-live.example", p.Name[4:]),
+			}
+		}
+	}
+	// CDN-split entities are added lazily after sites exist; Build calls
+	// this before sites, so register for every possible rank instead:
+	// site domains are deterministic, so we add pairs on demand in a
+	// second pass (see Build).
+	return entity.NewMap(ents)
+}
+
+// finalizeEntities adds site⇄CDN pairs; called by Build after sites are
+// planned.
+func finalizeEntities(w *Web) {
+	ents := map[string][]string{}
+	for _, name := range w.Entities.Entities() {
+		ents[name] = w.Entities.Domains(name)
+	}
+	for _, s := range w.Sites {
+		if s.Flags.CDNSplit {
+			ents["Site "+s.Domain] = []string{s.Domain, cdnDomain(s)}
+		}
+	}
+	w.Entities = entity.NewMap(ents)
+}
+
+// cdnDomain is the sibling domain serving a CDN-split site's own widget
+// (the facebook.com / fbcdn.net shape).
+func cdnDomain(s *Site) string {
+	return fmt.Sprintf("site%05d-cdn.example", s.Rank)
+}
