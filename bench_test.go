@@ -20,19 +20,18 @@ const benchSites = 150
 
 // measured caches one crawl per benchmark binary run; the per-iteration
 // work is the artifact regeneration itself.
-func crawlOnce(b *testing.B, guarded bool) (*Study, []instrument.VisitLog) {
+func crawlOnce(b *testing.B, guarded bool) (*Pipeline, []instrument.VisitLog) {
 	b.Helper()
-	cfg := StudyConfig{Sites: benchSites, Workers: 8, Interact: true}
+	opts := []Option{WithSites(benchSites), WithWorkers(8), WithInteract(true)}
 	if guarded {
-		pol := DefaultGuardPolicy()
-		cfg.GuardPolicy = &pol
+		opts = append(opts, WithGuard(DefaultGuardPolicy()))
 	}
-	study := NewStudy(cfg)
-	logs, err := study.Crawl(context.Background())
+	p := New(opts...)
+	logs, err := p.Crawl(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
-	return study, logs
+	return p, logs
 }
 
 func BenchmarkSummaryStats(b *testing.B) {
@@ -155,7 +154,7 @@ func BenchmarkTable3Breakage(b *testing.B) {
 }
 
 func BenchmarkTable4Performance(b *testing.B) {
-	study := NewStudy(StudyConfig{Sites: 60})
+	study := New(WithSites(60))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := study.EvaluatePerformance(40)
@@ -169,7 +168,7 @@ func BenchmarkTable4Performance(b *testing.B) {
 }
 
 func BenchmarkFig6Boxplots(b *testing.B) {
-	study := NewStudy(StudyConfig{Sites: 60})
+	study := New(WithSites(60))
 	res, err := study.EvaluatePerformance(40)
 	if err != nil {
 		b.Fatal(err)
@@ -186,7 +185,7 @@ func BenchmarkFig6Boxplots(b *testing.B) {
 }
 
 func BenchmarkFig7OverheadRatio(b *testing.B) {
-	study := NewStudy(StudyConfig{Sites: 60})
+	study := New(WithSites(60))
 	res, err := study.EvaluatePerformance(40)
 	if err != nil {
 		b.Fatal(err)
@@ -218,8 +217,7 @@ func BenchmarkDOMPilot(b *testing.B) {
 func BenchmarkAblationInlineRelaxed(b *testing.B) {
 	pol := DefaultGuardPolicy()
 	pol.Inline = 1 // relaxed
-	cfg := StudyConfig{Sites: benchSites, Workers: 8, GuardPolicy: &pol}
-	study := NewStudy(cfg)
+	study := New(WithSites(benchSites), WithWorkers(8), WithGuard(pol))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logs, err := study.Crawl(context.Background())
@@ -233,8 +231,7 @@ func BenchmarkAblationInlineRelaxed(b *testing.B) {
 func BenchmarkAblationNoOwnerAccess(b *testing.B) {
 	pol := DefaultGuardPolicy()
 	pol.OwnerFullAccess = false
-	cfg := StudyConfig{Sites: benchSites, Workers: 8, GuardPolicy: &pol}
-	study := NewStudy(cfg)
+	study := New(WithSites(benchSites), WithWorkers(8), WithGuard(pol))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		logs, err := study.Crawl(context.Background())
@@ -271,12 +268,31 @@ func BenchmarkAblationWhitelistBreakage(b *testing.B) {
 func BenchmarkEndToEndCrawl(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		study := NewStudy(StudyConfig{Sites: 50, Workers: 8, Interact: true})
+		study := New(WithSites(50), WithWorkers(8), WithInteract(true))
 		logs, err := study.Crawl(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		if res := study.Analyze(logs); res.Summary.SitesComplete == 0 {
+			b.Fatal("no complete sites")
+		}
+	}
+}
+
+// BenchmarkStreamingPipeline exercises the single-pass path at benchSites
+// scale: Run folds every visit log into the analyzer as the crawl
+// produces it, holding O(workers) logs instead of materializing the full
+// slice (contrast with BenchmarkEndToEndCrawl's batch Crawl+Analyze).
+func BenchmarkStreamingPipeline(b *testing.B) {
+	b.ReportAllocs()
+	p := New(WithSites(benchSites), WithWorkers(8), WithInteract(true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.SitesComplete == 0 {
 			b.Fatal("no complete sites")
 		}
 	}

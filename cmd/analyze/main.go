@@ -1,6 +1,7 @@
 // Command analyze runs the §4.4 analysis framework over JSONL visit logs
 // produced by cmd/crawl, printing Tables 1/2/5, Figures 2/8, and the
-// headline statistics.
+// headline statistics. Logs are folded into the analyzer one line at a
+// time (Observe/Finalize), so the input never needs to fit in memory.
 //
 // Usage:
 //
@@ -32,7 +33,13 @@ func main() {
 		in = f
 	}
 
-	var logs []instrument.VisitLog
+	clf := filterlist.DefaultClassifier()
+	an := analysis.New()
+	an.IsTracker = func(scriptURL, siteDomain string) bool {
+		ok, _ := clf.IsTracker(filterlist.Request{URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript})
+		return ok
+	}
+
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
@@ -41,17 +48,10 @@ func main() {
 		}
 		var v instrument.VisitLog
 		fatal(json.Unmarshal(sc.Bytes(), &v))
-		logs = append(logs, v)
+		an.Observe(v)
 	}
 	fatal(sc.Err())
-
-	clf := filterlist.DefaultClassifier()
-	an := analysis.New()
-	an.IsTracker = func(scriptURL, siteDomain string) bool {
-		ok, _ := clf.IsTracker(filterlist.Request{URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript})
-		return ok
-	}
-	res := an.Run(logs)
+	res := an.Finalize()
 
 	out := os.Stdout
 	s := res.Summary

@@ -1,9 +1,14 @@
 // Command crawl runs the instrumented measurement crawl (§4.2) over a
-// generated synthetic web and writes one JSON visit log per line.
+// generated synthetic web and writes one JSON visit log per line. Logs
+// are written as the crawl produces them — a single streaming pass with
+// O(workers) resident logs, so arbitrarily large site counts fit in
+// constant memory. Lines appear in completion order, which varies with
+// scheduling; with a fixed -seed the per-site records are byte-identical
+// across runs, so compare outputs as sets (e.g. sort before diffing).
 //
 // Usage:
 //
-//	crawl [-sites N] [-workers N] [-guard] [-o logs.jsonl] [-list tranco.csv]
+//	crawl [-sites N] [-workers N] [-seed S] [-guard] [-o logs.jsonl] [-list tranco.csv]
 package main
 
 import (
@@ -21,27 +26,29 @@ import (
 func main() {
 	sites := flag.Int("sites", 1000, "sites to generate and crawl")
 	workers := flag.Int("workers", 16, "concurrent visits")
+	seed := flag.Uint64("seed", 0, "override the default deterministic seed")
 	guarded := flag.Bool("guard", false, "crawl with CookieGuard enabled")
 	outPath := flag.String("o", "-", "output JSONL path (- = stdout)")
 	listPath := flag.String("list", "", "also write the ranked site list (Tranco analogue) to this path")
 	flag.Parse()
 
-	cfg := cookieguard.StudyConfig{Sites: *sites, Workers: *workers, Interact: true}
-	if *guarded {
-		pol := cookieguard.DefaultGuardPolicy()
-		cfg.GuardPolicy = &pol
+	opts := []cookieguard.Option{
+		cookieguard.WithSites(*sites),
+		cookieguard.WithWorkers(*workers),
+		cookieguard.WithSeed(*seed),
+		cookieguard.WithInteract(true),
 	}
-	study := cookieguard.NewStudy(cfg)
+	if *guarded {
+		opts = append(opts, cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()))
+	}
+	p := cookieguard.New(opts...)
 
 	if *listPath != "" {
 		f, err := os.Create(*listPath)
 		fatal(err)
-		fatal(trancolist.Write(f, study.SiteList()))
+		fatal(trancolist.Write(f, p.SiteList()))
 		fatal(f.Close())
 	}
-
-	logs, err := study.Crawl(context.Background())
-	fatal(err)
 
 	out := os.Stdout
 	if *outPath != "-" {
@@ -52,8 +59,11 @@ func main() {
 	}
 	w := bufio.NewWriter(out)
 	defer w.Flush()
-	complete := 0
-	for _, l := range logs {
+
+	logs, errs := p.Stream(context.Background())
+	visited, complete := 0, 0
+	for l := range logs {
+		visited++
 		if l.Complete() {
 			complete++
 		}
@@ -62,7 +72,8 @@ func main() {
 		w.Write(b)
 		w.WriteByte('\n')
 	}
-	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", len(logs), complete)
+	fatal(<-errs)
+	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", visited, complete)
 }
 
 func fatal(err error) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-sites N] [-workers N] [-perf N] [-breakage N] [-short]
+//	experiments [-sites N] [-workers N] [-seed S] [-perf N] [-breakage N]
 package main
 
 import (
@@ -23,32 +23,35 @@ import (
 func main() {
 	sites := flag.Int("sites", 2000, "number of sites to generate and crawl (paper: 20000)")
 	workers := flag.Int("workers", 16, "crawl workers")
+	seed := flag.Uint64("seed", 0, "override the default deterministic seed (reproducible full-scale runs)")
 	perfN := flag.Int("perf", 800, "sites for the performance experiment (paper: 10000)")
 	breakN := flag.Int("breakage", 100, "sites for the breakage assessment (paper: 100)")
 	flag.Parse()
 
-	if err := run(*sites, *workers, *perfN, *breakN); err != nil {
+	if err := run(*sites, *workers, *seed, *perfN, *breakN); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sites, workers, perfN, breakN int) error {
+func run(sites, workers int, seed uint64, perfN, breakN int) error {
 	out := os.Stdout
 	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
 
-	study := cookieguard.NewStudy(cookieguard.StudyConfig{
-		Sites: sites, Workers: workers, Interact: true,
-	})
+	study := cookieguard.New(
+		cookieguard.WithSites(sites),
+		cookieguard.WithWorkers(workers),
+		cookieguard.WithSeed(seed),
+		cookieguard.WithInteract(true),
+	)
 	ctx := context.Background()
 
-	// ---------- Measurement crawl (no guard) ----------
+	// ---------- Measurement crawl (no guard), single streaming pass ----------
 	fmt.Fprintln(out, "--- measurement crawl (§4) ---")
-	logs, err := study.Crawl(ctx)
+	res, err := study.Run(ctx)
 	if err != nil {
 		return err
 	}
-	res := study.Analyze(logs)
 	s := res.Summary
 	fmt.Fprintf(out, "crawled %d sites, %d complete (paper: 20000 -> 14917)\n\n",
 		s.SitesTotal, s.SitesComplete)
@@ -103,15 +106,17 @@ func run(sites, workers, perfN, breakN int) error {
 
 	// ---------- Figure 5: guard efficacy ----------
 	fmt.Fprintln(out, "--- Figure 5: cross-domain actions with vs without CookieGuard ---")
-	pol := cookieguard.DefaultGuardPolicy()
-	guarded := cookieguard.NewStudy(cookieguard.StudyConfig{
-		Sites: sites, Workers: workers, Interact: true, GuardPolicy: &pol,
-	})
-	glogs, err := guarded.Crawl(ctx)
+	guarded := cookieguard.New(
+		cookieguard.WithSites(sites),
+		cookieguard.WithWorkers(workers),
+		cookieguard.WithSeed(seed),
+		cookieguard.WithInteract(true),
+		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
+	)
+	gres, err := guarded.Run(ctx)
 	if err != nil {
 		return err
 	}
-	gres := guarded.Analyze(glogs)
 	fig5(out, res, gres)
 	fmt.Fprintln(out)
 

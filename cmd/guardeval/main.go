@@ -30,16 +30,17 @@ func main() {
 	out := os.Stdout
 	ctx := context.Background()
 
-	base := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites, Interact: true})
-	logs, err := base.Crawl(ctx)
+	base := cookieguard.New(cookieguard.WithSites(*sites), cookieguard.WithInteract(true))
+	plain, err := base.Run(ctx)
 	fatal(err)
-	plain := base.Analyze(logs)
 
-	pol := cookieguard.DefaultGuardPolicy()
-	gStudy := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites, Interact: true, GuardPolicy: &pol})
-	glogs, err := gStudy.Crawl(ctx)
+	gPipe := cookieguard.New(
+		cookieguard.WithSites(*sites),
+		cookieguard.WithInteract(true),
+		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
+	)
+	guarded, err := gPipe.Run(ctx)
 	fatal(err)
-	guarded := gStudy.Analyze(glogs)
 
 	fmt.Fprintln(out, "Figure 5: cross-domain actions, regular vs CookieGuard")
 	for _, act := range []analysis.ActionKind{analysis.ActOverwriting, analysis.ActDeleting, analysis.ActExfiltration} {
@@ -80,10 +81,13 @@ func main() {
 }
 
 func runAblation(ctx context.Context, out *os.File, name string, sites int, pol cookieguard.Policy) {
-	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: sites, Interact: true, GuardPolicy: &pol})
-	logs, err := study.Crawl(ctx)
+	p := cookieguard.New(
+		cookieguard.WithSites(sites),
+		cookieguard.WithInteract(true),
+		cookieguard.WithGuard(pol),
+	)
+	res, err := p.Run(ctx)
 	fatal(err)
-	res := study.Analyze(logs)
 	fmt.Fprintf(out, "  %-16s exfil %5.1f%%  overwrite %5.1f%%  delete %5.1f%%\n",
 		name,
 		res.SitePct(analysis.ActExfiltration),

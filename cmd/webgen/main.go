@@ -19,6 +19,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the default seed")
 	flag.Parse()
 
+	// Stats only: build the web directly, skipping the network fabric a
+	// full cookieguard.New pipeline would also construct.
 	cfg := webgen.DefaultConfig(*sites)
 	if *seed != 0 {
 		cfg.Seed = *seed

@@ -21,7 +21,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
-	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: *sites})
+	study := cookieguard.New(cookieguard.WithSites(*sites))
 	fmt.Printf("serving %d synthetic sites on %s (route by Host header)\n", *sites, *addr)
 	for i, e := range study.SiteList() {
 		if i >= 10 {

@@ -11,12 +11,21 @@
 //   - the CookieGuard defense of §6–7 (per-script-domain cookie
 //     isolation) with its breakage and performance evaluations.
 //
-// A minimal end-to-end run:
+// The API is a streaming, composable pipeline: crawl and analysis run in
+// one pass, so memory stays O(workers) instead of O(sites). A minimal
+// end-to-end run:
 //
-//	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: 500})
-//	logs, _ := study.Crawl(context.Background())
-//	results := study.Analyze(logs)
+//	p := cookieguard.New(cookieguard.WithSites(500), cookieguard.WithInteract(true))
+//	results, _ := p.Run(context.Background())
 //	fmt.Println(results.Summary.SitesComplete)
+//
+// For custom per-log processing, consume the stream directly:
+//
+//	logs, errs := p.Stream(context.Background())
+//	for v := range logs {
+//		fmt.Println(v.Site, len(v.Cookies))
+//	}
+//	if err := <-errs; err != nil { ... }
 package cookieguard
 
 import (
@@ -50,6 +59,10 @@ type (
 	Page = browser.Page
 	// VisitLog is the per-site measurement record.
 	VisitLog = instrument.VisitLog
+	// CookieMiddleware wraps the browser's cookie API for one visit.
+	CookieMiddleware = browser.CookieMiddleware
+	// Analyzer is the incremental analysis engine (Observe/Finalize).
+	Analyzer = analysis.Analyzer
 	// Results is the aggregated analysis output.
 	Results = analysis.Results
 	// Guard is a CookieGuard enforcement instance.
@@ -60,7 +73,185 @@ type (
 	EntityMap = entity.Map
 )
 
+// Pipeline owns a generated web and the streaming measurement pipeline
+// over it. Construct one with New; zero values are not usable.
+type Pipeline struct {
+	cfg config
+
+	// Web is the generated synthetic web universe.
+	Web *Web
+	// Net is the in-memory network fabric serving Web.
+	Net *Internet
+}
+
+// New generates a synthetic web and returns the pipeline over it,
+// configured by functional options:
+//
+//	p := cookieguard.New(
+//		cookieguard.WithSites(2000),
+//		cookieguard.WithWorkers(16),
+//		cookieguard.WithInteract(true),
+//		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
+//	)
+func New(opts ...Option) *Pipeline {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	gen := webgen.DefaultConfig(cfg.sites)
+	if cfg.seed != 0 {
+		gen.Seed = cfg.seed
+	}
+	w := webgen.Build(gen)
+	return &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet()}
+}
+
+// SiteList returns the pipeline's ranked site list (Tranco analogue).
+func (p *Pipeline) SiteList() []trancolist.Entry {
+	entries := make([]trancolist.Entry, len(p.Web.Sites))
+	for i, site := range p.Web.Sites {
+		entries[i] = trancolist.Entry{Rank: site.Rank, Domain: site.Domain}
+	}
+	return entries
+}
+
+// crawlOptions assembles the crawler configuration, composing the guard
+// (innermost, enforcing) with registered middleware factories.
+func (p *Pipeline) crawlOptions() crawler.Options {
+	opts := crawler.Options{
+		Internet: p.Net,
+		Workers:  p.cfg.workers,
+		Interact: p.cfg.interact,
+		Seed:     p.cfg.seed,
+		Progress: p.cfg.progress,
+	}
+	pol := p.cfg.guard
+	factories := p.cfg.middleware
+	if pol != nil || len(factories) > 0 {
+		opts.PerVisit = func() ([]browser.CookieMiddleware, func(*browser.Browser)) {
+			// Middleware wraps innermost first. The crawler's recorder is
+			// already innermost; user middleware goes next so it observes
+			// the post-enforcement operations the measurement logs; the
+			// guard wraps outermost, filtering before anything records.
+			var mw []browser.CookieMiddleware
+			var attach func(*browser.Browser)
+			for _, f := range factories {
+				mw = append(mw, f())
+			}
+			if pol != nil {
+				g := guard.New(*pol)
+				mw = append(mw, g.Middleware())
+				attach = func(b *browser.Browser) { g.AttachBrowser(b) }
+			}
+			return mw, attach
+		}
+	}
+	return opts
+}
+
+// Stream runs the instrumented measurement crawl (§4) and delivers
+// visit logs incrementally, in completion order, as each visit finishes.
+// The log channel is bounded by the worker count, so a slow consumer
+// backpressures the crawl; cancelling the context stops the crawl
+// mid-stream. Both channels close when the crawl ends; the error channel
+// yields at most one error.
+func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
+	return crawler.Stream(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions())
+}
+
+// Crawl runs the measurement crawl over every site and materializes all
+// logs, in ranked-site order. It is a batch wrapper over Stream —
+// memory scales with the site count, so prefer Run or Stream for
+// large workloads.
+func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
+	res, err := crawler.Crawl(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions())
+	if err != nil {
+		return nil, err
+	}
+	return res.Logs, nil
+}
+
+// Run executes the full pipeline — crawl (§4) plus analysis (§4.4) — in
+// a single streaming pass: every visit log is folded into the analyzer
+// as soon as its visit finishes and is dropped afterwards, so at most
+// O(workers) logs are resident regardless of the site count.
+func (p *Pipeline) Run(ctx context.Context) (*Results, error) {
+	an := p.NewAnalyzer()
+	logs, errs := p.Stream(ctx)
+	for v := range logs {
+		an.Observe(v)
+	}
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	return an.Finalize(), nil
+}
+
+// NewAnalyzer returns an incremental analyzer wired to this pipeline's
+// entity map and tracker classifier. Feed it with Observe per visit log
+// and collect the aggregate with Finalize.
+func (p *Pipeline) NewAnalyzer() *Analyzer {
+	clf := filterlist.DefaultClassifier()
+	an := analysis.New()
+	an.Entities = p.Web.Entities
+	an.IsTracker = func(scriptURL, siteDomain string) bool {
+		ok, _ := clf.IsTracker(filterlist.Request{
+			URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript,
+		})
+		return ok
+	}
+	return an
+}
+
+// Analyze runs the §4.4 analysis framework over already-materialized
+// visit logs, retaining only complete visits. It is the batch form of
+// NewAnalyzer().Observe/Finalize and produces identical Results for the
+// same log sequence.
+func (p *Pipeline) Analyze(logs []VisitLog) *Results {
+	return p.NewAnalyzer().Run(logs)
+}
+
+// EvaluateBreakage runs the Table 3 assessment over a sample of n sites.
+func (p *Pipeline) EvaluateBreakage(n int, cond breakage.Condition) (breakage.Table3, error) {
+	sample := breakage.Sample(p.Web, n)
+	t, _, err := breakage.Evaluate(p.Net, p.Web, sample, cond)
+	return t, err
+}
+
+// EvaluatePerformance runs the §7.3 paired timing measurement over up to
+// n complete sites.
+func (p *Pipeline) EvaluatePerformance(n int) (*perf.Results, error) {
+	sites := p.Web.CompleteSites()
+	if n > 0 && n < len(sites) {
+		sites = sites[:n]
+	}
+	return perf.Run(p.Net, p.Web, sites)
+}
+
+// NewGuard constructs a CookieGuard instance with the paper's default
+// policy (strict inline handling, owner full access).
+func NewGuard() *Guard { return guard.New(guard.DefaultPolicy()) }
+
+// NewGuardWithWhitelist constructs a CookieGuard using the pipeline's
+// entity map as the breakage-reducing whitelist (§7.2).
+func (p *Pipeline) NewGuardWithWhitelist() *Guard {
+	return guard.New(guard.WhitelistPolicy(p.Web.Entities))
+}
+
+// DefaultGuardPolicy exposes the paper's evaluated policy.
+func DefaultGuardPolicy() Policy { return guard.DefaultPolicy() }
+
+// WhitelistGuardPolicy exposes the whitelist-augmented policy.
+func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }
+
+// ---------------------------------------------------------------------
+// Deprecated batch Study API — thin shim over Pipeline, kept for one
+// release. New code should use New with functional options.
+
 // StudyConfig configures an end-to-end reproduction run.
+//
+// Deprecated: use New with WithSites, WithSeed, WithWorkers,
+// WithInteract, and WithGuard.
 type StudyConfig struct {
 	// Sites is the number of sites to generate (the paper used 20,000).
 	Sites int
@@ -74,99 +265,25 @@ type StudyConfig struct {
 	GuardPolicy *Policy
 }
 
-// Study owns a generated web and the pipelines over it.
-type Study struct {
-	Config StudyConfig
-	Web    *Web
-	Net    *Internet
-}
+// Study is the former batch pipeline type.
+//
+// Deprecated: use Pipeline.
+type Study = Pipeline
 
 // NewStudy generates the synthetic web for a configuration.
+//
+// Deprecated: use New with functional options; the returned Pipeline
+// keeps the Study's Crawl/Analyze methods and adds the streaming
+// single-pass Run.
 func NewStudy(cfg StudyConfig) *Study {
-	gen := webgen.DefaultConfig(cfg.Sites)
-	if cfg.Seed != 0 {
-		gen.Seed = cfg.Seed
+	opts := []Option{
+		WithSites(cfg.Sites),
+		WithSeed(cfg.Seed),
+		WithWorkers(cfg.Workers),
+		WithInteract(cfg.Interact),
 	}
-	w := webgen.Build(gen)
-	return &Study{Config: cfg, Web: w, Net: w.BuildInternet()}
-}
-
-// SiteList returns the study's ranked site list (Tranco analogue).
-func (s *Study) SiteList() []trancolist.Entry {
-	entries := make([]trancolist.Entry, len(s.Web.Sites))
-	for i, site := range s.Web.Sites {
-		entries[i] = trancolist.Entry{Rank: site.Rank, Domain: site.Domain}
+	if cfg.GuardPolicy != nil {
+		opts = append(opts, WithGuard(*cfg.GuardPolicy))
 	}
-	return entries
+	return New(opts...)
 }
-
-// Crawl runs the instrumented measurement crawl (§4) over every site.
-func (s *Study) Crawl(ctx context.Context) ([]VisitLog, error) {
-	opts := crawler.Options{
-		Internet: s.Net,
-		Workers:  s.Config.Workers,
-		Interact: s.Config.Interact,
-		Seed:     s.Config.Seed,
-	}
-	if s.Config.GuardPolicy != nil {
-		pol := *s.Config.GuardPolicy
-		opts.PerVisit = func() ([]browser.CookieMiddleware, func(*Browser)) {
-			g := guard.New(pol)
-			return []browser.CookieMiddleware{g.Middleware()},
-				func(b *Browser) { g.AttachBrowser(b) }
-		}
-	}
-	res, err := crawler.Crawl(ctx, crawler.SiteURLs(trancolist.Domains(s.SiteList())), opts)
-	if err != nil {
-		return nil, err
-	}
-	return res.Logs, nil
-}
-
-// Analyze runs the §4.4 analysis framework over visit logs, retaining
-// only complete visits.
-func (s *Study) Analyze(logs []VisitLog) *Results {
-	clf := filterlist.DefaultClassifier()
-	an := analysis.New()
-	an.Entities = s.Web.Entities
-	an.IsTracker = func(scriptURL, siteDomain string) bool {
-		ok, _ := clf.IsTracker(filterlist.Request{
-			URL: scriptURL, SiteDomain: siteDomain, Type: filterlist.TypeScript,
-		})
-		return ok
-	}
-	return an.Run(logs) // Run applies the completeness criterion itself
-}
-
-// EvaluateBreakage runs the Table 3 assessment over a sample of n sites.
-func (s *Study) EvaluateBreakage(n int, cond breakage.Condition) (breakage.Table3, error) {
-	sample := breakage.Sample(s.Web, n)
-	t, _, err := breakage.Evaluate(s.Net, s.Web, sample, cond)
-	return t, err
-}
-
-// EvaluatePerformance runs the §7.3 paired timing measurement over up to
-// n complete sites.
-func (s *Study) EvaluatePerformance(n int) (*perf.Results, error) {
-	sites := s.Web.CompleteSites()
-	if n > 0 && n < len(sites) {
-		sites = sites[:n]
-	}
-	return perf.Run(s.Net, s.Web, sites)
-}
-
-// NewGuard constructs a CookieGuard instance with the paper's default
-// policy (strict inline handling, owner full access).
-func NewGuard() *Guard { return guard.New(guard.DefaultPolicy()) }
-
-// NewGuardWithWhitelist constructs a CookieGuard using the study's entity
-// map as the breakage-reducing whitelist (§7.2).
-func (s *Study) NewGuardWithWhitelist() *Guard {
-	return guard.New(guard.WhitelistPolicy(s.Web.Entities))
-}
-
-// DefaultGuardPolicy exposes the paper's evaluated policy.
-func DefaultGuardPolicy() Policy { return guard.DefaultPolicy() }
-
-// WhitelistGuardPolicy exposes the whitelist-augmented policy.
-func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }

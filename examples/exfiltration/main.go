@@ -82,8 +82,12 @@ if (fbp != null) {
 	}
 	vlog := rec.BuildVisitLog("optimonk-like.example", []*browser.Page{page}, nil)
 
-	// Detection.
-	res := analysis.New().Run([]instrument.VisitLog{vlog})
+	// Detection, via the incremental analyzer: Observe folds in one log
+	// at a time (a streaming crawl feeds it the same way), Finalize
+	// aggregates.
+	an := analysis.New()
+	an.Observe(vlog)
+	res := an.Finalize()
 	fmt.Println("== detected cross-domain exfiltration events ==")
 	for _, e := range res.Events {
 		if e.Kind != analysis.ActExfiltration {

@@ -1,5 +1,6 @@
 // Measurement runs a 200-site mini-crawl of the synthetic web and prints
-// Table 1 plus the top exfiltrated cookies — the §4–5 pipeline end to end.
+// Table 1 plus the top exfiltrated cookies — the §4–5 pipeline end to
+// end, in one streaming pass with live progress.
 package main
 
 import (
@@ -13,15 +14,21 @@ import (
 )
 
 func main() {
-	study := cookieguard.NewStudy(cookieguard.StudyConfig{
-		Sites: 200, Workers: 8, Interact: true,
-	})
+	p := cookieguard.New(
+		cookieguard.WithSites(200),
+		cookieguard.WithWorkers(8),
+		cookieguard.WithInteract(true),
+		cookieguard.WithProgress(func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  visited %d/%d\n", done, total)
+			}
+		}),
+	)
 	fmt.Println("crawling 200 synthetic sites...")
-	logs, err := study.Crawl(context.Background())
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := study.Analyze(logs)
 
 	fmt.Printf("\ncomplete sites: %d / %d\n", res.Summary.SitesComplete, res.Summary.SitesTotal)
 	fmt.Printf("sites with third-party scripts: %d (mean %.1f scripts/site, %.0f%% tracking)\n\n",

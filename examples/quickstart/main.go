@@ -1,5 +1,8 @@
-// Quickstart: build a three-site synthetic web, visit a page with and
-// without CookieGuard, and print what each third-party script could see.
+// Quickstart: build a tiny synthetic web and run the streaming pipeline
+// twice — once plain, once under CookieGuard — with the composable
+// cookieguard.New(...) API. Crawl and analysis run in a single pass:
+// each visit log is folded into the analyzer the moment its visit
+// finishes, so memory stays O(workers) no matter how many sites.
 package main
 
 import (
@@ -12,36 +15,51 @@ import (
 )
 
 func main() {
-	// A tiny study: 3 sites, deterministic.
-	study := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: 3, Interact: true})
+	// A tiny pipeline: 3 sites, deterministic, with user interaction.
+	p := cookieguard.New(
+		cookieguard.WithSites(3),
+		cookieguard.WithInteract(true),
+	)
 
 	fmt.Println("== sites ==")
-	for _, e := range study.SiteList() {
+	for _, e := range p.SiteList() {
 		fmt.Printf("  #%d %s\n", e.Rank, e.Domain)
 	}
 
-	// Crawl without the guard: the measurement baseline.
-	logs, err := study.Crawl(context.Background())
+	// Crawl + analyze in one streaming pass: the measurement baseline.
+	res, err := p.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := study.Analyze(logs)
 	fmt.Printf("\n== baseline crawl ==\n")
 	fmt.Printf("complete sites: %d\n", res.Summary.SitesComplete)
 	fmt.Printf("unique cookie pairs: %d\n", res.Summary.UniquePairsDocument)
 	fmt.Printf("sites with cross-domain exfiltration: %.0f%%\n",
 		res.SitePct(analysis.ActExfiltration))
 
-	// The same crawl under CookieGuard.
-	pol := cookieguard.DefaultGuardPolicy()
-	guarded := cookieguard.NewStudy(cookieguard.StudyConfig{Sites: 3, Interact: true, GuardPolicy: &pol})
-	glogs, err := guarded.Crawl(context.Background())
+	// The same pipeline under CookieGuard: one more option.
+	guarded := cookieguard.New(
+		cookieguard.WithSites(3),
+		cookieguard.WithInteract(true),
+		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
+	)
+	gres, err := guarded.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	gres := guarded.Analyze(glogs)
 	fmt.Printf("\n== with CookieGuard ==\n")
 	fmt.Printf("sites with cross-domain exfiltration: %.0f%%\n",
 		gres.SitePct(analysis.ActExfiltration))
 	fmt.Println("\nCookieGuard isolates each script to the cookies its own domain created.")
+
+	// Need the raw logs too? Consume the stream directly — logs arrive
+	// as visits finish, bounded by the worker count.
+	logs, errs := p.Stream(context.Background())
+	fmt.Printf("\n== streamed visit logs ==\n")
+	for v := range logs {
+		fmt.Printf("  %-16s cookies=%-3d requests=%d\n", v.Site, len(v.Cookies), len(v.Requests))
+	}
+	if err := <-errs; err != nil {
+		log.Fatal(err)
+	}
 }

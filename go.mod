@@ -1,0 +1,3 @@
+module cookieguard
+
+go 1.24

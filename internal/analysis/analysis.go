@@ -52,7 +52,11 @@ type Event struct {
 	ChangedPath    bool
 }
 
-// Analyzer holds configuration for a run.
+// Analyzer holds configuration for a run. It consumes visit logs either
+// in one batch (Run) or incrementally (Observe per log, then Finalize),
+// so a streaming pipeline can analyze each log as the crawl produces it
+// and never materialize the full log set. An Analyzer is not safe for
+// concurrent use; feed it from a single goroutine.
 type Analyzer struct {
 	Entities *entity.Map
 	// IsTracker classifies script URLs (nil disables classification).
@@ -60,6 +64,19 @@ type Analyzer struct {
 	// MinIdentifierLen is the candidate-identifier threshold (§4.4,
 	// default 8).
 	MinIdentifierLen int
+
+	// st accumulates the in-progress run between Observe calls; Finalize
+	// consumes it, so the Analyzer is reusable for a fresh run afterwards.
+	st *runState
+}
+
+// runState is the accumulation state of one analysis run.
+type runState struct {
+	res *Results
+
+	tpScriptTotal, tpCookieTotal, fpCookieTotal int
+	trackerOcc, tpOcc                           int
+	indirectTrackers                            int
 }
 
 // New returns an Analyzer with the default entity map.
@@ -132,53 +149,74 @@ type Summary struct {
 	SitesWithCrossDomainDOM int
 }
 
-// Run analyzes the retained visit logs.
+// Run analyzes the retained visit logs in one batch. It is implemented
+// on the incremental path: every log is Observed in input order and the
+// aggregates come from Finalize, so batch and streaming runs over the
+// same log sequence produce identical Results.
 func (a *Analyzer) Run(logs []instrument.VisitLog) *Results {
-	if a.MinIdentifierLen <= 0 {
-		a.MinIdentifierLen = 8
-	}
-	if a.Entities == nil {
-		a.Entities = entity.Default()
-	}
-	res := &Results{
-		Pairs:       map[CookieKey]*PairInfo{},
-		PairsByAPI:  map[instrument.API]int{},
-		SiteActions: map[string]map[actionAPIKey]bool{},
-	}
-	var tpScriptTotal, tpCookieTotal, fpCookieTotal int
-	var trackerOcc, tpOcc int
-	var indirectTrackers int
-
 	for i := range logs {
-		v := &logs[i]
-		res.Summary.SitesTotal++
-		if !v.Complete() {
-			continue
-		}
-		res.Summary.SitesComplete++
-		a.analyzeSite(v, res, &tpScriptTotal, &tpCookieTotal, &fpCookieTotal,
-			&trackerOcc, &tpOcc, &indirectTrackers)
+		a.Observe(logs[i])
 	}
+	return a.Finalize()
+}
 
+// Observe folds one visit log into the in-progress run. Incomplete logs
+// count toward SitesTotal but are otherwise skipped, exactly as in the
+// batch path. Observe retains no reference to v once it returns, so a
+// streaming caller holds O(1) logs per Observe.
+func (a *Analyzer) Observe(v instrument.VisitLog) {
+	st := a.state()
+	st.res.Summary.SitesTotal++
+	if !v.Complete() {
+		return
+	}
+	st.res.Summary.SitesComplete++
+	a.analyzeSite(&v, st)
+}
+
+// Finalize computes the aggregate statistics over everything Observed so
+// far and returns the Results, resetting the Analyzer for a fresh run.
+func (a *Analyzer) Finalize() *Results {
+	st := a.state()
+	a.st = nil
+	res := st.res
 	s := &res.Summary
 	if s.SitesComplete > 0 {
-		s.MeanTPScriptsPerSite = float64(tpScriptTotal) / float64(s.SitesComplete)
-		s.MeanTPCookiesPerSite = float64(tpCookieTotal) / float64(s.SitesComplete)
-		s.MeanFPCookiesPerSite = float64(fpCookieTotal) / float64(s.SitesComplete)
+		s.MeanTPScriptsPerSite = float64(st.tpScriptTotal) / float64(s.SitesComplete)
+		s.MeanTPCookiesPerSite = float64(st.tpCookieTotal) / float64(s.SitesComplete)
+		s.MeanFPCookiesPerSite = float64(st.fpCookieTotal) / float64(s.SitesComplete)
 	}
-	if tpOcc > 0 {
-		s.TrackerScriptShare = float64(trackerOcc) / float64(tpOcc)
+	if st.tpOcc > 0 {
+		s.TrackerScriptShare = float64(st.trackerOcc) / float64(st.tpOcc)
 	}
 	if s.IndirectScripts > 0 {
-		s.IndirectTrackerShare = float64(indirectTrackers) / float64(s.IndirectScripts)
+		s.IndirectTrackerShare = float64(st.indirectTrackers) / float64(s.IndirectScripts)
 	}
-	for key, p := range res.Pairs {
-		_ = key
+	for _, p := range res.Pairs {
 		res.PairsByAPI[p.API]++
 	}
 	s.UniquePairsDocument = res.PairsByAPI[instrument.APIDocument] + res.PairsByAPI[instrument.APIHTTP]
 	s.UniquePairsCookieStore = res.PairsByAPI[instrument.APICookieStore]
 	return res
+}
+
+// state lazily creates the run state and applies config defaults, so the
+// first Observe of a run fixes the effective configuration.
+func (a *Analyzer) state() *runState {
+	if a.st == nil {
+		if a.MinIdentifierLen <= 0 {
+			a.MinIdentifierLen = 8
+		}
+		if a.Entities == nil {
+			a.Entities = entity.Default()
+		}
+		a.st = &runState{res: &Results{
+			Pairs:       map[CookieKey]*PairInfo{},
+			PairsByAPI:  map[instrument.API]int{},
+			SiteActions: map[string]map[actionAPIKey]bool{},
+		}}
+	}
+	return a.st
 }
 
 // ownership tracks per-site cookie state during replay.
@@ -193,9 +231,8 @@ type cookieState struct {
 	live     bool
 }
 
-func (a *Analyzer) analyzeSite(v *instrument.VisitLog, res *Results,
-	tpScripts, tpCookies, fpCookies, trackerOcc, tpOcc, indirectTrackers *int) {
-
+func (a *Analyzer) analyzeSite(v *instrument.VisitLog, st *runState) {
+	res := st.res
 	site := v.Site
 	siteActs := res.SiteActions[site]
 	if siteActs == nil {
@@ -217,18 +254,18 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, res *Results,
 			continue
 		}
 		seenScript[sr.URL] = true
-		*tpScripts++
-		*tpOcc++
+		st.tpScriptTotal++
+		st.tpOcc++
 		isTrk := a.IsTracker != nil && a.IsTracker(sr.URL, site)
 		if isTrk {
-			*trackerOcc++
+			st.trackerOcc++
 		}
 		if sr.Direct() {
 			res.Summary.DirectScripts++
 		} else {
 			res.Summary.IndirectScripts++
 			if isTrk {
-				*indirectTrackers++
+				st.indirectTrackers++
 			}
 		}
 	}
@@ -260,9 +297,9 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, res *Results,
 					value: ev.Value, live: true}
 				ensurePair(CookieKey{Name: ev.Name, Owner: owner}, instrument.APIHTTP)
 				if owner == site {
-					*fpCookies++
+					st.fpCookieTotal++
 				} else {
-					*tpCookies++
+					st.tpCookieTotal++
 				}
 			} else {
 				cs.value = ev.Value
@@ -283,9 +320,9 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, res *Results,
 				}
 				ensurePair(CookieKey{Name: ev.Name, Owner: actor}, ev.API)
 				if actor == site {
-					*fpCookies++
+					st.fpCookieTotal++
 				} else {
-					*tpCookies++
+					st.tpCookieTotal++
 				}
 				continue
 			}
@@ -413,6 +450,12 @@ func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
 	if len(candidates) == 0 {
 		return
 	}
+	// state is a map, so candidate order (and with it Event order) would
+	// vary run to run; cookie names are unique per site, so sorting on
+	// the name makes repeated runs over the same logs byte-identical.
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].key.Name < candidates[j].key.Name
+	})
 
 	for _, req := range v.Requests {
 		if !req.MainFrame || req.InitiatorScript == "" {

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"cookieguard/internal/instrument"
+)
+
+// streamFixture builds a varied log sequence: cross-domain overwrite,
+// delete, exfiltration, an HTTP-set cookie, and an incomplete visit.
+func streamFixture() []instrument.VisitLog {
+	v1 := baseLog()
+	v1.Cookies = []instrument.CookieEvent{
+		writeEv(instrument.APIDocument, "_ga", "GA1.1.444332364.1746838827", setterJS, 3600),
+		writeEv(instrument.APIDocument, "_ga", "GA1.1.999999999.1746838827", readerJS, 7200),
+		writeEv(instrument.APICookieStore, "cs_id", "csvalue1234567", setterJS, 600),
+	}
+	v1.Requests = append(v1.Requests, instrument.RequestEvent{
+		URL:             "https://px.dest.example/t?ga=NDQ0MzMyMzY0",
+		Kind:            "beacon",
+		InitiatorScript: readerJS,
+		InitiatorDomain: "other.example",
+		MainFrame:       true,
+	})
+
+	v2 := baseLog()
+	v2.Site = "news.example"
+	v2.URL = "https://www.news.example/"
+	v2.Cookies = []instrument.CookieEvent{
+		{Op: instrument.OpHTTPSet, API: instrument.APIHTTP, Name: "srv",
+			Value: "serverval12345678", Domain: "news.example", MainFrame: true},
+		writeEv(instrument.APIDocument, "srv", "clobbered12345678", readerJS, 60),
+		deleteEv(instrument.APIDocument, "srv", setterJS),
+	}
+
+	incomplete := instrument.VisitLog{Site: "dead.example", OK: false}
+
+	return []instrument.VisitLog{v1, incomplete, v2}
+}
+
+// TestObserveFinalizeMatchesRun is the streaming-equivalence contract:
+// folding logs in one at a time must produce exactly the Results of the
+// batch Run over the same sequence.
+func TestObserveFinalizeMatchesRun(t *testing.T) {
+	logs := streamFixture()
+
+	batch := New().Run(logs)
+
+	inc := New()
+	for _, v := range logs {
+		inc.Observe(v)
+	}
+	streaming := inc.Finalize()
+
+	if !reflect.DeepEqual(batch, streaming) {
+		t.Fatalf("streaming Results diverge from batch:\nbatch:     %+v\nstreaming: %+v", batch, streaming)
+	}
+	if len(batch.Events) == 0 {
+		t.Fatal("fixture produced no events; equality check is vacuous")
+	}
+}
+
+// TestRunDeterministic guards the sorted-candidate fix: repeated runs
+// over the same logs must order Events identically.
+func TestRunDeterministic(t *testing.T) {
+	logs := streamFixture()
+	first := New().Run(logs)
+	for i := 0; i < 10; i++ {
+		if again := New().Run(logs); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+// TestAnalyzerReusableAfterFinalize: Finalize resets the analyzer, so a
+// second run starts from scratch instead of accumulating.
+func TestAnalyzerReusableAfterFinalize(t *testing.T) {
+	logs := streamFixture()
+	an := New()
+	first := an.Run(logs)
+	second := an.Run(logs)
+	if first.Summary.SitesTotal != second.Summary.SitesTotal {
+		t.Fatalf("second run accumulated: %d vs %d sites",
+			first.Summary.SitesTotal, second.Summary.SitesTotal)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("reused analyzer produced different Results")
+	}
+}
+
+// TestFinalizeWithoutObserve yields an empty, well-formed Results.
+func TestFinalizeWithoutObserve(t *testing.T) {
+	res := New().Finalize()
+	if res.Summary.SitesTotal != 0 || len(res.Pairs) != 0 || len(res.Events) != 0 {
+		t.Fatalf("empty finalize not empty: %+v", res)
+	}
+	if res.Pairs == nil || res.PairsByAPI == nil || res.SiteActions == nil {
+		t.Fatal("maps not initialized")
+	}
+}

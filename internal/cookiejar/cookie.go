@@ -232,12 +232,21 @@ func pathMatch(requestPath, cookiePath string) bool {
 }
 
 // sortCookies orders cookies for header serialization: longer paths first,
-// then earlier creation time (RFC 6265 §5.4 step 2).
+// then earlier creation time (RFC 6265 §5.4 step 2). The RFC leaves the
+// order of remaining ties undefined; they are broken on (domain, name) so
+// serialization does not inherit map iteration order — with a fixed seed,
+// repeated crawls then produce byte-identical logs.
 func sortCookies(cs []*Cookie) {
 	sort.SliceStable(cs, func(i, j int) bool {
 		if len(cs[i].Path) != len(cs[j].Path) {
 			return len(cs[i].Path) > len(cs[j].Path)
 		}
-		return cs[i].Created.Before(cs[j].Created)
+		if !cs[i].Created.Equal(cs[j].Created) {
+			return cs[i].Created.Before(cs[j].Created)
+		}
+		if cs[i].Domain != cs[j].Domain {
+			return cs[i].Domain < cs[j].Domain
+		}
+		return cs[i].Name < cs[j].Name
 	})
 }

@@ -39,6 +39,8 @@ type Options struct {
 	// Seed differentiates browser randomness across visits.
 	Seed uint64
 	// Progress, when set, receives (done, total) after every visit.
+	// Invocations are serialized (no two run concurrently) but arrive on
+	// crawl worker goroutines; a slow callback backpressures the crawl.
 	Progress func(done, total int)
 }
 
@@ -49,21 +51,23 @@ type Result struct {
 
 // Complete returns the retained logs (the paper's completeness filter).
 func (r *Result) Complete() []instrument.VisitLog {
-	var out []instrument.VisitLog
-	for _, l := range r.Logs {
-		if l.Complete() {
-			out = append(out, l)
-		}
-	}
-	return out
+	return instrument.FilterComplete(r.Logs)
 }
 
-// Crawl visits every URL in sites and returns the collected logs, in the
-// order of the input list. The context cancels outstanding visits.
-func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
-	if opts.Internet == nil {
-		return nil, fmt.Errorf("crawler: Options.Internet is required")
-	}
+// indexedLog pairs a visit log with its position in the input site list,
+// so the batch wrapper can restore input order over the unordered stream.
+type indexedLog struct {
+	idx int
+	log instrument.VisitLog
+}
+
+// stream is the shared streaming core: it visits every URL on a bounded
+// worker pool and delivers indexed logs in completion order on a channel
+// with capacity equal to the worker count, so at most O(workers) logs are
+// resident (in flight or buffered) at any time. Cancelling the context
+// stops dispatch, unblocks workers mid-stream, and closes both channels
+// after the pool drains; the error channel then carries ctx.Err().
+func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLog, <-chan error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 8
@@ -73,7 +77,15 @@ func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
 		maxClicks = 3
 	}
 
-	logs := make([]instrument.VisitLog, len(sites))
+	out := make(chan indexedLog, workers)
+	errc := make(chan error, 1)
+	if opts.Internet == nil {
+		errc <- fmt.Errorf("crawler: Options.Internet is required")
+		close(out)
+		close(errc)
+		return out, errc
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var done int
@@ -81,32 +93,92 @@ func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				logs[idx] = visit(sites[idx], opts, maxClicks, uint64(idx))
+				l := visit(sites[idx], opts, maxClicks, uint64(idx))
+				// Prefer delivery: a completed visit is only dropped when
+				// the context is cancelled AND the stream is full — never
+				// by the select's random choice while space remains, so a
+				// draining consumer (Crawl) retains every finished log.
+				select {
+				case out <- indexedLog{idx: idx, log: l}:
+				default:
+					select {
+					case out <- indexedLog{idx: idx, log: l}:
+					case <-ctx.Done():
+						return
+					}
+				}
 				if opts.Progress != nil {
 					progressMu.Lock()
 					done++
-					d := done
+					opts.Progress(done, len(sites))
 					progressMu.Unlock()
-					opts.Progress(d, len(sites))
 				}
 			}
-		}(w)
+		}()
 	}
 
-loop:
-	for i := range sites {
-		select {
-		case <-ctx.Done():
-			break loop
-		case jobs <- i:
+	go func() {
+	loop:
+		for i := range sites {
+			select {
+			case <-ctx.Done():
+				break loop
+			case jobs <- i:
+			}
 		}
+		close(jobs)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			errc <- err
+		}
+		close(out)
+		close(errc)
+	}()
+	return out, errc
+}
+
+// Stream visits every URL in sites and delivers the logs incrementally,
+// in completion order, as each visit finishes. The log channel is bounded
+// by the worker count, so a slow consumer backpressures the crawl instead
+// of accumulating results; cancelling the context stops the crawl
+// mid-stream and drains the worker pool. Both channels are closed when
+// the crawl ends; the error channel yields at most one error (the
+// context's, or a configuration error).
+func Stream(ctx context.Context, sites []string, opts Options) (<-chan instrument.VisitLog, <-chan error) {
+	in, errc := stream(ctx, sites, opts)
+	out := make(chan instrument.VisitLog) // unbuffered: the bound lives in the indexed stream
+	go func() {
+		defer close(out)
+		for il := range in {
+			select {
+			case out <- il.log:
+			case <-ctx.Done():
+				// The consumer may have walked away after cancelling;
+				// drain the inner stream so the worker pool unblocks.
+				for range in {
+				}
+				return
+			}
+		}
+	}()
+	return out, errc
+}
+
+// Crawl visits every URL in sites and returns the collected logs, in the
+// order of the input list. It is a batch wrapper over the stream: it
+// materializes the whole result set, so memory scales with len(sites) —
+// use Stream for single-pass pipelines. The context cancels outstanding
+// visits; logs completed before cancellation are retained.
+func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
+	logs := make([]instrument.VisitLog, len(sites))
+	in, errc := stream(ctx, sites, opts)
+	for il := range in {
+		logs[il.idx] = il.log
 	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	if err := <-errc; err != nil {
 		return &Result{Logs: logs}, err
 	}
 	return &Result{Logs: logs}, nil

@@ -113,9 +113,23 @@ type VisitLog struct {
 }
 
 // Complete implements the paper's retention criterion: both cookie access
-// logs and network request data must be present (§4.2).
+// logs and network request data must be present (§4.2). It is the single
+// shared predicate — the crawler's retention filter and the analysis
+// pipeline's per-log skip both delegate here.
 func (v VisitLog) Complete() bool {
 	return v.OK && len(v.Cookies) > 0 && len(v.Requests) > 0
+}
+
+// FilterComplete returns the logs that pass the retention criterion, in
+// input order.
+func FilterComplete(logs []VisitLog) []VisitLog {
+	var out []VisitLog
+	for _, l := range logs {
+		if l.Complete() {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 // Recorder accumulates events for one browser session (one site visit,

@@ -1,0 +1,69 @@
+package cookieguard
+
+// Option configures a Pipeline, functional-options style. Options are
+// applied in order by New; later options override earlier ones.
+type Option func(*config)
+
+// MiddlewareFactory produces a fresh CookieMiddleware for one visit.
+// Visits run concurrently and each browser is isolated, so stateful
+// middleware (recorders, counters, guards) must be constructed per visit
+// rather than shared.
+type MiddlewareFactory = func() CookieMiddleware
+
+// config is the resolved option set of a Pipeline.
+type config struct {
+	sites      int
+	seed       uint64
+	workers    int
+	interact   bool
+	guard      *Policy
+	middleware []MiddlewareFactory
+	progress   func(done, total int)
+}
+
+// WithSites sets the number of sites to generate (the paper used 20,000).
+func WithSites(n int) Option {
+	return func(c *config) { c.sites = n }
+}
+
+// WithSeed overrides the default deterministic seed for web generation
+// and per-visit browser randomness.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithWorkers bounds crawl concurrency (default 8). The worker count
+// also bounds the streaming pipeline's resident visit logs.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithInteract enables the light user-interaction step (§4.2): scrolling
+// plus up to three random same-site link clicks with two-second pauses.
+func WithInteract(on bool) Option {
+	return func(c *config) { c.interact = on }
+}
+
+// WithGuard crawls with CookieGuard enforcement enabled under the given
+// policy; a fresh Guard is constructed per visit.
+func WithGuard(pol Policy) Option {
+	return func(c *config) { c.guard = &pol }
+}
+
+// WithMiddleware registers per-visit cookie middleware factories. Each
+// visit calls every factory once and installs the returned middleware
+// between the pipeline's instrumentation recorder (innermost) and the
+// guard (outermost, when one is enabled), so registered middleware
+// observes post-enforcement operations — the same traffic the
+// measurement records.
+func WithMiddleware(factories ...MiddlewareFactory) Option {
+	return func(c *config) { c.middleware = append(c.middleware, factories...) }
+}
+
+// WithProgress registers a callback invoked with (done, total) after
+// every finished visit. Invocations are serialized (no two run
+// concurrently) but arrive on crawl worker goroutines; a slow callback
+// backpressures the crawl.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
+}

@@ -1,0 +1,188 @@
+package cookieguard
+
+// Tests for the streaming pipeline API: option wiring, the Study shim,
+// streaming-vs-batch equivalence, bounded residency, and cancellation.
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cookieguard/internal/browser"
+)
+
+// TestStreamingAnalysisMatchesBatch is the equivalence contract at the
+// public-API level: feeding crawled logs through Observe/Finalize must
+// reproduce the batch Analyze byte for byte.
+func TestStreamingAnalysisMatchesBatch(t *testing.T) {
+	p := New(WithSites(60), WithWorkers(8), WithInteract(true))
+	logs, err := p.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := p.Analyze(logs)
+
+	an := p.NewAnalyzer()
+	for _, v := range logs {
+		an.Observe(v)
+	}
+	streaming := an.Finalize()
+
+	if !reflect.DeepEqual(batch, streaming) {
+		t.Fatal("streaming Observe/Finalize diverges from batch Analyze on identical logs")
+	}
+	if len(batch.Events) == 0 || batch.Summary.SitesComplete == 0 {
+		t.Fatal("crawl produced no events; equivalence check is vacuous")
+	}
+}
+
+// TestRunSinglePass verifies Run against the batch path on a fresh crawl
+// of the same web: per-site aggregates must agree even though the stream
+// observes sites in completion order.
+func TestRunSinglePass(t *testing.T) {
+	p := New(WithSites(60), WithWorkers(8), WithInteract(true))
+
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logs, err := p.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := p.Analyze(logs)
+
+	if res.Summary.SitesTotal != batch.Summary.SitesTotal ||
+		res.Summary.SitesComplete != batch.Summary.SitesComplete {
+		t.Fatalf("site counts diverge: run=%+v batch=%+v", res.Summary, batch.Summary)
+	}
+	if len(res.Events) != len(batch.Events) {
+		t.Fatalf("event counts diverge: run=%d batch=%d", len(res.Events), len(batch.Events))
+	}
+	if res.Summary.SitesWithThirdParty != batch.Summary.SitesWithThirdParty {
+		t.Fatalf("third-party counts diverge: run=%d batch=%d",
+			res.Summary.SitesWithThirdParty, batch.Summary.SitesWithThirdParty)
+	}
+}
+
+// TestPipelineBoundedResidency is the acceptance check for the streaming
+// memory claim: under a slow consumer, logs produced but not yet consumed
+// stay O(workers) — the same bound Run relies on — while a batch Crawl
+// would materialize all of them.
+func TestPipelineBoundedResidency(t *testing.T) {
+	const nSites, workers = 60, 3
+	var produced atomic.Int64
+	p := New(
+		WithSites(nSites),
+		WithWorkers(workers),
+		WithProgress(func(done, total int) {
+			if total != nSites {
+				t.Errorf("progress total = %d, want %d", total, nSites)
+			}
+			produced.Store(int64(done))
+		}),
+	)
+	logs, errs := p.Stream(context.Background())
+	consumed, peak := 0, 0
+	for range logs {
+		consumed++
+		if resident := int(produced.Load()) - consumed; resident > peak {
+			peak = resident
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if consumed != nSites {
+		t.Fatalf("consumed %d logs, want %d", consumed, nSites)
+	}
+	if limit := workers + 2; peak > limit {
+		t.Errorf("peak resident logs = %d, want <= %d (O(workers), workers=%d, sites=%d)",
+			peak, limit, workers, nSites)
+	}
+}
+
+// TestRunContextCancel: a cancelled context aborts Run with its error.
+func TestRunContextCancel(t *testing.T) {
+	p := New(WithSites(10))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx); err == nil {
+		t.Fatal("cancelled Run should report the context error")
+	}
+}
+
+// TestWithMiddleware: registered factories run once per visit and their
+// middleware sees the visit's cookie traffic.
+func TestWithMiddleware(t *testing.T) {
+	var visits, ops atomic.Int64
+	factory := func() CookieMiddleware {
+		visits.Add(1)
+		return func(next browser.CookieAPI) browser.CookieAPI {
+			return &countingAPI{CookieAPI: next, ops: &ops}
+		}
+	}
+	p := New(WithSites(12), WithInteract(true), WithMiddleware(factory))
+	if _, err := p.Crawl(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if visits.Load() != 12 {
+		t.Errorf("factory invoked %d times, want once per visit (12)", visits.Load())
+	}
+	if ops.Load() == 0 {
+		t.Error("middleware observed no cookie operations")
+	}
+}
+
+// countingAPI counts document.cookie traffic and forwards everything.
+type countingAPI struct {
+	browser.CookieAPI
+	ops *atomic.Int64
+}
+
+func (c *countingAPI) GetDocumentCookie(ctx browser.AccessContext) string {
+	c.ops.Add(1)
+	return c.CookieAPI.GetDocumentCookie(ctx)
+}
+
+func (c *countingAPI) SetDocumentCookie(ctx browser.AccessContext, assignment string) {
+	c.ops.Add(1)
+	c.CookieAPI.SetDocumentCookie(ctx, assignment)
+}
+
+// TestWithSeedReproducible: the same seed regenerates the same web; a
+// different seed does not.
+func TestWithSeedReproducible(t *testing.T) {
+	a := New(WithSites(20), WithSeed(42))
+	b := New(WithSites(20), WithSeed(42))
+	c := New(WithSites(20), WithSeed(43))
+	if !reflect.DeepEqual(a.SiteList(), b.SiteList()) {
+		t.Fatal("same seed produced different site lists")
+	}
+	if reflect.DeepEqual(a.SiteList(), c.SiteList()) {
+		t.Fatal("different seeds produced identical site lists")
+	}
+}
+
+// TestStudyShim: the deprecated batch API keeps working on top of the
+// pipeline.
+func TestStudyShim(t *testing.T) {
+	pol := DefaultGuardPolicy()
+	study := NewStudy(StudyConfig{Sites: 8, Workers: 4, Interact: true, GuardPolicy: &pol})
+	logs, err := study.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 8 {
+		t.Fatalf("logs = %d, want 8", len(logs))
+	}
+	res := study.Analyze(logs)
+	if res.Summary.SitesTotal != 8 {
+		t.Fatalf("SitesTotal = %d, want 8", res.Summary.SitesTotal)
+	}
+}
