@@ -5,13 +5,27 @@
 // Usage:
 //
 //	experiments [-sites N] [-workers N] [-seed S] [-perf N] [-breakage N]
+//	            [-artifact-cache=BOOL] [-bench-json FILE]
+//
+// Artifact-cache tuning: the pipeline keeps a content-addressed cache of
+// compiled SiteScript programs, DOM templates, and network responses for
+// its lifetime (-artifact-cache=true, the default). The cache trades
+// memory proportional to the web's distinct content for crawl
+// throughput; it never changes results — the same seed emits
+// byte-identical records with the cache on or off. Disable it with
+// -artifact-cache=false to bound memory on very large -sites values or
+// to measure the uncached baseline; -bench-json records the achieved
+// throughput and cache hit rates either way (BENCH_2.json by
+// convention), so on/off runs can be compared directly.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cookieguard"
 	"cookieguard/internal/analysis"
@@ -26,15 +40,31 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the default deterministic seed (reproducible full-scale runs)")
 	perfN := flag.Int("perf", 800, "sites for the performance experiment (paper: 10000)")
 	breakN := flag.Int("breakage", 100, "sites for the breakage assessment (paper: 100)")
+	artifactCache := flag.Bool("artifact-cache", true,
+		"reuse compiled scripts/DOM templates/responses across visits (identical output, higher throughput; costs memory proportional to distinct content)")
+	benchJSON := flag.String("bench-json", "",
+		"write a crawl-throughput snapshot (sites/sec, cache hit rates) to this file, e.g. BENCH_2.json")
 	flag.Parse()
 
-	if err := run(*sites, *workers, *seed, *perfN, *breakN); err != nil {
+	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sites, workers int, seed uint64, perfN, breakN int) error {
+// benchSnapshot is the schema of the -bench-json throughput record.
+type benchSnapshot struct {
+	Benchmark     string                 `json:"benchmark"`
+	Sites         int                    `json:"sites"`
+	Workers       int                    `json:"workers"`
+	Seed          uint64                 `json:"seed"`
+	ArtifactCache bool                   `json:"artifact_cache"`
+	CrawlSeconds  float64                `json:"crawl_seconds"`
+	SitesPerSec   float64                `json:"sites_per_sec"`
+	CacheStats    cookieguard.CacheStats `json:"cache_stats"`
+}
+
+func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool, benchJSON string) error {
 	out := os.Stdout
 	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
 
@@ -43,18 +73,45 @@ func run(sites, workers int, seed uint64, perfN, breakN int) error {
 		cookieguard.WithWorkers(workers),
 		cookieguard.WithSeed(seed),
 		cookieguard.WithInteract(true),
+		cookieguard.WithArtifactCache(artifactCache),
 	)
 	ctx := context.Background()
 
 	// ---------- Measurement crawl (no guard), single streaming pass ----------
 	fmt.Fprintln(out, "--- measurement crawl (§4) ---")
+	crawlStart := time.Now()
 	res, err := study.Run(ctx)
 	if err != nil {
 		return err
 	}
+	crawlSecs := time.Since(crawlStart).Seconds()
 	s := res.Summary
-	fmt.Fprintf(out, "crawled %d sites, %d complete (paper: 20000 -> 14917)\n\n",
+	fmt.Fprintf(out, "crawled %d sites, %d complete (paper: 20000 -> 14917)\n",
 		s.SitesTotal, s.SitesComplete)
+	cs := study.CacheStats()
+	fmt.Fprintf(out, "throughput %.1f sites/s; artifact cache: %d program hits / %d misses, %d dom hits, %d body hits\n\n",
+		float64(sites)/crawlSecs, cs.ProgramHits, cs.ProgramMisses, cs.DOMHits, cs.BodyHits)
+
+	if benchJSON != "" {
+		snap := benchSnapshot{
+			Benchmark:     "StreamingPipeline",
+			Sites:         sites,
+			Workers:       workers,
+			Seed:          seed,
+			ArtifactCache: artifactCache,
+			CrawlSeconds:  crawlSecs,
+			SitesPerSec:   float64(sites) / crawlSecs,
+			CacheStats:    cs,
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		fmt.Fprintf(out, "throughput snapshot written to %s\n\n", benchJSON)
+	}
 
 	// ---------- §5.1 / §5.2 / §5.6 / §8 headline stats ----------
 	fmt.Fprintln(out, "--- headline statistics (paper vs measured) ---")
@@ -112,6 +169,7 @@ func run(sites, workers int, seed uint64, perfN, breakN int) error {
 		cookieguard.WithSeed(seed),
 		cookieguard.WithInteract(true),
 		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
+		cookieguard.WithArtifactCache(artifactCache),
 	)
 	gres, err := guarded.Run(ctx)
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"context"
 
 	"cookieguard/internal/analysis"
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/breakage"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/crawler"
@@ -63,6 +64,9 @@ type (
 	CookieMiddleware = browser.CookieMiddleware
 	// Analyzer is the incremental analysis engine (Observe/Finalize).
 	Analyzer = analysis.Analyzer
+	// CacheStats is a snapshot of the artifact cache's per-tier hit/miss
+	// counters (see Pipeline.CacheStats).
+	CacheStats = artifact.Stats
 	// Results is the aggregated analysis output.
 	Results = analysis.Results
 	// Guard is a CookieGuard enforcement instance.
@@ -82,6 +86,12 @@ type Pipeline struct {
 	Web *Web
 	// Net is the in-memory network fabric serving Web.
 	Net *Internet
+
+	// artifacts is the pipeline-lifetime content-addressed cache: the
+	// web is static, so compiled programs, DOM templates, and response
+	// bodies are shared across every crawl, worker, and evaluation this
+	// pipeline runs. Nil when disabled via WithArtifactCache(false).
+	artifacts *artifact.Cache
 }
 
 // New generates a synthetic web and returns the pipeline over it,
@@ -103,7 +113,25 @@ func New(opts ...Option) *Pipeline {
 		gen.Seed = cfg.seed
 	}
 	w := webgen.Build(gen)
-	return &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet()}
+	p := &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet()}
+	if !cfg.noArtifacts {
+		p.artifacts = artifact.New()
+		// The generated web serves static bytes per URL, so the fabric
+		// can memoize whole responses in the same cache.
+		p.Net.SetResponseCache(p.artifacts)
+	}
+	return p
+}
+
+// CacheStats returns a snapshot of the artifact cache's per-tier
+// hit/miss counters (all zero when the cache is disabled). A long crawl
+// should show hit rates approaching 1 on every tier; persistent misses
+// mean the workload has little cross-visit redundancy.
+func (p *Pipeline) CacheStats() CacheStats {
+	if p.artifacts == nil {
+		return CacheStats{}
+	}
+	return p.artifacts.Stats()
 }
 
 // SiteList returns the pipeline's ranked site list (Tranco analogue).
@@ -119,11 +147,13 @@ func (p *Pipeline) SiteList() []trancolist.Entry {
 // (innermost, enforcing) with registered middleware factories.
 func (p *Pipeline) crawlOptions() crawler.Options {
 	opts := crawler.Options{
-		Internet: p.Net,
-		Workers:  p.cfg.workers,
-		Interact: p.cfg.interact,
-		Seed:     p.cfg.seed,
-		Progress: p.cfg.progress,
+		Internet:             p.Net,
+		Workers:              p.cfg.workers,
+		Interact:             p.cfg.interact,
+		Seed:                 p.cfg.seed,
+		Progress:             p.cfg.progress,
+		Artifacts:            p.artifacts,
+		DisableArtifactCache: p.cfg.noArtifacts,
 	}
 	pol := p.cfg.guard
 	factories := p.cfg.middleware
@@ -212,20 +242,22 @@ func (p *Pipeline) Analyze(logs []VisitLog) *Results {
 }
 
 // EvaluateBreakage runs the Table 3 assessment over a sample of n sites.
+// It shares the pipeline's artifact cache (honouring WithArtifactCache).
 func (p *Pipeline) EvaluateBreakage(n int, cond breakage.Condition) (breakage.Table3, error) {
 	sample := breakage.Sample(p.Web, n)
-	t, _, err := breakage.Evaluate(p.Net, p.Web, sample, cond)
+	t, _, err := breakage.Evaluate(p.Net, p.Web, sample, cond, p.artifacts)
 	return t, err
 }
 
 // EvaluatePerformance runs the §7.3 paired timing measurement over up to
-// n complete sites.
+// n complete sites, sharing the pipeline's artifact cache (honouring
+// WithArtifactCache).
 func (p *Pipeline) EvaluatePerformance(n int) (*perf.Results, error) {
 	sites := p.Web.CompleteSites()
 	if n > 0 && n < len(sites) {
 		sites = sites[:n]
 	}
-	return perf.Run(p.Net, p.Web, sites)
+	return perf.Run(p.Net, p.Web, sites, p.artifacts)
 }
 
 // NewGuard constructs a CookieGuard instance with the paper's default
@@ -243,47 +275,3 @@ func DefaultGuardPolicy() Policy { return guard.DefaultPolicy() }
 
 // WhitelistGuardPolicy exposes the whitelist-augmented policy.
 func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }
-
-// ---------------------------------------------------------------------
-// Deprecated batch Study API — thin shim over Pipeline, kept for one
-// release. New code should use New with functional options.
-
-// StudyConfig configures an end-to-end reproduction run.
-//
-// Deprecated: use New with WithSites, WithSeed, WithWorkers,
-// WithInteract, and WithGuard.
-type StudyConfig struct {
-	// Sites is the number of sites to generate (the paper used 20,000).
-	Sites int
-	// Seed overrides the default deterministic seed when non-zero.
-	Seed uint64
-	// Workers bounds crawl concurrency (default 8).
-	Workers int
-	// Interact enables the light user-interaction step (§4.2).
-	Interact bool
-	// GuardPolicy, when non-nil, crawls with CookieGuard enabled.
-	GuardPolicy *Policy
-}
-
-// Study is the former batch pipeline type.
-//
-// Deprecated: use Pipeline.
-type Study = Pipeline
-
-// NewStudy generates the synthetic web for a configuration.
-//
-// Deprecated: use New with functional options; the returned Pipeline
-// keeps the Study's Crawl/Analyze methods and adds the streaming
-// single-pass Run.
-func NewStudy(cfg StudyConfig) *Study {
-	opts := []Option{
-		WithSites(cfg.Sites),
-		WithSeed(cfg.Seed),
-		WithWorkers(cfg.Workers),
-		WithInteract(cfg.Interact),
-	}
-	if cfg.GuardPolicy != nil {
-		opts = append(opts, WithGuard(*cfg.GuardPolicy))
-	}
-	return New(opts...)
-}

@@ -1,0 +1,198 @@
+// Package artifact implements the content-addressed artifact cache that
+// makes repeated crawls of the deterministic synthetic web
+// parse-once/run-many. The crawl visits the same population of pages and
+// scripts over and over (unguarded vs. guarded passes, repeated
+// benchmark iterations, subpage revisits), yet the bytes served for any
+// given URL never change — so every artifact derived purely from those
+// bytes can be computed once and shared.
+//
+// The cache has three tiers, all keyed by the contenthash.Sum digest of
+// the source bytes:
+//
+//   - Compiled programs: jsdsl.Parse output. A *jsdsl.Program is
+//     immutable after parsing (all interpreter state lives in
+//     jsdsl.Interp), so a single AST is shared by any number of
+//     concurrent interpreters. Parse errors are cached too: a script
+//     that fails to parse fails identically on every visit without
+//     re-lexing.
+//
+//   - DOM templates: dom.Parse output. Pages are mutated by scripts
+//     (cross-domain DOM modification is one of the measured behaviours),
+//     so the cached tree is a template — callers take a deep
+//     Node.Clone() per page and mutate the clone.
+//
+//   - Response bodies: opaque entries the network fabric (netsim) stores
+//     under request keys, so repeated fetches of an unchanged resource
+//     skip the handler round trip while still charging simulated
+//     latency to the virtual clock.
+//
+// A Cache is safe for concurrent use by any number of goroutines; the
+// crawler shares one cache across all workers of a crawl. Caching is
+// semantically invisible: a crawl with a cache emits byte-identical
+// records to a crawl without one (the equivalence is enforced by tests
+// at the pipeline level).
+package artifact
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cookieguard/internal/contenthash"
+	"cookieguard/internal/dom"
+	"cookieguard/internal/jsdsl"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness, per tier.
+// Hits+Misses equals the number of lookups; a high miss share on a long
+// crawl means the workload has little cross-visit redundancy (or the
+// cache is being recreated per visit instead of shared).
+type Stats struct {
+	ProgramHits   uint64 `json:"program_hits"`
+	ProgramMisses uint64 `json:"program_misses"`
+	DOMHits       uint64 `json:"dom_hits"`
+	DOMMisses     uint64 `json:"dom_misses"`
+	BodyHits      uint64 `json:"body_hits"`
+	BodyMisses    uint64 `json:"body_misses"`
+}
+
+// Lookups returns the total number of cache probes across all tiers.
+func (s Stats) Lookups() uint64 {
+	return s.ProgramHits + s.ProgramMisses + s.DOMHits + s.DOMMisses + s.BodyHits + s.BodyMisses
+}
+
+// progEntry memoizes one jsdsl.Parse outcome (program or error).
+type progEntry struct {
+	prog *jsdsl.Program
+	err  error
+}
+
+// Cache is the concurrency-safe, content-hash-keyed artifact store.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	mu     sync.RWMutex
+	progs  map[string]progEntry
+	doms   map[string]*dom.Node
+	bodies map[string]any
+
+	programHits, programMisses atomic.Uint64
+	domHits, domMisses         atomic.Uint64
+	bodyHits, bodyMisses       atomic.Uint64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		progs:  make(map[string]progEntry),
+		doms:   make(map[string]*dom.Node),
+		bodies: make(map[string]any),
+	}
+}
+
+// KeyFor returns the cache key for source bytes: the transported key
+// when it is a valid content hash (e.g. netsim's body-hash header),
+// otherwise a freshly computed contenthash.Sum of src.
+func KeyFor(transported, src string) string {
+	if contenthash.Valid(transported) {
+		return transported
+	}
+	return contenthash.Sum(src)
+}
+
+// Program returns the compiled program for src, parsing it at most once
+// per content. key must be KeyFor(...) of src (or "" to compute it
+// here). The returned *jsdsl.Program is shared: it is immutable and safe
+// for concurrent interpretation, and must not be modified.
+func (c *Cache) Program(key, src string) (*jsdsl.Program, error) {
+	if key == "" {
+		key = contenthash.Sum(src)
+	}
+	c.mu.RLock()
+	e, ok := c.progs[key]
+	c.mu.RUnlock()
+	if ok {
+		c.programHits.Add(1)
+		return e.prog, e.err
+	}
+	c.programMisses.Add(1)
+	prog, err := jsdsl.Parse(src)
+	c.mu.Lock()
+	// First writer wins, so every interpreter shares one canonical AST.
+	if prior, ok := c.progs[key]; ok {
+		e = prior
+	} else {
+		e = progEntry{prog: prog, err: err}
+		c.progs[key] = e
+	}
+	c.mu.Unlock()
+	return e.prog, e.err
+}
+
+// DOMTemplate returns the parsed node tree for html, parsing it at most
+// once per content. key must be KeyFor(...) of html (or "" to compute it
+// here). The returned tree is the shared template: callers MUST NOT
+// mutate it — take a Node.Clone() per page (Document does both).
+func (c *Cache) DOMTemplate(key, html string) *dom.Node {
+	if key == "" {
+		key = contenthash.Sum(html)
+	}
+	c.mu.RLock()
+	root, ok := c.doms[key]
+	c.mu.RUnlock()
+	if ok {
+		c.domHits.Add(1)
+		return root
+	}
+	c.domMisses.Add(1)
+	parsed := dom.Parse(html)
+	c.mu.Lock()
+	if prior, ok := c.doms[key]; ok {
+		parsed = prior
+	} else {
+		c.doms[key] = parsed
+	}
+	c.mu.Unlock()
+	return parsed
+}
+
+// Document returns a fresh, independently mutable document for a page:
+// the cached template for html, deep-cloned. Mutations to the returned
+// document never reach the cache.
+func (c *Cache) Document(url, key, html string) *dom.Document {
+	return dom.NewDocument(url, c.DOMTemplate(key, html).Clone())
+}
+
+// GetResponse looks up a cached response body entry (the netsim tier).
+// Entries are opaque to the cache; netsim owns their type.
+func (c *Cache) GetResponse(key string) (any, bool) {
+	c.mu.RLock()
+	v, ok := c.bodies[key]
+	c.mu.RUnlock()
+	if ok {
+		c.bodyHits.Add(1)
+	} else {
+		c.bodyMisses.Add(1)
+	}
+	return v, ok
+}
+
+// PutResponse stores a response body entry. The first entry stored for a
+// key wins; concurrent writers of the same content converge.
+func (c *Cache) PutResponse(key string, v any) {
+	c.mu.Lock()
+	if _, ok := c.bodies[key]; !ok {
+		c.bodies[key] = v
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the per-tier hit/miss counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		ProgramHits:   c.programHits.Load(),
+		ProgramMisses: c.programMisses.Load(),
+		DOMHits:       c.domHits.Load(),
+		DOMMisses:     c.domMisses.Load(),
+		BodyHits:      c.bodyHits.Load(),
+		BodyMisses:    c.bodyMisses.Load(),
+	}
+}

@@ -1,0 +1,152 @@
+package artifact
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cookieguard/internal/contenthash"
+)
+
+func TestProgramParseOnce(t *testing.T) {
+	c := New()
+	src := `let x = 1; log("" + x);`
+	p1, err := c.Program("", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Program("", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same content produced distinct programs")
+	}
+	s := c.Stats()
+	if s.ProgramMisses != 1 || s.ProgramHits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+}
+
+func TestProgramErrorCached(t *testing.T) {
+	c := New()
+	src := `let = broken (`
+	if _, err := c.Program("", src); err == nil {
+		t.Fatal("expected parse error")
+	}
+	_, err2 := c.Program("", src)
+	if err2 == nil {
+		t.Fatal("cached lookup lost the parse error")
+	}
+	if s := c.Stats(); s.ProgramMisses != 1 {
+		t.Fatalf("error was re-parsed: %+v", s)
+	}
+}
+
+func TestKeyForTrustsValidHash(t *testing.T) {
+	src := "let a = 1;"
+	h := contenthash.Sum(src)
+	if got := KeyFor(h, src); got != h {
+		t.Fatalf("KeyFor ignored transported hash: %q", got)
+	}
+	if got := KeyFor("not-a-hash", src); got != h {
+		t.Fatalf("KeyFor(%q) = %q, want computed %q", "not-a-hash", got, h)
+	}
+	if got := KeyFor("", src); got != h {
+		t.Fatalf("KeyFor(\"\") = %q, want %q", got, h)
+	}
+}
+
+func TestDOMTemplateSharedAndCloneIsolated(t *testing.T) {
+	c := New()
+	html := `<html><body><div id="x">hello</div></body></html>`
+	t1 := c.DOMTemplate("", html)
+	t2 := c.DOMTemplate("", html)
+	if t1 != t2 {
+		t.Fatal("same content produced distinct templates")
+	}
+
+	doc := c.Document("https://a.example/", "", html)
+	n := doc.ByID("x")
+	if n == nil {
+		t.Fatal("clone lost the element")
+	}
+	doc.SetText(n, "mutated", "https://evil.example/t.js")
+	doc.SetAttr(n, "class", "dirty", "https://evil.example/t.js")
+
+	// The cached template must be untouched by mutations to the clone.
+	fresh := c.Document("https://b.example/", "", html)
+	fn := fresh.ByID("x")
+	if got := fn.InnerText(); got != "hello" {
+		t.Fatalf("template leaked mutation: InnerText = %q", got)
+	}
+	if got := fn.Attr("class"); got != "" {
+		t.Fatalf("template leaked attribute: class = %q", got)
+	}
+}
+
+func TestResponseTierFirstPutWins(t *testing.T) {
+	c := New()
+	c.PutResponse("k", "first")
+	c.PutResponse("k", "second")
+	v, ok := c.GetResponse("k")
+	if !ok || v.(string) != "first" {
+		t.Fatalf("GetResponse = %v, %v; want first, true", v, ok)
+	}
+}
+
+// TestConcurrentAccess hammers all three tiers from many goroutines; it
+// exists chiefly for the race detector, but also checks convergence to
+// one canonical artifact per content.
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	const goroutines = 16
+	srcs := make([]string, 8)
+	htmls := make([]string, 8)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("let v%d = %d; log(\"\" + v%d);", i, i, i)
+		htmls[i] = fmt.Sprintf("<html><body><div id=\"d%d\">x</div></body></html>", i)
+	}
+
+	var wg sync.WaitGroup
+	progs := make([]map[int]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			progs[g] = map[int]any{}
+			for iter := 0; iter < 50; iter++ {
+				for i := range srcs {
+					p, err := c.Program("", srcs[i])
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					progs[g][i] = p
+					c.DOMTemplate("", htmls[i])
+					c.PutResponse(srcs[i], i)
+					c.GetResponse(srcs[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := range srcs {
+		for g := 1; g < goroutines; g++ {
+			if progs[g][i] != progs[0][i] {
+				t.Fatalf("goroutines observed different programs for content %d", i)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.ProgramMisses != uint64(len(srcs)) {
+		// Racing writers may both parse before the first insert; the
+		// canonical entry still wins, so misses can exceed len(srcs),
+		// but hits must dominate.
+		t.Logf("program misses = %d (benign racing parses)", s.ProgramMisses)
+	}
+	if s.ProgramHits == 0 || s.DOMHits == 0 || s.BodyHits == 0 {
+		t.Fatalf("no hits recorded under concurrency: %+v", s)
+	}
+}

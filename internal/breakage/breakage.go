@@ -12,6 +12,7 @@ package breakage
 import (
 	"fmt"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/guard"
 	"cookieguard/internal/netsim"
@@ -83,6 +84,12 @@ type SiteReport struct {
 
 // CheckSite evaluates one site under one condition.
 func CheckSite(in *netsim.Internet, w *webgen.Web, s *webgen.Site, cond Condition) (SiteReport, error) {
+	return checkSite(in, w, s, cond, nil)
+}
+
+// checkSite is CheckSite with a shared artifact cache (Evaluate threads
+// one across its whole sample; nil disables caching).
+func checkSite(in *netsim.Internet, w *webgen.Web, s *webgen.Site, cond Condition, cache *artifact.Cache) (SiteReport, error) {
 	rep := SiteReport{Site: s.Domain, Condition: cond, Results: map[Category]Severity{
 		Navigation: None, SSO: None, Appearance: None, Functionality: None,
 	}}
@@ -99,7 +106,7 @@ func CheckSite(in *netsim.Internet, w *webgen.Web, s *webgen.Site, cond Conditio
 		if g != nil {
 			mw = append(mw, g.Middleware())
 		}
-		b, err := browser.New(browser.Options{Internet: in, CookieMiddleware: mw, Seed: uint64(s.Rank)})
+		b, err := browser.New(browser.Options{Internet: in, CookieMiddleware: mw, Seed: uint64(s.Rank), Artifacts: cache})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -192,8 +199,9 @@ type Table3 struct {
 }
 
 // Evaluate assesses a sample of sites under a condition (Table 3 used a
-// random sample of 100).
-func Evaluate(in *netsim.Internet, w *webgen.Web, sample []*webgen.Site, cond Condition) (Table3, []SiteReport, error) {
+// random sample of 100). All assessments share the given artifact cache
+// (nil disables caching, parsing every byte per visit).
+func Evaluate(in *netsim.Internet, w *webgen.Web, sample []*webgen.Site, cond Condition, cache *artifact.Cache) (Table3, []SiteReport, error) {
 	t := Table3{Condition: cond, Sites: len(sample), Pct: map[Category]map[Severity]float64{}}
 	counts := map[Category]map[Severity]int{}
 	for _, cat := range []Category{Navigation, SSO, Appearance, Functionality} {
@@ -202,7 +210,7 @@ func Evaluate(in *netsim.Internet, w *webgen.Web, sample []*webgen.Site, cond Co
 	}
 	var reports []SiteReport
 	for _, s := range sample {
-		rep, err := CheckSite(in, w, s, cond)
+		rep, err := checkSite(in, w, s, cond, cache)
 		if err != nil {
 			return t, reports, fmt.Errorf("breakage: %s: %w", s.Domain, err)
 		}

@@ -3,6 +3,7 @@ package breakage
 import (
 	"testing"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/webgen"
 )
 
@@ -24,7 +25,7 @@ func findSite(sample []*webgen.Site, pred func(*webgen.Site) bool) *webgen.Site 
 func TestNoGuardNothingBreaks(t *testing.T) {
 	w, sample := buildWeb(t, 150)
 	in := w.BuildInternet()
-	table, _, err := Evaluate(in, w, sample[:40], NoGuard)
+	table, _, err := Evaluate(in, w, sample[:40], NoGuard, artifact.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestTable3Shape(t *testing.T) {
 	}
 	w, sample := buildWeb(t, 700)
 	in := w.BuildInternet()
-	strict, _, err := Evaluate(in, w, sample, GuardStrict)
+	strict, _, err := Evaluate(in, w, sample, GuardStrict, artifact.New())
 	if err != nil {
 		t.Fatal(err)
 	}
-	whitelist, _, err := Evaluate(in, w, sample, GuardWhitelist)
+	whitelist, _, err := Evaluate(in, w, sample, GuardWhitelist, artifact.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/cookiejar"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/stats"
@@ -38,6 +39,14 @@ type Options struct {
 	// HTML parsing per kilobyte (default 0.15).
 	ExecCostPerStep float64
 	ParseCostPerKB  float64
+	// Artifacts, when set, is the shared content-addressed cache for
+	// compiled scripts and DOM templates: identical bytes are parsed
+	// once per cache lifetime instead of once per page. The cache is
+	// typically shared across every browser of a crawl. Caching is
+	// semantically invisible — simulated parse/latency costs are still
+	// charged to the virtual clock, and a cached visit produces records
+	// byte-identical to an uncached one.
+	Artifacts *artifact.Cache
 }
 
 // Browser is a virtual browser instance: one cookie jar, one clock, one
@@ -109,23 +118,25 @@ func (b *Browser) Visit(url string) (*Page, error) {
 // fetch performs one network exchange, advancing the clock by the
 // simulated latency. It attaches the jar's cookies to the request (as the
 // network stack does) and stores any Set-Cookie response headers back. It
-// returns the response body.
-func (b *Browser) fetch(url string) (body string, status int, err error) {
+// returns the response body plus the fabric's content hash of it ("" when
+// the fabric did not compute one); the hash keys the browser's derived
+// artifact caches without rehashing the body.
+func (b *Browser) fetch(url string) (body, bodyHash string, status int, err error) {
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return "", 0, err
+		return "", "", 0, err
 	}
 	if hdr := b.jar.CookieHeader(url); hdr != "" {
 		req.Header.Set("Cookie", hdr)
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return "", 0, err
+		return "", "", 0, err
 	}
 	b.clock.AdvanceMillis(netsim.Latency(resp))
 	for _, sc := range resp.Header.Values("Set-Cookie") {
 		b.jar.SetFromHeader(url, sc)
 	}
 	body, err = netsim.ReadBody(resp)
-	return body, resp.StatusCode, err
+	return body, resp.Header.Get(netsim.BodyHashHeader), resp.StatusCode, err
 }

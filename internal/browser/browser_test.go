@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/jsdsl"
 	"cookieguard/internal/netsim"
 )
@@ -564,6 +565,124 @@ send("https://collect.example/g", {"ga": get_cookie("_ga")});`,
 		}
 		if _, err := br.Visit("https://www.shop.example/"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestArtifactCacheTemplateIsolation: with a shared artifact cache, a
+// page's script mutations must land on the page's private clone —
+// revisits parse nothing but still start from the pristine template.
+func TestArtifactCacheTemplateIsolation(t *testing.T) {
+	html := `<html><head>
+<script src="https://tracker.example/mutate.js"></script>
+</head><body><div id="status">loading</div><div id="main">hello</div></body></html>`
+	scripts := map[string]string{
+		"https://tracker.example/mutate.js": `
+dom_set_text("status", "ready");
+dom_insert("main", "img", {"id": "pixel"});
+dom_remove("main");`,
+	}
+	in := testWeb(html, scripts)
+	cache := artifact.New()
+	in.SetResponseCache(cache)
+
+	visit := func(seed uint64) *Page {
+		b, err := New(Options{Internet: in, Seed: seed, Artifacts: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Visit("https://www.shop.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p1 := visit(1)
+	p2 := visit(2)
+
+	for i, p := range []*Page{p1, p2} {
+		if st := p.Doc.ByID("status"); st == nil || st.InnerText() != "ready" {
+			t.Fatalf("visit %d: script mutation missing from the page's own DOM", i+1)
+		}
+		if p.Doc.ByID("main") != nil {
+			t.Fatalf("visit %d: removed element still present", i+1)
+		}
+		if len(p.Doc.Mutations) != 3 {
+			t.Fatalf("visit %d: mutations = %d, want 3", i+1, len(p.Doc.Mutations))
+		}
+	}
+	if p1.Doc.Root == p2.Doc.Root {
+		t.Fatal("two visits share one DOM tree")
+	}
+
+	// The cached template itself must still be pristine.
+	stats := cache.Stats()
+	if stats.DOMHits == 0 || stats.ProgramHits == 0 {
+		t.Fatalf("second visit did not reuse cached artifacts: %+v", stats)
+	}
+	fresh, err := New(Options{Internet: in, Seed: 4, Artifacts: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := fresh.Visit("https://www.shop.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Doc.ByID("status") == nil || p3.Doc.ByID("status").InnerText() != "ready" {
+		t.Fatal("third visit behaves differently from the first two")
+	}
+}
+
+// TestArtifactCacheVisitEquivalence: a cached and an uncached browser
+// visiting the same page must observe identical pages — scripts, cookie
+// operations, requests, and virtual-clock timings.
+func TestArtifactCacheVisitEquivalence(t *testing.T) {
+	html := `<html><head>
+<script src="https://tracker.example/analytics.js"></script>
+<script>set_cookie("inline_seen", "1");</script>
+</head><body><div id="status">loading</div><a href="/products">go</a></body></html>`
+	scripts := map[string]string{
+		"https://tracker.example/analytics.js": `
+set_cookie("_ga", "GA1.1.fixed");
+dom_set_text("status", "ready");
+send("https://collect.example/p", {"c": get_cookie("_ga")});`,
+	}
+
+	run := func(cached bool) *Page {
+		in := testWeb(html, scripts)
+		opts := Options{Internet: in, Seed: 9}
+		if cached {
+			c := artifact.New()
+			in.SetResponseCache(c)
+			opts.Artifacts = c
+		}
+		b, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two navigations so the cached run actually hits.
+		if _, err := b.Visit("https://www.shop.example/"); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Visit("https://www.shop.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	pc, pu := run(true), run(false)
+	if pc.Timing != pu.Timing {
+		t.Fatalf("timings diverge: cached=%+v uncached=%+v", pc.Timing, pu.Timing)
+	}
+	if len(pc.Scripts) != len(pu.Scripts) || len(pc.Requests) != len(pu.Requests) {
+		t.Fatalf("observation counts diverge: scripts %d/%d requests %d/%d",
+			len(pc.Scripts), len(pu.Scripts), len(pc.Requests), len(pu.Requests))
+	}
+	for i := range pc.Scripts {
+		if pc.Scripts[i].Steps != pu.Scripts[i].Steps {
+			t.Fatalf("script %d steps diverge: %d vs %d", i, pc.Scripts[i].Steps, pu.Scripts[i].Steps)
 		}
 	}
 }

@@ -48,7 +48,7 @@ func (h *hostBinding) Send(url string, params map[string]string) {
 	full := urlutil.WithParams(urlutil.Resolve(h.page.URL, url), params)
 	fr := h.page.currentFrame()
 	h.page.recordRequest(full, ReqBeacon, fr)
-	if _, _, err := h.page.browser.fetch(full); err != nil {
+	if _, _, _, err := h.page.browser.fetch(full); err != nil {
 		h.page.markFailed(full)
 	}
 }

@@ -3,6 +3,7 @@ package browser
 import (
 	"fmt"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/dom"
 	"cookieguard/internal/jsdsl"
 	"cookieguard/internal/urlutil"
@@ -151,7 +152,7 @@ func (p *Page) load() error {
 
 	// 1. Fetch the document.
 	p.recordRequest(p.URL, ReqDocument, frame{})
-	body, status, err := b.fetch(p.URL)
+	body, bodyHash, status, err := b.fetch(p.URL)
 	if err != nil {
 		p.markFailed(p.URL)
 		return err
@@ -160,9 +161,16 @@ func (p *Page) load() error {
 		return fmt.Errorf("document status %d", status)
 	}
 
-	// 2. Parse HTML.
+	// 2. Parse HTML. The simulated parse cost is charged either way —
+	// the artifact cache is an engine optimization, not a model of a
+	// browser cache — but with a cache the tree is parsed once per
+	// content and deep-cloned per page (pages mutate their DOM).
 	b.clock.AdvanceMillis(float64(len(body)) / 1024 * b.opts.ParseCostPerKB)
-	p.Doc = dom.NewDocument(p.URL, dom.Parse(body))
+	if b.opts.Artifacts != nil {
+		p.Doc = b.opts.Artifacts.Document(p.URL, artifact.KeyFor(bodyHash, body), body)
+	} else {
+		p.Doc = dom.NewDocument(p.URL, dom.Parse(body))
+	}
 
 	// 3. Execute scripts in document order (parser-blocking, as real
 	// classic scripts are).
@@ -232,7 +240,7 @@ func (p *Page) loadSubresources() {
 	for _, r := range resources {
 		preMS := b.clock.UnixMillis()
 		p.recordRequest(r.url, r.kind, frame{})
-		if _, _, err := b.fetch(r.url); err != nil {
+		if _, _, _, err := b.fetch(r.url); err != nil {
 			p.markFailed(r.url)
 		}
 		lat := float64(b.clock.UnixMillis() - preMS)
@@ -307,7 +315,7 @@ func (p *Page) runExternal(src, parent string, path []string) {
 	}
 	p.scriptCnt++
 	p.recordRequest(src, ReqScript, p.currentFrame())
-	body, status, err := p.browser.fetch(src)
+	body, bodyHash, status, err := p.browser.fetch(src)
 	exec := ScriptExec{URL: src, Parent: parent, InclusionPath: append([]string(nil), path...)}
 	if err != nil || status >= 400 {
 		p.markFailed(src)
@@ -315,7 +323,7 @@ func (p *Page) runExternal(src, parent string, path []string) {
 		p.Scripts = append(p.Scripts, exec)
 		return
 	}
-	p.execScript(body, frame{scriptURL: src, path: exec.InclusionPath}, &exec)
+	p.execScript(body, bodyHash, frame{scriptURL: src, path: exec.InclusionPath}, &exec)
 	p.Scripts = append(p.Scripts, exec)
 }
 
@@ -333,12 +341,23 @@ func (p *Page) runInline(source string) {
 	}
 	p.scriptCnt++
 	exec := ScriptExec{Inline: true}
-	p.execScript(source, frame{inline: true}, &exec)
+	p.execScript(source, "", frame{inline: true}, &exec)
 	p.Scripts = append(p.Scripts, exec)
 }
 
-func (p *Page) execScript(source string, fr frame, exec *ScriptExec) {
-	prog, err := jsdsl.Parse(source)
+// execScript compiles and runs a script body. sourceHash, when non-empty,
+// is the fabric's content hash of source; with an artifact cache it keys
+// the compiled-program lookup so each distinct script compiles once per
+// crawl (the cache shares one immutable *jsdsl.Program across pages and
+// goroutines; all run state lives in the per-execution Interp).
+func (p *Page) execScript(source, sourceHash string, fr frame, exec *ScriptExec) {
+	var prog *jsdsl.Program
+	var err error
+	if cache := p.browser.opts.Artifacts; cache != nil {
+		prog, err = cache.Program(artifact.KeyFor(sourceHash, source), source)
+	} else {
+		prog, err = jsdsl.Parse(source)
+	}
 	if err != nil {
 		exec.Err = err
 		return

@@ -1,0 +1,47 @@
+// Package contenthash provides the stable content hash used as the key
+// of every content-addressed cache in the system: the netsim response
+// body hash, the jsdsl compiled-program cache, and the DOM template
+// cache all key on the same digest, so a hash computed at one layer
+// (e.g. by the network fabric) can be reused verbatim at another (e.g.
+// the browser's parse cache) without rehashing the bytes.
+//
+// The digest is 128-bit FNV-1a rendered as 32 lowercase hex characters.
+// FNV is not cryptographic; it is used here purely as a deterministic
+// content address over a closed, trusted population (the synthetic web),
+// where 128 bits make accidental collisions vanishingly unlikely.
+package contenthash
+
+import (
+	"encoding/hex"
+	"hash/fnv"
+)
+
+// Size is the length of a digest string returned by Sum.
+const Size = 32
+
+// Sum returns the 128-bit FNV-1a digest of s as a 32-char hex string.
+func Sum(s string) string {
+	h := fnv.New128a()
+	h.Write([]byte(s))
+	var buf [16]byte
+	sum := h.Sum(buf[:0])
+	var out [Size]byte
+	hex.Encode(out[:], sum)
+	return string(out[:])
+}
+
+// Valid reports whether key has the shape of a Sum output. Cache layers
+// use it to decide whether a transported key (e.g. from a response
+// header) can be trusted as a content address.
+func Valid(key string) bool {
+	if len(key) != Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -86,14 +86,38 @@ type storageKey struct {
 	name   string
 }
 
+// memoKey identifies one rendered cookie-string computation.
+type memoKey struct {
+	url      string
+	httpOnly bool
+}
+
+// memoEntry is a memoized rendering, valid while the jar generation is
+// unchanged and no contributing cookie has expired.
+type memoEntry struct {
+	gen       uint64
+	value     string
+	minExpiry time.Time // earliest non-zero expiry among rendered cookies
+}
+
 // Jar is a cookie jar for a single browsing context. It is safe for
 // concurrent use.
+//
+// The serialization paths (CookieHeader, DocumentCookie) are memoized:
+// scripts poll document.cookie far more often than they write it, so the
+// jar caches the rendered string per (URL, visibility) and invalidates
+// on any mutation (a generation counter) or when a rendered cookie's
+// expiry passes on the virtual clock. The memo is exact — it stores the
+// identical string the slow path would produce — so observable behaviour
+// is unchanged.
 type Jar struct {
 	clock Clock
 
 	mu        sync.Mutex
 	store     map[storageKey]*Cookie
 	observers []Observer
+	gen       uint64
+	memo      map[memoKey]memoEntry
 }
 
 // New returns an empty jar using the given clock.
@@ -200,6 +224,7 @@ func (j *Jar) set(rawURL, line string, src Source) ChangeKind {
 		j.store[key] = c
 		kind = ChangeCreated
 	}
+	j.gen++ // any effective write invalidates memoized renderings
 	obs := j.observers
 	j.mu.Unlock()
 
@@ -217,20 +242,62 @@ func cloneOrNil(c *Cookie) *Cookie {
 	return c.Clone()
 }
 
-// cookiesFor returns the live cookies matching a request to rawURL,
-// already sorted for serialization. httpOnlyToo includes HttpOnly cookies
-// (HTTP requests see them; scripts do not).
-func (j *Jar) cookiesFor(rawURL string, httpOnlyToo bool) []*Cookie {
+// requestTarget is the matching context derived from a request URL.
+type requestTarget struct {
+	host   string
+	path   string
+	secure bool
+}
+
+// parseTarget extracts the matching context; ok is false for URLs no
+// cookie can match.
+func parseTarget(rawURL string) (requestTarget, bool) {
 	u, err := url.Parse(rawURL)
 	if err != nil || u.Hostname() == "" {
-		return nil
+		return requestTarget{}, false
 	}
-	host := strings.ToLower(u.Hostname())
 	path := u.Path
 	if path == "" {
 		path = "/"
 	}
-	secure := u.Scheme == "https"
+	return requestTarget{
+		host:   strings.ToLower(u.Hostname()),
+		path:   path,
+		secure: u.Scheme == "https",
+	}, true
+}
+
+// match is the single RFC 6265 §5.4 send predicate, shared by every
+// read path (cookiesFor and the memoized renderCookies) so the matching
+// rules cannot drift apart. It assumes c is not expired.
+func match(c *Cookie, t requestTarget, httpOnlyToo bool) bool {
+	if c.HostOnly {
+		if t.host != c.Domain {
+			return false
+		}
+	} else if !domainMatch(t.host, c.Domain) {
+		return false
+	}
+	if !pathMatch(t.path, c.Path) {
+		return false
+	}
+	if c.Secure && !t.secure {
+		return false
+	}
+	if c.HttpOnly && !httpOnlyToo {
+		return false
+	}
+	return true
+}
+
+// cookiesFor returns the live cookies matching a request to rawURL,
+// already sorted for serialization. httpOnlyToo includes HttpOnly cookies
+// (HTTP requests see them; scripts do not).
+func (j *Jar) cookiesFor(rawURL string, httpOnlyToo bool) []*Cookie {
+	t, ok := parseTarget(rawURL)
+	if !ok {
+		return nil
+	}
 	now := j.clock.Now()
 
 	j.mu.Lock()
@@ -238,22 +305,10 @@ func (j *Jar) cookiesFor(rawURL string, httpOnlyToo bool) []*Cookie {
 	for key, c := range j.store {
 		if c.Expired(now) {
 			delete(j.store, key)
+			j.gen++
 			continue
 		}
-		if c.HostOnly {
-			if host != c.Domain {
-				continue
-			}
-		} else if !domainMatch(host, c.Domain) {
-			continue
-		}
-		if !pathMatch(path, c.Path) {
-			continue
-		}
-		if c.Secure && !secure {
-			continue
-		}
-		if c.HttpOnly && !httpOnlyToo {
+		if !match(c, t, httpOnlyToo) {
 			continue
 		}
 		c.LastAccessed = now
@@ -265,26 +320,69 @@ func (j *Jar) cookiesFor(rawURL string, httpOnlyToo bool) []*Cookie {
 	return out
 }
 
+// renderCookies produces the serialized cookie string for a URL and
+// visibility, through the memo: a hit returns the previously rendered
+// string; a miss renders via cookiesFor and stores the result tagged
+// with the jar generation and the earliest expiry it depends on.
+func (j *Jar) renderCookies(rawURL string, httpOnlyToo bool) string {
+	now := j.clock.Now()
+	key := memoKey{url: rawURL, httpOnly: httpOnlyToo}
+	j.mu.Lock()
+	if e, ok := j.memo[key]; ok && e.gen == j.gen &&
+		(e.minExpiry.IsZero() || now.Before(e.minExpiry)) {
+		j.mu.Unlock()
+		return e.value
+	}
+	// Miss: render in place, under the same lock. Matching and ordering
+	// share cookiesFor's predicate and comparator, but no cookies are
+	// cloned — only name=value pairs leave the jar — and the sort reads
+	// the stored cookies without mutating them.
+	t, tok := parseTarget(rawURL)
+	if !tok {
+		j.mu.Unlock()
+		return ""
+	}
+
+	var matched []*Cookie
+	var minExpiry time.Time
+	for k, c := range j.store {
+		if c.Expired(now) {
+			delete(j.store, k)
+			j.gen++
+			continue
+		}
+		if !match(c, t, httpOnlyToo) {
+			continue
+		}
+		matched = append(matched, c)
+		if !c.Expires.IsZero() && (minExpiry.IsZero() || c.Expires.Before(minExpiry)) {
+			minExpiry = c.Expires
+		}
+	}
+	sortCookies(matched)
+	pairs := make([]string, len(matched))
+	for i, c := range matched {
+		pairs[i] = c.Pair()
+	}
+	value := strings.Join(pairs, "; ")
+	if j.memo == nil {
+		j.memo = make(map[memoKey]memoEntry)
+	}
+	j.memo[key] = memoEntry{gen: j.gen, value: value, minExpiry: minExpiry}
+	j.mu.Unlock()
+	return value
+}
+
 // CookieHeader renders the Cookie request header value for a request to
 // rawURL (includes HttpOnly cookies). Empty string means no cookies.
 func (j *Jar) CookieHeader(rawURL string) string {
-	cs := j.cookiesFor(rawURL, true)
-	pairs := make([]string, len(cs))
-	for i, c := range cs {
-		pairs[i] = c.Pair()
-	}
-	return strings.Join(pairs, "; ")
+	return j.renderCookies(rawURL, true)
 }
 
 // DocumentCookie implements the document.cookie getter for a page at
 // rawURL: all matching non-HttpOnly cookies as "a=1; b=2".
 func (j *Jar) DocumentCookie(rawURL string) string {
-	cs := j.cookiesFor(rawURL, false)
-	pairs := make([]string, len(cs))
-	for i, c := range cs {
-		pairs[i] = c.Pair()
-	}
-	return strings.Join(pairs, "; ")
+	return j.renderCookies(rawURL, false)
 }
 
 // ScriptCookies returns the structured list of script-visible cookies for
@@ -367,4 +465,5 @@ func (j *Jar) Clear() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.store = make(map[storageKey]*Cookie)
+	j.gen++
 }

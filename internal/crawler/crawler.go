@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/instrument"
 	"cookieguard/internal/netsim"
@@ -42,6 +43,18 @@ type Options struct {
 	// Invocations are serialized (no two run concurrently) but arrive on
 	// crawl worker goroutines; a slow callback backpressures the crawl.
 	Progress func(done, total int)
+	// Artifacts is the content-addressed cache shared by every worker's
+	// browser (compiled scripts, DOM templates). When nil, the crawl
+	// creates one per Crawl/Stream call unless DisableArtifactCache is
+	// set; pass a longer-lived cache (e.g. one per pipeline) to reuse
+	// compiled artifacts across repeated crawls of the same web.
+	Artifacts *artifact.Cache
+	// DisableArtifactCache turns artifact caching off entirely (every
+	// visit re-parses every byte). Cached and uncached crawls of the
+	// same web with the same seed produce byte-identical logs; this
+	// switch exists for that equivalence check and for memory-ceiling
+	// tuning.
+	DisableArtifactCache bool
 }
 
 // Result is the outcome of a crawl.
@@ -75,6 +88,14 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	maxClicks := opts.MaxClicks
 	if maxClicks <= 0 {
 		maxClicks = 3
+	}
+	if opts.DisableArtifactCache {
+		opts.Artifacts = nil
+	} else if opts.Artifacts == nil {
+		// One cache per crawl, shared by all workers: the population of
+		// distinct page/script bytes is crawl-wide, so the parse-once
+		// win compounds across sites, not just within one.
+		opts.Artifacts = artifact.New()
 	}
 
 	out := make(chan indexedLog, workers)
@@ -206,6 +227,7 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		Internet:         opts.Internet,
 		CookieMiddleware: mw,
 		Seed:             opts.Seed ^ (n * 0x9e3779b97f4a7c15),
+		Artifacts:        opts.Artifacts,
 	})
 	if err != nil {
 		return instrument.VisitLog{Site: site, URL: url, Error: err.Error()}

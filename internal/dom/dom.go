@@ -64,6 +64,37 @@ func (n *Node) collectText(b *strings.Builder) {
 	}
 }
 
+// Clone deep-copies the subtree rooted at n: element attributes,
+// children, text, and ownership are all copied, and every copied child's
+// Parent points into the copy. The clone's own Parent is nil — it is a
+// fresh root, detached from wherever n lives.
+//
+// Clone is what makes DOM template caching sound: the parse-once
+// template stays pristine while each page mutates its private clone.
+func (n *Node) Clone() *Node {
+	cp := &Node{
+		Kind:  n.Kind,
+		Tag:   n.Tag,
+		Text:  n.Text,
+		Owner: n.Owner,
+	}
+	if n.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cc := c.Clone()
+			cc.Parent = cp
+			cp.Children[i] = cc
+		}
+	}
+	return cp
+}
+
 // AppendChild attaches child to n.
 func (n *Node) AppendChild(child *Node) {
 	child.Parent = n

@@ -205,3 +205,59 @@ func BenchmarkParse(b *testing.B) {
 		Parse(samplePage)
 	}
 }
+
+func TestCloneDeepIsolation(t *testing.T) {
+	tmpl := Parse(`<html><body><div id="a" class="c">text</div><p id="b">para</p></body></html>`)
+	clone := tmpl.Clone()
+
+	if clone.Parent != nil {
+		t.Fatal("clone root must be detached")
+	}
+	// Structural equality of the copy.
+	td, cd := NewDocument("", tmpl), NewDocument("", clone)
+	if td.CountElements() != cd.CountElements() {
+		t.Fatalf("element counts diverge: %d vs %d", td.CountElements(), cd.CountElements())
+	}
+	cn := cd.ByID("a")
+	if cn == nil || cn.Attr("class") != "c" || cn.InnerText() != "text" {
+		t.Fatalf("clone lost content: %+v", cn)
+	}
+	if cn == td.ByID("a") {
+		t.Fatal("clone shares nodes with the template")
+	}
+	// Parent pointers must point into the clone, not the template.
+	if cn.Parent == td.ByID("a").Parent {
+		t.Fatal("clone child's Parent points into the template tree")
+	}
+
+	// Mutations to the clone never reach the template.
+	cd.SetText(cn, "mutated", "script.js")
+	cd.SetAttr(cn, "class", "dirty", "script.js")
+	cd.Insert(cn, "span", map[string]string{"id": "new"}, "script.js")
+	cd.Remove(cd.ByID("b"), "script.js")
+
+	tn := td.ByID("a")
+	if tn.InnerText() != "text" || tn.Attr("class") != "c" {
+		t.Fatalf("template mutated through clone: text=%q class=%q", tn.InnerText(), tn.Attr("class"))
+	}
+	if td.ByID("new") != nil {
+		t.Fatal("insert into clone leaked into template")
+	}
+	if td.ByID("b") == nil {
+		t.Fatal("remove on clone leaked into template")
+	}
+	if len(td.Mutations) != 0 {
+		t.Fatalf("template document recorded %d mutations", len(td.Mutations))
+	}
+}
+
+func TestCloneOwnerPreserved(t *testing.T) {
+	d := NewDocument("", Parse(`<html><body><div id="p"></div></body></html>`))
+	d.Insert(d.ByID("p"), "img", map[string]string{"id": "inj"}, "https://tracker.example/t.js")
+	clone := d.Root.Clone()
+	cd := NewDocument("", clone)
+	n := cd.ByID("inj")
+	if n == nil || n.Owner != "https://tracker.example/t.js" {
+		t.Fatalf("clone lost script ownership: %+v", n)
+	}
+}

@@ -78,7 +78,15 @@ func (b *background) snapshot() map[string]string {
 	reply := make(chan map[string]string, 1)
 	select {
 	case b.msgs <- bgMsg{kind: msgSnapshot, snapReply: reply}:
-		return <-reply
+		// msgs is buffered, so the send can succeed after the loop has
+		// already exited; never wait on a reply without also watching
+		// done, or a racing close() strands this goroutine forever.
+		select {
+		case cp := <-reply:
+			return cp
+		case <-b.done:
+			return map[string]string{}
+		}
 	case <-b.done:
 		return map[string]string{}
 	}
@@ -89,8 +97,13 @@ func (b *background) lookup(name string) (string, bool) {
 	reply := make(chan lookupResult, 1)
 	select {
 	case b.msgs <- bgMsg{kind: msgLookup, name: name, lookupReply: reply}:
-		r := <-reply
-		return r.creator, r.exists
+		// See snapshot: the buffered send can outlive the loop.
+		select {
+		case r := <-reply:
+			return r.creator, r.exists
+		case <-b.done:
+			return "", false
+		}
 	case <-b.done:
 		return "", false
 	}

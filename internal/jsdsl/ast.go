@@ -1,6 +1,14 @@
 package jsdsl
 
 // Node is any AST node.
+//
+// Immutability contract: every AST node is frozen once Parse returns.
+// The interpreter never writes to a node — all mutable execution state
+// (scopes, step counters, closure environments) lives in Interp and Env,
+// and runtime values built from literals (lists, maps) are fresh
+// allocations per evaluation. This is what makes a *Program safe to
+// cache and share: the artifact cache hands the same AST to any number
+// of concurrent interpreters (parse once, run many).
 type Node interface{ node() }
 
 // --- Statements ---
@@ -11,7 +19,8 @@ type Stmt interface {
 	stmt()
 }
 
-// Program is a parsed script: a list of top-level statements.
+// Program is a parsed script: a list of top-level statements. A Program
+// is immutable and reentrant — see the Node immutability contract.
 type Program struct {
 	Stmts []Stmt
 }

@@ -129,14 +129,14 @@ func init() {
 			if !ok {
 				return nil, errArity("get_cookie")
 			}
-			_, vals := ParseCookieString(in.Host.DocCookie())
+			_, vals := in.parsedDocCookie(in.Host.DocCookie())
 			if v, ok := vals[name]; ok {
 				return v, nil
 			}
 			return nil, nil
 		},
 		"get_all_cookies": func(in *Interp, args []Value) (Value, error) {
-			names, vals := ParseCookieString(in.Host.DocCookie())
+			names, vals := in.parsedDocCookie(in.Host.DocCookie())
 			m := NewMap()
 			for _, n := range names {
 				m.Entries[n] = vals[n]

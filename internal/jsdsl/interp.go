@@ -28,13 +28,39 @@ func (returnSignal) Error() string   { return "return outside function" }
 func (breakSignal) Error() string    { return "break outside loop" }
 func (continueSignal) Error() string { return "continue outside loop" }
 
-// Interp executes SiteScript programs against a Host.
+// Interp executes SiteScript programs against a Host. One Interp runs
+// one script at a time (it is not itself safe for concurrent use), but
+// any number of Interps may concurrently execute the same shared
+// *Program: the interpreter treats the AST as read-only and keeps every
+// piece of mutable state — scopes, closures' environments, the step
+// counter — on the Interp or in per-run Envs.
 type Interp struct {
 	Host     Host
 	MaxSteps int
 
 	steps   int
 	globals *Env
+
+	// Single-slot memo for parsing the document.cookie string: scripts
+	// poll get_cookie far more often than the string changes, and
+	// ParseCookieString is pure, so an identical input reuses the parsed
+	// pairs. The parsed values never escape to script code unmutated
+	// (builtins copy into fresh Maps or return strings).
+	cookieStr   string
+	cookieNames []string
+	cookieVals  map[string]string
+	cookieMemo  bool
+}
+
+// parsedDocCookie returns ParseCookieString(s), memoized on the exact
+// input string.
+func (in *Interp) parsedDocCookie(s string) ([]string, map[string]string) {
+	if in.cookieMemo && s == in.cookieStr {
+		return in.cookieNames, in.cookieVals
+	}
+	names, vals := ParseCookieString(s)
+	in.cookieStr, in.cookieNames, in.cookieVals, in.cookieMemo = s, names, vals, true
+	return names, vals
 }
 
 // NewInterp returns an interpreter bound to host.

@@ -1,7 +1,9 @@
 package jsdsl
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -366,6 +368,61 @@ if (g != null) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(src); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestSharedProgramReentrant is the parse-once/run-many contract: one
+// parsed Program executed by many concurrent interpreters (as the
+// artifact cache does across crawl workers) must behave exactly like
+// per-goroutine parses — same logs, same step counts, no cross-talk.
+func TestSharedProgramReentrant(t *testing.T) {
+	src := `
+let items = [1, 2, 3];
+let total = 0;
+for (x in items) { total = total + x; }
+let greet = fn(name) { return "hi " + name; };
+log(greet("" + total));
+let m = {"a": 1};
+m["b"] = 2;
+log("" + len(m));
+`
+	shared := MustParse(src)
+
+	// Reference run, private parse.
+	refHost := &NopHost{}
+	refInterp := NewInterp(refHost)
+	if err := refInterp.Run(MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	hosts := make([]*NopHost, goroutines)
+	steps := make([]int, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hosts[g] = &NopHost{}
+			in := NewInterp(hosts[g])
+			errs[g] = in.Run(shared)
+			steps[g] = in.Steps()
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if steps[g] != refInterp.Steps() {
+			t.Fatalf("goroutine %d: steps = %d, want %d (shared AST must not affect execution)",
+				g, steps[g], refInterp.Steps())
+		}
+		if !reflect.DeepEqual(hosts[g].Logs, refHost.Logs) {
+			t.Fatalf("goroutine %d: logs = %v, want %v", g, hosts[g].Logs, refHost.Logs)
 		}
 	}
 }

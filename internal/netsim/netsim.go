@@ -18,16 +18,26 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"cookieguard/internal/contenthash"
 )
 
 // LatencyHeader carries the simulated network latency of an exchange, in
 // milliseconds, back to the caller. Browsers advance their virtual clock
 // by this amount per fetch.
 const LatencyHeader = "X-Netsim-Latency-Ms"
+
+// BodyHashHeader carries the stable content hash of the served body when
+// a response cache is installed (SetResponseCache). It is the fabric's
+// cache key for the exchange; browsers reuse it as the key of their own
+// derived-artifact caches (compiled scripts, DOM templates) so a body is
+// hashed once per serve, not once per consumer.
+const BodyHashHeader = "X-Netsim-Body-Hash"
 
 // Exchange is one observed request/response pair, passed to taps.
 type Exchange struct {
@@ -43,15 +53,41 @@ type Tap func(Exchange)
 // request. Implementations must be deterministic for reproducibility.
 type LatencyModel func(req *http.Request) float64
 
+// ResponseCache stores served responses keyed by request, so the fabric
+// can replay a prior exchange without re-running the handler. Entries
+// are opaque to implementations — netsim owns their concrete type.
+// artifact.Cache satisfies this interface.
+type ResponseCache interface {
+	GetResponse(key string) (any, bool)
+	PutResponse(key string, v any)
+}
+
+// snapshot is an immutable view of the fabric's routing state. Once
+// Freeze has built one, the serving path reads it through an atomic
+// pointer with no lock at all; mutators rebuild it copy-on-write.
+type snapshot struct {
+	hosts     map[string]http.Handler
+	cnames    map[string]string
+	taps      []Tap
+	latency   LatencyModel
+	respCache ResponseCache
+}
+
 // Internet is the virtual network fabric. It is safe for concurrent use
-// once construction (Register/AddCNAME calls) has finished; registering
-// while crawling is also safe but unusual.
+// at any point, and the serving path is lock-free: generation registers
+// hosts under a mutex, Freeze (explicit, or implicit on first request)
+// publishes an immutable snapshot, and every request routes through the
+// snapshot with a single atomic load. Mutating after the freeze remains
+// legal — mutators rebuild the snapshot copy-on-write — so call Freeze
+// once after bulk registration to avoid per-mutation copies.
 type Internet struct {
 	mu       sync.RWMutex
 	hosts    map[string]http.Handler
 	cnames   map[string]string
 	taps     []Tap
 	latency  LatencyModel
+	cache    ResponseCache
+	frozen   atomic.Pointer[snapshot]
 	requests atomic.Int64
 }
 
@@ -63,6 +99,80 @@ func New() *Internet {
 	}
 	i.latency = DefaultLatency
 	return i
+}
+
+// Freeze publishes the current routing state (hosts, CNAMEs, taps,
+// latency model, response cache) as an immutable snapshot, making the
+// serving path lock-free. Call it once generation has finished; webgen
+// does so automatically. Mutations after Freeze republish the snapshot,
+// so a frozen Internet never serves stale routes — the point is purely
+// to take the RWMutex out of every request.
+func (i *Internet) Freeze() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.refreeze()
+}
+
+// refreeze rebuilds the published snapshot; callers hold i.mu.
+func (i *Internet) refreeze() {
+	hosts := make(map[string]http.Handler, len(i.hosts))
+	for h, hd := range i.hosts {
+		hosts[h] = hd
+	}
+	cnames := make(map[string]string, len(i.cnames))
+	for a, t := range i.cnames {
+		cnames[a] = t
+	}
+	taps := make([]Tap, len(i.taps))
+	copy(taps, i.taps)
+	i.frozen.Store(&snapshot{
+		hosts:     hosts,
+		cnames:    cnames,
+		taps:      taps,
+		latency:   i.latency,
+		respCache: i.cache,
+	})
+}
+
+// mutate runs f under the write lock and, if a snapshot has been
+// published, rebuilds it so readers keep seeing current state.
+func (i *Internet) mutate(f func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	f()
+	if i.frozen.Load() != nil {
+		i.refreeze()
+	}
+}
+
+// view returns the current routing state as an immutable snapshot. The
+// common case is a single atomic load; a fabric that was never
+// explicitly frozen freezes itself on first use, so the serving path
+// never reads the mutable maps and stays safe against concurrent
+// Register/AddCNAME calls (mutators republish the snapshot).
+func (i *Internet) view() snapshot {
+	if s := i.frozen.Load(); s != nil {
+		return *s
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if s := i.frozen.Load(); s == nil { // racing first readers freeze once
+		i.refreeze()
+	}
+	return *i.frozen.Load()
+}
+
+// SetResponseCache installs (or, with nil, removes) a response cache.
+// With a cache installed, GET responses with status 200 are memoized by
+// (host, path, query) and replayed on subsequent requests without
+// invoking the handler; every served response additionally carries the
+// body's content hash in BodyHashHeader. Latency accounting, taps, and
+// the request counter behave identically on hits and misses, so caching
+// is invisible to everything above the fabric. Only install a cache when
+// every registered handler is a pure function of the request URL (true
+// for the generated web's static content).
+func (i *Internet) SetResponseCache(c ResponseCache) {
+	i.mutate(func() { i.cache = c })
 }
 
 // DefaultLatency is a deterministic per-host latency: a base RTT derived
@@ -87,20 +197,16 @@ func fnv64(s string) uint64 {
 
 // SetLatencyModel replaces the latency model (nil restores the default).
 func (i *Internet) SetLatencyModel(m LatencyModel) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
 	if m == nil {
 		m = DefaultLatency
 	}
-	i.latency = m
+	i.mutate(func() { i.latency = m })
 }
 
 // Register serves host with handler. The host must be a bare lowercase
 // hostname without scheme or port.
 func (i *Internet) Register(host string, handler http.Handler) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	i.hosts[strings.ToLower(host)] = handler
+	i.mutate(func() { i.hosts[strings.ToLower(host)] = handler })
 }
 
 // RegisterFunc is Register for plain functions.
@@ -112,19 +218,18 @@ func (i *Internet) RegisterFunc(host string, f func(http.ResponseWriter, *http.R
 // alias in their URL — exactly how CNAME cloaking hides a third-party
 // tracker behind a first-party subdomain.
 func (i *Internet) AddCNAME(alias, target string) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	i.cnames[strings.ToLower(alias)] = strings.ToLower(target)
+	i.mutate(func() { i.cnames[strings.ToLower(alias)] = strings.ToLower(target) })
 }
 
 // CanonicalHost follows CNAME records from host to the host that actually
 // serves it. It is the hook a DNS-level cloaking defense would use.
 func (i *Internet) CanonicalHost(host string) string {
-	host = strings.ToLower(host)
-	i.mu.RLock()
-	defer i.mu.RUnlock()
+	return canonicalIn(i.view().cnames, strings.ToLower(host))
+}
+
+func canonicalIn(cnames map[string]string, host string) string {
 	for n := 0; n < 8; n++ { // bounded chain; cycles terminate
-		t, ok := i.cnames[host]
+		t, ok := cnames[host]
 		if !ok {
 			return host
 		}
@@ -140,9 +245,7 @@ func (i *Internet) IsCloaked(host string) bool {
 
 // Tap registers a tap on all exchanges.
 func (i *Internet) Tap(t Tap) {
-	i.mu.Lock()
-	defer i.mu.Unlock()
-	i.taps = append(i.taps, t)
+	i.mutate(func() { i.taps = append(i.taps, t) })
 }
 
 // Requests returns the total number of exchanges served.
@@ -150,22 +253,42 @@ func (i *Internet) Requests() int64 { return i.requests.Load() }
 
 // Hosts returns the registered hostnames (sorted order not guaranteed).
 func (i *Internet) Hosts() []string {
-	i.mu.RLock()
-	defer i.mu.RUnlock()
-	out := make([]string, 0, len(i.hosts))
-	for h := range i.hosts {
+	hosts := i.view().hosts
+	out := make([]string, 0, len(hosts))
+	for h := range hosts {
 		out = append(out, h)
 	}
 	return out
 }
 
-// resolve finds the handler for host, following CNAMEs.
-func (i *Internet) resolve(host string) (http.Handler, string, bool) {
-	canon := i.CanonicalHost(host)
-	i.mu.RLock()
-	defer i.mu.RUnlock()
-	h, ok := i.hosts[canon]
-	return h, canon, ok
+// cachedResponse is one memoized exchange: everything needed to replay
+// it except the per-request latency header, which is recomputed so the
+// virtual clock sees identical charges on hits and misses.
+type cachedResponse struct {
+	status int
+	header http.Header // includes BodyHashHeader; never mutated after Put
+	body   string
+}
+
+// cacheKey identifies a request for response memoization. The key uses
+// the *requested* host (pre-CNAME): the serving handler observes the
+// original Host header, so a cloaked alias and its target are distinct
+// cache entries even though one handler serves both.
+func cacheKey(u *url.URL) string {
+	return u.Host + "\x00" + u.Path + "\x00" + u.RawQuery
+}
+
+// respond finalizes a response for delivery: per-request headers, the
+// request back-pointer, accounting, and taps.
+func (i *Internet) respond(resp *http.Response, req *http.Request, lat float64, taps []Tap, servedBy string) *http.Response {
+	resp.Request = req
+	resp.Header.Set(LatencyHeader, strconv.FormatFloat(lat, 'f', 2, 64))
+	i.requests.Add(1)
+	ex := Exchange{Request: req, Response: resp, Host: servedBy}
+	for _, t := range taps {
+		t(ex)
+	}
+	return resp
 }
 
 // RoundTrip implements http.RoundTripper against the fabric.
@@ -174,15 +297,36 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	if host == "" {
 		return nil, fmt.Errorf("netsim: request %q has no host", req.URL)
 	}
-	handler, servedBy, ok := i.resolve(host)
+	v := i.view()
+	servedBy := canonicalIn(v.cnames, host)
+	handler, ok := v.hosts[servedBy]
 	if !ok {
 		return nil, &HostNotFoundError{Host: host}
 	}
+	lat := v.latency(req)
 
-	i.mu.RLock()
-	lat := i.latency(req)
-	taps := i.taps
-	i.mu.RUnlock()
+	// Replay a memoized exchange without touching the handler. The
+	// stored header is shared across hits, so it is cloned before the
+	// per-request latency header is added.
+	var key string
+	cacheable := v.respCache != nil && req.Method == http.MethodGet
+	if cacheable {
+		key = cacheKey(req.URL)
+		if e, ok := v.respCache.GetResponse(key); ok {
+			cr := e.(*cachedResponse)
+			resp := &http.Response{
+				StatusCode:    cr.status,
+				Status:        fmt.Sprintf("%d %s", cr.status, http.StatusText(cr.status)),
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        cr.header.Clone(),
+				Body:          io.NopCloser(strings.NewReader(cr.body)),
+				ContentLength: int64(len(cr.body)),
+			}
+			return i.respond(resp, req, lat, v.taps, servedBy), nil
+		}
+	}
 
 	rec := httptest.NewRecorder()
 	// The handler sees the original Host (cloaked requests carry the
@@ -195,15 +339,16 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	handler.ServeHTTP(rec, inner)
 
 	resp := rec.Result()
-	resp.Request = req
-	resp.Header.Set(LatencyHeader, strconv.FormatFloat(lat, 'f', 2, 64))
-	i.requests.Add(1)
-
-	ex := Exchange{Request: req, Response: resp, Host: servedBy}
-	for _, t := range taps {
-		t(ex)
+	if cacheable && rec.Code == http.StatusOK {
+		// Memoize 200s only: error pages are cheap and beacon sinks
+		// (204, unique query strings) would grow the cache unboundedly.
+		body := rec.Body.String()
+		hdr := resp.Header.Clone()
+		hdr.Set(BodyHashHeader, contenthash.Sum(body))
+		v.respCache.PutResponse(key, &cachedResponse{status: rec.Code, header: hdr, body: body})
+		resp.Header.Set(BodyHashHeader, hdr.Get(BodyHashHeader))
 	}
-	return resp, nil
+	return i.respond(resp, req, lat, v.taps, servedBy), nil
 }
 
 // HostNotFoundError is the fabric's NXDOMAIN.
@@ -248,7 +393,8 @@ func (i *Internet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if idx := strings.IndexByte(host, ':'); idx >= 0 {
 		host = host[:idx]
 	}
-	handler, _, ok := i.resolve(host)
+	v := i.view()
+	handler, ok := v.hosts[canonicalIn(v.cnames, strings.ToLower(host))]
 	if !ok {
 		http.Error(w, "netsim: no such host: "+host, http.StatusBadGateway)
 		return

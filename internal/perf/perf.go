@@ -8,6 +8,7 @@ package perf
 import (
 	"fmt"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/guard"
 	"cookieguard/internal/netsim"
@@ -50,15 +51,18 @@ type Results struct {
 
 // Run measures every given site once per condition. Each visit uses a
 // fresh browser (fresh jar and clock), mirroring the paper's separate
-// crawls with and without the extension.
-func Run(in *netsim.Internet, w *webgen.Web, sites []*webgen.Site) (*Results, error) {
+// crawls with and without the extension; all visits share the given
+// artifact cache (nil disables caching), so the paired measurement
+// parses each page and script once. The cache does not perturb the
+// measurement — virtual-clock charges are identical with and without it.
+func Run(in *netsim.Internet, w *webgen.Web, sites []*webgen.Site, cache *artifact.Cache) (*Results, error) {
 	res := &Results{}
 	for _, s := range sites {
-		without, err := measureOnce(in, s, false, w)
+		without, err := measureOnce(in, s, false, w, cache)
 		if err != nil {
 			continue // failed visits are dropped, as in the paper
 		}
-		with, err := measureOnce(in, s, true, w)
+		with, err := measureOnce(in, s, true, w, cache)
 		if err != nil {
 			continue
 		}
@@ -70,7 +74,7 @@ func Run(in *netsim.Internet, w *webgen.Web, sites []*webgen.Site) (*Results, er
 	return res, nil
 }
 
-func measureOnce(in *netsim.Internet, s *webgen.Site, withGuard bool, w *webgen.Web) (browser.Timing, error) {
+func measureOnce(in *netsim.Internet, s *webgen.Site, withGuard bool, w *webgen.Web, cache *artifact.Cache) (browser.Timing, error) {
 	var g *guard.Guard
 	var mw []browser.CookieMiddleware
 	if withGuard {
@@ -78,7 +82,7 @@ func measureOnce(in *netsim.Internet, s *webgen.Site, withGuard bool, w *webgen.
 		defer g.Close()
 		mw = append(mw, g.Middleware())
 	}
-	b, err := browser.New(browser.Options{Internet: in, CookieMiddleware: mw, Seed: uint64(s.Rank)})
+	b, err := browser.New(browser.Options{Internet: in, CookieMiddleware: mw, Seed: uint64(s.Rank), Artifacts: cache})
 	if err != nil {
 		return browser.Timing{}, err
 	}

@@ -3,6 +3,7 @@ package perf
 import (
 	"testing"
 
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/webgen"
 )
 
@@ -10,7 +11,7 @@ func runPerf(t *testing.T, n int) *Results {
 	t.Helper()
 	w := webgen.Build(webgen.DefaultConfig(n))
 	in := w.BuildInternet()
-	res, err := Run(in, w, w.CompleteSites())
+	res, err := Run(in, w, w.CompleteSites(), artifact.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -288,10 +288,13 @@ func (w *Web) Register(in *netsim.Internet) {
 	registerIdPs(in, w)
 }
 
-// Build registers a fresh Internet for the web and returns it.
+// Build registers a fresh Internet for the web and returns it. The
+// fabric is frozen after registration: the generated web is static, so
+// the serving path runs lock-free from the first request.
 func (w *Web) BuildInternet() *netsim.Internet {
 	in := netsim.New()
 	w.Register(in)
+	in.Freeze()
 	return in
 }
 

@@ -12,13 +12,14 @@ type MiddlewareFactory = func() CookieMiddleware
 
 // config is the resolved option set of a Pipeline.
 type config struct {
-	sites      int
-	seed       uint64
-	workers    int
-	interact   bool
-	guard      *Policy
-	middleware []MiddlewareFactory
-	progress   func(done, total int)
+	sites       int
+	seed        uint64
+	workers     int
+	interact    bool
+	guard       *Policy
+	middleware  []MiddlewareFactory
+	progress    func(done, total int)
+	noArtifacts bool
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -66,4 +67,18 @@ func WithMiddleware(factories ...MiddlewareFactory) Option {
 // backpressures the crawl.
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithArtifactCache enables (the default) or disables the pipeline's
+// content-addressed artifact cache. Enabled, the pipeline keeps one
+// cache for its lifetime — compiled SiteScript programs, DOM templates,
+// and network responses are computed once per distinct content and
+// reused by every worker of every crawl over the pipeline's static web.
+// Caching is semantically invisible: the same seed emits byte-identical
+// per-site records with the cache on or off, and simulated parse/network
+// latency is still charged to the virtual clock. Disable it to bound
+// memory below the distinct-content size of the web, or to reproduce the
+// uncached baseline (CacheStats then stays zero).
+func WithArtifactCache(on bool) Option {
+	return func(c *config) { c.noArtifacts = !on }
 }

@@ -1,10 +1,12 @@
 package cookieguard
 
-// Tests for the streaming pipeline API: option wiring, the Study shim,
-// streaming-vs-batch equivalence, bounded residency, and cancellation.
+// Tests for the streaming pipeline API: option wiring, cached-vs-uncached
+// crawl equivalence, streaming-vs-batch equivalence, bounded residency,
+// and cancellation.
 
 import (
 	"context"
+	"encoding/json"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -169,20 +171,65 @@ func TestWithSeedReproducible(t *testing.T) {
 	}
 }
 
-// TestStudyShim: the deprecated batch API keeps working on top of the
-// pipeline.
-func TestStudyShim(t *testing.T) {
-	pol := DefaultGuardPolicy()
-	study := NewStudy(StudyConfig{Sites: 8, Workers: 4, Interact: true, GuardPolicy: &pol})
-	logs, err := study.Crawl(context.Background())
+// TestArtifactCacheEquivalence is the determinism contract of the
+// artifact cache: a cached crawl and a cache-disabled crawl of the same
+// seeded web must emit byte-identical per-site records. Logs are
+// serialized to JSON and compared per site (the stream delivers in
+// completion order, so ordering is normalized by the site key).
+func TestArtifactCacheEquivalence(t *testing.T) {
+	serialize := func(logs []VisitLog) map[string]string {
+		out := make(map[string]string, len(logs))
+		for _, v := range logs {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[v.Site] = string(b)
+		}
+		return out
+	}
+
+	cached := New(WithSites(40), WithWorkers(8), WithSeed(7), WithInteract(true))
+	plain := New(WithSites(40), WithWorkers(8), WithSeed(7), WithInteract(true), WithArtifactCache(false))
+
+	cLogs, err := cached.Crawl(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(logs) != 8 {
-		t.Fatalf("logs = %d, want 8", len(logs))
+	pLogs, err := plain.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
 	}
-	res := study.Analyze(logs)
-	if res.Summary.SitesTotal != 8 {
-		t.Fatalf("SitesTotal = %d, want 8", res.Summary.SitesTotal)
+
+	cRecs, pRecs := serialize(cLogs), serialize(pLogs)
+	if len(cRecs) != len(pRecs) {
+		t.Fatalf("site counts diverge: cached=%d uncached=%d", len(cRecs), len(pRecs))
+	}
+	for site, rec := range pRecs {
+		if cRecs[site] != rec {
+			t.Errorf("site %s: cached record differs from uncached\ncached:   %s\nuncached: %s",
+				site, cRecs[site], rec)
+		}
+	}
+
+	// The check must not be vacuous: the cached run has to have hit.
+	stats := cached.CacheStats()
+	if stats.ProgramHits == 0 || stats.DOMHits == 0 || stats.BodyHits == 0 {
+		t.Fatalf("cached crawl shows no reuse: %+v", stats)
+	}
+	if s := plain.CacheStats(); s.Lookups() != 0 {
+		t.Fatalf("disabled cache recorded lookups: %+v", s)
+	}
+
+	// A second crawl over the same pipeline reuses the warm cache and
+	// still reproduces the same records (run-many over parse-once).
+	again, err := cached.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site, rec := range serialize(again) {
+		if pRecs[site] != rec {
+			t.Errorf("site %s: warm-cache record differs from uncached", site)
+		}
 	}
 }
