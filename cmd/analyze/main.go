@@ -60,6 +60,8 @@ func main() {
 		s.SitesWithThirdParty, s.MeanTPScriptsPerSite, 100*s.TrackerScriptShare)
 	fmt.Fprintf(out, "cookie pairs: %d document.cookie, %d cookieStore\n\n",
 		s.UniquePairsDocument, s.UniquePairsCookieStore)
+	report.Failures(out, res.Failures, res.FailureTable())
+	fmt.Fprintln(out)
 	report.Table1(out, res.Table1())
 	fmt.Fprintln(out)
 	report.Table2(out, res.Table2(20))

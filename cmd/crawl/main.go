@@ -4,11 +4,14 @@
 // O(workers) resident logs, so arbitrarily large site counts fit in
 // constant memory. Lines appear in completion order, which varies with
 // scheduling; with a fixed -seed the per-site records are byte-identical
-// across runs, so compare outputs as sets (e.g. sort before diffing).
+// across runs, so compare outputs as sets — or pass -sort to emit
+// site-ordered, byte-stable JSONL directly (buffers the whole output, so
+// memory scales with -sites) and diff whole files.
 //
 // Usage:
 //
-//	crawl [-sites N] [-workers N] [-seed S] [-guard] [-o logs.jsonl] [-list tranco.csv]
+//	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
+//	      [-retries N] [-o logs.jsonl] [-list tranco.csv]
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"cookieguard"
 	"cookieguard/internal/trancolist"
@@ -28,8 +32,13 @@ func main() {
 	workers := flag.Int("workers", 16, "concurrent visits")
 	seed := flag.Uint64("seed", 0, "override the default deterministic seed")
 	guarded := flag.Bool("guard", false, "crawl with CookieGuard enabled")
+	sortOut := flag.Bool("sort", false,
+		"emit site-ordered JSONL instead of completion order: with a fixed -seed the whole file is byte-stable across runs and worker counts, so plain diff works (buffers all logs; memory scales with -sites)")
 	outPath := flag.String("o", "-", "output JSONL path (- = stdout)")
 	listPath := flag.String("list", "", "also write the ranked site list (Tranco analogue) to this path")
+	faults := flag.Float64("faults", 0,
+		"overall per-attempt fault rate injected by the fabric (0 disables; deterministic for a fixed -seed)")
+	retries := flag.Int("retries", 1, "attempt budget per fetch under faults (1 = no retries)")
 	flag.Parse()
 
 	opts := []cookieguard.Option{
@@ -40,6 +49,14 @@ func main() {
 	}
 	if *guarded {
 		opts = append(opts, cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()))
+	}
+	if *faults > 0 {
+		opts = append(opts, cookieguard.WithFaults(cookieguard.UniformFaults(*faults, *seed)))
+	}
+	if *retries > 1 {
+		rp := cookieguard.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		opts = append(opts, cookieguard.WithRetryPolicy(rp))
 	}
 	p := cookieguard.New(opts...)
 
@@ -62,6 +79,8 @@ func main() {
 
 	logs, errs := p.Stream(context.Background())
 	visited, complete := 0, 0
+	type rec struct{ site, line string }
+	var buffered []rec
 	for l := range logs {
 		visited++
 		if l.Complete() {
@@ -69,10 +88,23 @@ func main() {
 		}
 		b, err := json.Marshal(l)
 		fatal(err)
+		if *sortOut {
+			buffered = append(buffered, rec{site: l.Site, line: string(b)})
+			continue
+		}
 		w.Write(b)
 		w.WriteByte('\n')
 	}
 	fatal(<-errs)
+	if *sortOut {
+		// Sites are unique per crawl, so site order is total and the
+		// emitted file is byte-stable for a fixed seed.
+		sort.Slice(buffered, func(i, j int) bool { return buffered[i].site < buffered[j].site })
+		for _, r := range buffered {
+			w.WriteString(r.line)
+			w.WriteByte('\n')
+		}
+	}
 	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", visited, complete)
 }
 

@@ -6,6 +6,18 @@
 //
 //	experiments [-sites N] [-workers N] [-seed S] [-perf N] [-breakage N]
 //	            [-artifact-cache=BOOL] [-bench-json FILE]
+//	            [-faults RATE] [-retries N]
+//
+// Fault injection: -faults RATE subjects the fabric to a seeded
+// deterministic fault schedule (5xx, connection resets, timeouts,
+// truncated bodies, tail-latency spikes, and per-host flap windows,
+// spread from the one overall rate — see netsim.UniformFaults), and
+// -retries N gives every fetch a bounded retry budget with jittered
+// backoff on the virtual clock. The crawl's failure taxonomy is printed
+// after the measurement crawl and recorded in the -bench-json snapshot
+// (BENCH_3.json by convention for faulted runs), so throughput under
+// faults can be compared against the clean BENCH_2.json baseline.
+// -faults 0 (the default) reproduces the fault-free run byte for byte.
 //
 // Artifact-cache tuning: the pipeline keeps a content-addressed cache of
 // compiled SiteScript programs, DOM templates, and network responses for
@@ -44,9 +56,13 @@ func main() {
 		"reuse compiled scripts/DOM templates/responses across visits (identical output, higher throughput; costs memory proportional to distinct content)")
 	benchJSON := flag.String("bench-json", "",
 		"write a crawl-throughput snapshot (sites/sec, cache hit rates) to this file, e.g. BENCH_2.json")
+	faults := flag.Float64("faults", 0,
+		"overall per-attempt fault rate injected by the fabric (0 disables; 0.1 = 10% of attempts fault, spread across 5xx/reset/timeout/truncation/tail-latency plus flapping hosts)")
+	retries := flag.Int("retries", 1,
+		"attempt budget per fetch under faults (1 = no retries); retried with jittered backoff on the virtual clock")
 	flag.Parse()
 
-	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *benchJSON); err != nil {
+	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *benchJSON, *faults, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -59,22 +75,36 @@ type benchSnapshot struct {
 	Workers       int                    `json:"workers"`
 	Seed          uint64                 `json:"seed"`
 	ArtifactCache bool                   `json:"artifact_cache"`
+	FaultRate     float64                `json:"fault_rate,omitempty"`
+	RetryAttempts int                    `json:"retry_attempts,omitempty"`
 	CrawlSeconds  float64                `json:"crawl_seconds"`
 	SitesPerSec   float64                `json:"sites_per_sec"`
 	CacheStats    cookieguard.CacheStats `json:"cache_stats"`
+	// Failures is the crawl failure-taxonomy rollup (all zero without
+	// -faults), so a faulted snapshot documents what it survived.
+	Failures cookieguard.FailureStats `json:"failures"`
 }
 
-func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool, benchJSON string) error {
+func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool, benchJSON string, faultRate float64, retries int) error {
 	out := os.Stdout
 	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
 
-	study := cookieguard.New(
+	resilience := []cookieguard.Option{}
+	if faultRate > 0 {
+		resilience = append(resilience, cookieguard.WithFaults(cookieguard.UniformFaults(faultRate, seed)))
+	}
+	if retries > 1 {
+		rp := cookieguard.DefaultRetryPolicy()
+		rp.MaxAttempts = retries
+		resilience = append(resilience, cookieguard.WithRetryPolicy(rp))
+	}
+	study := cookieguard.New(append([]cookieguard.Option{
 		cookieguard.WithSites(sites),
 		cookieguard.WithWorkers(workers),
 		cookieguard.WithSeed(seed),
 		cookieguard.WithInteract(true),
 		cookieguard.WithArtifactCache(artifactCache),
-	)
+	}, resilience...)...)
 	ctx := context.Background()
 
 	// ---------- Measurement crawl (no guard), single streaming pass ----------
@@ -92,6 +122,12 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 	fmt.Fprintf(out, "throughput %.1f sites/s; artifact cache: %d program hits / %d misses, %d dom hits, %d body hits\n\n",
 		float64(sites)/crawlSecs, cs.ProgramHits, cs.ProgramMisses, cs.DOMHits, cs.BodyHits)
 
+	if faultRate > 0 {
+		fmt.Fprintf(out, "--- failure taxonomy (fault rate %.1f%%, %d attempts/fetch) ---\n", 100*faultRate, retries)
+		report.Failures(out, res.Failures, res.FailureTable())
+		fmt.Fprintln(out)
+	}
+
 	if benchJSON != "" {
 		snap := benchSnapshot{
 			Benchmark:     "StreamingPipeline",
@@ -99,9 +135,12 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 			Workers:       workers,
 			Seed:          seed,
 			ArtifactCache: artifactCache,
+			FaultRate:     faultRate,
+			RetryAttempts: retries,
 			CrawlSeconds:  crawlSecs,
 			SitesPerSec:   float64(sites) / crawlSecs,
 			CacheStats:    cs,
+			Failures:      res.Failures,
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -163,14 +202,14 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 
 	// ---------- Figure 5: guard efficacy ----------
 	fmt.Fprintln(out, "--- Figure 5: cross-domain actions with vs without CookieGuard ---")
-	guarded := cookieguard.New(
+	guarded := cookieguard.New(append([]cookieguard.Option{
 		cookieguard.WithSites(sites),
 		cookieguard.WithWorkers(workers),
 		cookieguard.WithSeed(seed),
 		cookieguard.WithInteract(true),
 		cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()),
 		cookieguard.WithArtifactCache(artifactCache),
-	)
+	}, resilience...)...)
 	gres, err := guarded.Run(ctx)
 	if err != nil {
 		return err

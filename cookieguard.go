@@ -67,6 +67,15 @@ type (
 	// CacheStats is a snapshot of the artifact cache's per-tier hit/miss
 	// counters (see Pipeline.CacheStats).
 	CacheStats = artifact.Stats
+	// FaultConfig parameterizes the fabric's seeded fault injection
+	// (WithFaults).
+	FaultConfig = netsim.FaultConfig
+	// RetryPolicy bounds transient-fault retries per fetch
+	// (WithRetryPolicy).
+	RetryPolicy = browser.RetryPolicy
+	// FailureStats is the analysis rollup of the crawl failure taxonomy
+	// (Results.Failures).
+	FailureStats = analysis.FailureStats
 	// Results is the aggregated analysis output.
 	Results = analysis.Results
 	// Guard is a CookieGuard enforcement instance.
@@ -112,6 +121,7 @@ func New(opts ...Option) *Pipeline {
 	if cfg.seed != 0 {
 		gen.Seed = cfg.seed
 	}
+	gen.Flakiness = cfg.faults
 	w := webgen.Build(gen)
 	p := &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet()}
 	if !cfg.noArtifacts {
@@ -151,6 +161,8 @@ func (p *Pipeline) crawlOptions() crawler.Options {
 		Workers:              p.cfg.workers,
 		Interact:             p.cfg.interact,
 		Seed:                 p.cfg.seed,
+		Retry:                p.cfg.retry,
+		VisitBudgetMs:        p.cfg.visitBudget,
 		Progress:             p.cfg.progress,
 		Artifacts:            p.artifacts,
 		DisableArtifactCache: p.cfg.noArtifacts,
@@ -272,6 +284,17 @@ func (p *Pipeline) NewGuardWithWhitelist() *Guard {
 
 // DefaultGuardPolicy exposes the paper's evaluated policy.
 func DefaultGuardPolicy() Policy { return guard.DefaultPolicy() }
+
+// UniformFaults spreads an overall per-attempt fault rate across the
+// fault mix in fixed proportions (see netsim.UniformFaults). It is the
+// one-knob config for WithFaults and cmd/experiments -faults.
+func UniformFaults(rate float64, seed uint64) FaultConfig {
+	return netsim.UniformFaults(rate, seed)
+}
+
+// DefaultRetryPolicy is three attempts with jittered exponential backoff
+// on the virtual clock (see browser.DefaultRetryPolicy).
+func DefaultRetryPolicy() RetryPolicy { return browser.DefaultRetryPolicy() }
 
 // WhitelistGuardPolicy exposes the whitelist-augmented policy.
 func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }

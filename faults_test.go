@@ -1,0 +1,127 @@
+package cookieguard
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// crawlRecords runs a pipeline's crawl and returns per-site JSON records.
+func crawlRecords(t *testing.T, p *Pipeline) map[string]string {
+	t.Helper()
+	logs, err := p.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(logs))
+	for _, v := range logs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v.Site] = string(b)
+	}
+	return out
+}
+
+func diffRecords(t *testing.T, label string, a, b map[string]string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: site counts diverge: %d vs %d", label, len(a), len(b))
+	}
+	for site, rec := range a {
+		if b[site] != rec {
+			t.Errorf("%s: site %s records differ", label, site)
+		}
+	}
+}
+
+// TestZeroFaultConfigByteIdentical is the PR-2-style equivalence
+// contract of the fault layer: a pipeline with a zero-rate WithFaults
+// (and one with retries enabled but no faults to retry) emits records
+// byte-identical to a pipeline that never heard of faults.
+func TestZeroFaultConfigByteIdentical(t *testing.T) {
+	base := []Option{WithSites(30), WithWorkers(6), WithSeed(9), WithInteract(true)}
+	vanilla := crawlRecords(t, New(base...))
+
+	zeroRate := crawlRecords(t, New(append(base[:len(base):len(base)], WithFaults(FaultConfig{Seed: 1}))...))
+	diffRecords(t, "zero-rate fault config", vanilla, zeroRate)
+
+	retriesOnly := crawlRecords(t, New(append(base[:len(base):len(base)], WithRetryPolicy(DefaultRetryPolicy()))...))
+	// Retries without faults never fire on complete sites; incomplete
+	// sites record the extra 5xx attempts, which is the one intended
+	// difference — compare complete records only.
+	for site, rec := range vanilla {
+		var v VisitLog
+		if err := json.Unmarshal([]byte(rec), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Complete() && retriesOnly[site] != rec {
+			t.Errorf("retries-without-faults: complete site %s record differs", site)
+		}
+	}
+}
+
+// TestFaultedPipelineDeterministicAndCacheInvariant: under an active
+// fault schedule, records are byte-identical across repeated runs, and
+// the artifact/response cache stays semantically invisible.
+func TestFaultedPipelineDeterministicAndCacheInvariant(t *testing.T) {
+	opts := func(extra ...Option) []Option {
+		return append([]Option{
+			WithSites(30), WithWorkers(6), WithSeed(9), WithInteract(true),
+			WithFaults(UniformFaults(0.12, 77)),
+			WithRetryPolicy(DefaultRetryPolicy()),
+		}, extra...)
+	}
+	first := crawlRecords(t, New(opts()...))
+	second := crawlRecords(t, New(opts()...))
+	diffRecords(t, "repeated faulted runs", first, second)
+
+	uncached := crawlRecords(t, New(opts(WithArtifactCache(false))...))
+	diffRecords(t, "faulted cached vs uncached", first, uncached)
+
+	// The schedule must have actually injected something.
+	faulted := false
+	for _, rec := range first {
+		var v VisitLog
+		if err := json.Unmarshal([]byte(rec), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Failure != "" || v.Degraded() {
+			faulted = true
+			break
+		}
+	}
+	if !faulted {
+		t.Fatal("12% fault schedule left no trace; test is vacuous")
+	}
+}
+
+// TestFaultedRunProducesFailureTable: the full streaming Run under
+// faults surfaces the taxonomy in Results.Failures.
+func TestFaultedRunProducesFailureTable(t *testing.T) {
+	p := New(
+		WithSites(40), WithWorkers(8), WithSeed(3), WithInteract(true),
+		WithFaults(UniformFaults(0.15, 5)),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 2}),
+	)
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Failures
+	if f.VisitsFailed+f.VisitsDegraded == 0 || f.RequestsFailed == 0 {
+		t.Fatalf("faulted run rolled up no failures: %+v", f)
+	}
+	if f.Retries == 0 {
+		t.Fatalf("retry policy active under faults but no retries recorded: %+v", f)
+	}
+	if len(res.FailureTable()) == 0 {
+		t.Fatal("failure table empty despite failures")
+	}
+	// Failed visits must still be excluded from the measurement.
+	if res.Summary.SitesComplete >= res.Summary.SitesTotal {
+		t.Fatalf("faulted run lost no sites: complete=%d total=%d",
+			res.Summary.SitesComplete, res.Summary.SitesTotal)
+	}
+}

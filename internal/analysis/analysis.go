@@ -93,6 +93,58 @@ type Results struct {
 
 	// Per-site action presence (for Table 1 and Figure 5).
 	SiteActions map[string]map[actionAPIKey]bool
+
+	// Failures is the crawl-failure rollup across every observed log —
+	// including incomplete ones, which is where most failures live.
+	Failures FailureStats
+}
+
+// FailureStats aggregates the failure taxonomy of a crawl: how many
+// visits were lost outright and to what (VisitFailures, keyed by
+// browser.FailureClass strings), how many retained visits were degraded,
+// and the per-request failure and retry totals. A fault-free crawl of a
+// fault-free web leaves every count at zero.
+type FailureStats struct {
+	VisitsFailed   int `json:"visits_failed"`   // visits with no usable landing document
+	VisitsDegraded int `json:"visits_degraded"` // retained visits that lost a subresource or hit the deadline
+
+	// VisitFailures counts visits by failure class: the fatal class of
+	// each lost visit, plus "deadline" for retained visits whose budget
+	// expired mid-visit — so its total can exceed VisitsFailed by
+	// exactly the deadline-degraded count.
+	VisitFailures   map[string]int `json:"visit_failures,omitempty"`
+	RequestFailures map[string]int `json:"request_failures,omitempty"` // failure class → failed request count
+	RequestsFailed  int            `json:"requests_failed"`            // total failed requests (all classes)
+	Retries         int            `json:"retries"`                    // total retry attempts across all requests
+}
+
+// observe folds one visit log into the rollup.
+func (f *FailureStats) observe(v *instrument.VisitLog) {
+	if !v.OK {
+		f.VisitsFailed++
+		class := v.Failure
+		if class == "" {
+			class = "unclassified"
+		}
+		f.VisitFailures[class]++
+	} else if v.Degraded() {
+		f.VisitsDegraded++
+		if v.Failure != "" { // mid-visit deadline on a retained visit
+			f.VisitFailures[v.Failure]++
+		}
+	}
+	for i := range v.Requests {
+		r := &v.Requests[i]
+		f.Retries += r.Retries
+		if r.Failed {
+			f.RequestsFailed++
+			class := r.Failure
+			if class == "" {
+				class = "unclassified"
+			}
+			f.RequestFailures[class]++
+		}
+	}
 }
 
 type actionAPIKey struct {
@@ -167,6 +219,9 @@ func (a *Analyzer) Run(logs []instrument.VisitLog) *Results {
 func (a *Analyzer) Observe(v instrument.VisitLog) {
 	st := a.state()
 	st.res.Summary.SitesTotal++
+	// The failure rollup sees every log — incomplete visits are exactly
+	// the ones the failure table is about — before the retention skip.
+	st.res.Failures.observe(&v)
 	if !v.Complete() {
 		return
 	}
@@ -214,6 +269,10 @@ func (a *Analyzer) state() *runState {
 			Pairs:       map[CookieKey]*PairInfo{},
 			PairsByAPI:  map[instrument.API]int{},
 			SiteActions: map[string]map[actionAPIKey]bool{},
+			Failures: FailureStats{
+				VisitFailures:   map[string]int{},
+				RequestFailures: map[string]int{},
+			},
 		}}
 	}
 	return a.st

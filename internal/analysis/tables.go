@@ -248,6 +248,35 @@ func (r *Results) OverwriteAttrs() OverwriteAttrStats {
 	return s
 }
 
+// FailureRow is one row of the crawl failure table: a failure class at
+// one scope ("visit" = fatal landing failures, "request" = degraded
+// subresource/script/frame/beacon fetches).
+type FailureRow struct {
+	Scope string
+	Class string
+	Count int
+}
+
+// FailureTable flattens the failure rollup into deterministic rows:
+// visit-scope classes first, then request-scope, each sorted by class
+// name so repeated runs over the same logs render identically.
+func (r *Results) FailureTable() []FailureRow {
+	var rows []FailureRow
+	appendScope := func(scope string, counts map[string]int) {
+		classes := make([]string, 0, len(counts))
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			rows = append(rows, FailureRow{Scope: scope, Class: c, Count: counts[c]})
+		}
+	}
+	appendScope("visit", r.Failures.VisitFailures)
+	appendScope("request", r.Failures.RequestFailures)
+	return rows
+}
+
 // SitePct returns the percentage of complete sites exhibiting an action
 // on document.cookie-visible cookies (Figure 5's bars).
 func (r *Results) SitePct(kind ActionKind) float64 {

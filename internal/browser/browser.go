@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"cookieguard/internal/artifact"
 	"cookieguard/internal/cookiejar"
@@ -47,18 +49,36 @@ type Options struct {
 	// charged to the virtual clock, and a cached visit produces records
 	// byte-identical to an uncached one.
 	Artifacts *artifact.Cache
+	// Retry bounds transient-fault retries per fetch with seeded
+	// jittered backoff on the virtual clock. The zero value performs a
+	// single attempt, preserving the historical behaviour byte for byte.
+	Retry RetryPolicy
+	// VisitBudgetMs, when > 0, is the browser's total visit budget in
+	// virtual milliseconds, measured from construction. Once the budget
+	// is exhausted, in-flight page loads stop fetching and executing
+	// (degrading gracefully, keeping partial data) and further fetches
+	// fail with ErrVisitDeadline. The budget binds on the clock as it
+	// actually advances — subresources are charged sequentially and the
+	// parallel-resource model only credits the difference back into the
+	// reported LoadEvent milestone afterwards — so a resource-heavy page
+	// can exhaust the budget while its reported (parallel-model) load
+	// time stays below it; size budgets against sequential fetch cost.
+	VisitBudgetMs float64
 }
 
 // Browser is a virtual browser instance: one cookie jar, one clock, one
 // network identity. Create one per crawled site visit for isolation, or
 // reuse across navigations to model a continuing session.
 type Browser struct {
-	opts   Options
-	jar    *cookiejar.Jar
-	clock  *vclock.Clock
-	client *http.Client
-	api    CookieAPI
-	rng    *stats.Rand
+	opts     Options
+	jar      *cookiejar.Jar
+	clock    *vclock.Clock
+	client   *http.Client
+	api      CookieAPI
+	rng      *stats.Rand
+	retryRng *stats.Rand // backoff jitter; separate stream so retries
+	// never perturb the interaction/rand_id draws of the page itself
+	deadline time.Time // zero = no visit budget
 }
 
 // New constructs a Browser.
@@ -82,11 +102,15 @@ func New(opts Options) (*Browser, error) {
 		opts.ParseCostPerKB = 0.15
 	}
 	b := &Browser{
-		opts:   opts,
-		jar:    cookiejar.New(opts.Clock),
-		clock:  opts.Clock,
-		client: opts.Internet.Client(),
-		rng:    stats.NewRand(opts.Seed ^ 0xb5297a4d),
+		opts:     opts,
+		jar:      cookiejar.New(opts.Clock),
+		clock:    opts.Clock,
+		client:   opts.Internet.Client(),
+		rng:      stats.NewRand(opts.Seed ^ 0xb5297a4d),
+		retryRng: stats.NewRand(opts.Seed ^ 0x27d4eb2f),
+	}
+	if opts.VisitBudgetMs > 0 {
+		b.deadline = opts.Clock.Now().Add(time.Duration(opts.VisitBudgetMs * float64(time.Millisecond)))
 	}
 	var api CookieAPI = NewDirectCookieAPI(b.jar)
 	for _, mw := range opts.CookieMiddleware {
@@ -107,36 +131,94 @@ func (b *Browser) CookieAPI() CookieAPI { return b.api }
 
 // Visit loads the page at url, executing its scripts to completion
 // (including injected ones and deferred callbacks), and returns the page.
+// On a fatal load failure the page is still returned alongside the
+// error: it carries the request records of the failed load (the document
+// fetch, its retries, its failure class), so callers can account the
+// failure instead of losing its trace.
 func (b *Browser) Visit(url string) (*Page, error) {
 	p := newPage(b, url, true)
 	if err := p.load(); err != nil {
-		return nil, fmt.Errorf("browser: visit %s: %w", url, err)
+		return p, fmt.Errorf("browser: visit %s: %w", url, err)
 	}
 	return p, nil
 }
 
+// DeadlineExceeded reports whether the visit budget (if any) has been
+// exhausted on the virtual clock.
+func (b *Browser) DeadlineExceeded() bool {
+	return !b.deadline.IsZero() && b.clock.Now().After(b.deadline)
+}
+
 // fetch performs one network exchange, advancing the clock by the
-// simulated latency. It attaches the jar's cookies to the request (as the
-// network stack does) and stores any Set-Cookie response headers back. It
-// returns the response body plus the fabric's content hash of it ("" when
-// the fabric did not compute one); the hash keys the browser's derived
-// artifact caches without rehashing the body.
-func (b *Browser) fetch(url string) (body, bodyHash string, status int, err error) {
+// simulated latency (charged for failed attempts too), and retries
+// transient failures within Options.Retry's attempt budget with jittered
+// backoff on the virtual clock. It attaches the jar's cookies to the
+// request (as the network stack does) and, for the accepted response
+// only, stores any Set-Cookie headers back. The result carries the body,
+// the fabric's content hash of it ("" when the fabric did not compute
+// one — in particular for truncated deliveries, whose bytes no longer
+// match any hash), the final status, the retry count, and the terminal
+// failure classification.
+func (b *Browser) fetch(url string) fetchResult {
+	maxAttempts := b.opts.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var res fetchResult
+	for attempt := 1; ; attempt++ {
+		res = b.fetchOnce(url, attempt)
+		res.retries = attempt - 1
+		if res.failure == FailNone || attempt >= maxAttempts || !retryable(res.failure, res.status) {
+			return res
+		}
+		b.clock.AdvanceMillis(b.opts.Retry.backoffMs(attempt, b.retryRng))
+	}
+}
+
+// fetchOnce performs a single attempt, stamping the attempt number and
+// the virtual time on the request so the fabric's fault model can draw
+// per-attempt decisions and follow flap schedules.
+func (b *Browser) fetchOnce(url string, attempt int) fetchResult {
+	if b.DeadlineExceeded() {
+		return fetchResult{failure: FailDeadline, err: ErrVisitDeadline}
+	}
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return "", "", 0, err
+		return fetchResult{failure: FailInternal, err: err}
 	}
 	if hdr := b.jar.CookieHeader(url); hdr != "" {
 		req.Header.Set("Cookie", hdr)
 	}
+	req.Header.Set(netsim.AttemptHeader, strconv.Itoa(attempt))
+	req.Header.Set(netsim.VClockHeader, strconv.FormatInt(b.clock.UnixMillis(), 10))
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return "", "", 0, err
+		var fe *netsim.FaultError
+		if errors.As(err, &fe) {
+			// Failed attempts burn virtual time like successful ones.
+			b.clock.AdvanceMillis(fe.LatencyMs)
+		}
+		return fetchResult{failure: classifyFetchError(err), err: err}
 	}
 	b.clock.AdvanceMillis(netsim.Latency(resp))
+	body, err := netsim.ReadBody(resp)
+	if err != nil {
+		return fetchResult{status: resp.StatusCode, failure: classifyFetchError(err), err: err}
+	}
 	for _, sc := range resp.Header.Values("Set-Cookie") {
 		b.jar.SetFromHeader(url, sc)
 	}
-	body, err = netsim.ReadBody(resp)
-	return body, resp.Header.Get(netsim.BodyHashHeader), resp.StatusCode, err
+	res := fetchResult{
+		body:     body,
+		bodyHash: resp.Header.Get(netsim.BodyHashHeader),
+		status:   resp.StatusCode,
+	}
+	// Only 5xx classifies as a fetch failure here: a 4xx is a completed
+	// exchange (a 404'd pixel still "loaded", as in Chrome's
+	// loadingFinished). Consumers that require the content — documents
+	// and scripts — additionally treat any >= 400 status as fatal.
+	if resp.StatusCode >= 500 {
+		res.failure = FailHTTP
+	}
+	return res
 }

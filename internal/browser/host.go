@@ -42,15 +42,14 @@ func (h *hostBinding) CookieStoreDelete(name string) {
 
 // Send issues a script-initiated GET (image pixel / fetch beacon). The
 // request is recorded with full stack attribution before the network
-// attempt, mirroring Network.requestWillBeSent, and failures are ignored
-// just like a dropped tracking pixel.
+// attempt, mirroring Network.requestWillBeSent, and failures are
+// classified on the record but otherwise ignored, just like a dropped
+// tracking pixel.
 func (h *hostBinding) Send(url string, params map[string]string) {
 	full := urlutil.WithParams(urlutil.Resolve(h.page.URL, url), params)
 	fr := h.page.currentFrame()
 	h.page.recordRequest(full, ReqBeacon, fr)
-	if _, _, _, err := h.page.browser.fetch(full); err != nil {
-		h.page.markFailed(full)
-	}
+	h.page.noteResult(full, h.page.browser.fetch(full))
 }
 
 // Inject queues a dynamically inserted external script (indirect

@@ -47,6 +47,11 @@ type Request struct {
 	InitiatorScript string   // "" = the page itself
 	Stack           []string // script URL chain at initiation
 	Failed          bool
+	// Failure classifies the terminal failure (FailNone on success) and
+	// Retries counts attempts beyond the first; both stay zero-valued on
+	// the happy path so fault-free records are unchanged.
+	Failure FailureClass
+	Retries int
 }
 
 // ScriptExec records one executed script with its inclusion path.
@@ -105,6 +110,10 @@ type Page struct {
 	Requests []Request
 	Timing   Timing
 
+	// DeadlineHit records that the visit budget expired while loading
+	// this page: the load stopped gracefully with partial data.
+	DeadlineHit bool
+
 	// Frames holds sub-pages loaded in iframes (SOP-isolated: their
 	// scripts ran against their own origin and cannot touch this page).
 	Frames []*Page
@@ -150,16 +159,24 @@ func (p *Page) load() error {
 	b := p.browser
 	p.startMS = float64(b.clock.UnixMillis())
 
-	// 1. Fetch the document.
+	// 1. Fetch the document. A document failure is fatal — there is no
+	// page to degrade into — and surfaces as a typed LoadError carrying
+	// its failure class. Everything fetched below the document degrades
+	// gracefully instead: the failure is recorded on the request log and
+	// the load continues.
 	p.recordRequest(p.URL, ReqDocument, frame{})
-	body, bodyHash, status, err := b.fetch(p.URL)
-	if err != nil {
-		p.markFailed(p.URL)
-		return err
+	fr := b.fetch(p.URL)
+	if fr.failure == FailNone && fr.status >= 400 {
+		fr.failure = FailHTTP // a document needs its content; 4xx is fatal
 	}
-	if status >= 400 {
-		return fmt.Errorf("document status %d", status)
+	p.noteResult(p.URL, fr)
+	if fr.err != nil {
+		return &LoadError{URL: p.URL, Class: fr.failure, Status: fr.status, Err: fr.err}
 	}
+	if fr.status >= 400 {
+		return &LoadError{URL: p.URL, Class: FailHTTP, Status: fr.status}
+	}
+	body, bodyHash := fr.body, fr.bodyHash
 
 	// 2. Parse HTML. The simulated parse cost is charged either way —
 	// the artifact cache is an engine optimization, not a model of a
@@ -175,6 +192,9 @@ func (p *Page) load() error {
 	// 3. Execute scripts in document order (parser-blocking, as real
 	// classic scripts are).
 	for _, s := range p.Doc.Scripts() {
+		if p.budgetExhausted() {
+			break
+		}
 		if src := s.Attr("src"); src != "" {
 			p.runExternal(urlutil.Resolve(p.URL, src), "", nil)
 		} else {
@@ -235,30 +255,43 @@ func (p *Page) loadSubresources() {
 	// Parallel model: total wall time is the max individual time.
 	// We fetch sequentially (the fabric is synchronous) but only charge
 	// the maximum latency: record clock, fetch all, then set the clock
-	// to start + max.
+	// to start + max. A failed subresource never aborts the page — the
+	// failure is classified on its request record and the load goes on.
 	startMS := b.clock.UnixMillis()
 	for _, r := range resources {
+		if p.budgetExhausted() {
+			break
+		}
 		preMS := b.clock.UnixMillis()
 		p.recordRequest(r.url, r.kind, frame{})
-		if _, _, _, err := b.fetch(r.url); err != nil {
-			p.markFailed(r.url)
-		}
+		p.noteResult(r.url, b.fetch(r.url))
 		lat := float64(b.clock.UnixMillis() - preMS)
 		if lat > maxLat {
 			maxLat = lat
 		}
 	}
 	// Iframes load their own documents (sequential within the frame,
-	// parallel across frames at this level of fidelity).
+	// parallel across frames at this level of fidelity). A frame whose
+	// document fails is dropped; the failure class lands on the parent's
+	// frame request.
 	for _, f := range p.Doc.IFrames() {
+		if p.budgetExhausted() {
+			break
+		}
 		src := urlutil.Resolve(p.URL, f.Attr("src"))
 		preMS := b.clock.UnixMillis()
 		p.recordRequest(src, ReqFrame, frame{})
 		sub := newPage(b, src, false)
 		if err := sub.load(); err == nil {
 			p.Frames = append(p.Frames, sub)
+			// The frame's own requests stay on the SOP-isolated sub-page
+			// (visit logs record main-frame data), but the retries its
+			// document needed belong to the parent's frame request.
+			if len(sub.Requests) > 0 {
+				p.noteResult(src, fetchResult{retries: sub.Requests[0].Retries})
+			}
 		} else {
-			p.markFailed(src)
+			p.noteResult(src, fetchResult{failure: ClassifyError(err), err: err})
 		}
 		lat := float64(b.clock.UnixMillis() - preMS)
 		if lat > maxLat {
@@ -277,7 +310,7 @@ func (p *Page) loadSubresources() {
 
 // drainInjections executes dynamically injected scripts breadth-first.
 func (p *Page) drainInjections() {
-	for len(p.injectQ) > 0 {
+	for len(p.injectQ) > 0 && !p.budgetExhausted() {
 		inj := p.injectQ[0]
 		p.injectQ = p.injectQ[1:]
 		if len(inj.path) > p.browser.opts.MaxInjectionDepth {
@@ -290,7 +323,7 @@ func (p *Page) drainInjections() {
 // drainDeferred runs setTimeout-style callbacks (which may inject more
 // scripts or defer more work).
 func (p *Page) drainDeferred() {
-	for len(p.deferQ) > 0 || len(p.injectQ) > 0 {
+	for (len(p.deferQ) > 0 || len(p.injectQ) > 0) && !p.budgetExhausted() {
 		if len(p.deferQ) == 0 {
 			p.drainInjections()
 			continue
@@ -308,22 +341,27 @@ func (p *Page) drainDeferred() {
 	}
 }
 
-// runExternal fetches and executes an external script.
+// runExternal fetches and executes an external script. A failed fetch
+// degrades gracefully: the script is recorded as failed with its class
+// and the page load continues.
 func (p *Page) runExternal(src, parent string, path []string) {
 	if p.scriptCnt >= p.browser.opts.MaxScriptsPerPage {
 		return
 	}
 	p.scriptCnt++
 	p.recordRequest(src, ReqScript, p.currentFrame())
-	body, bodyHash, status, err := p.browser.fetch(src)
+	fr := p.browser.fetch(src)
+	if fr.failure == FailNone && fr.status >= 400 {
+		fr.failure = FailHTTP // a script needs its content; 4xx is fatal
+	}
+	p.noteResult(src, fr)
 	exec := ScriptExec{URL: src, Parent: parent, InclusionPath: append([]string(nil), path...)}
-	if err != nil || status >= 400 {
-		p.markFailed(src)
-		exec.Err = fmt.Errorf("fetch script %s: status=%d err=%w", src, status, errOr(err))
+	if fr.err != nil || fr.status >= 400 {
+		exec.Err = fmt.Errorf("fetch script %s: status=%d err=%w", src, fr.status, errOr(fr.err))
 		p.Scripts = append(p.Scripts, exec)
 		return
 	}
-	p.execScript(body, bodyHash, frame{scriptURL: src, path: exec.InclusionPath}, &exec)
+	p.execScript(fr.body, fr.bodyHash, frame{scriptURL: src, path: exec.InclusionPath}, &exec)
 	p.Scripts = append(p.Scripts, exec)
 }
 
@@ -407,13 +445,31 @@ func (p *Page) recordRequest(url string, kind RequestKind, fr frame) {
 	})
 }
 
-func (p *Page) markFailed(url string) {
+// noteResult annotates the most recent request record for url with the
+// fetch outcome: the retry count always, plus the failure classification
+// when the fetch ultimately failed.
+func (p *Page) noteResult(url string, r fetchResult) {
 	for i := len(p.Requests) - 1; i >= 0; i-- {
 		if p.Requests[i].URL == url {
-			p.Requests[i].Failed = true
+			p.Requests[i].Retries = r.retries
+			if r.failure != FailNone {
+				p.Requests[i].Failed = true
+				p.Requests[i].Failure = r.failure
+			}
 			return
 		}
 	}
+}
+
+// budgetExhausted reports whether the browser's visit budget has run
+// out, latching the deadline marker on the page: the load stops starting
+// new work but keeps everything gathered so far.
+func (p *Page) budgetExhausted() bool {
+	if p.browser.DeadlineExceeded() {
+		p.DeadlineHit = true
+		return true
+	}
+	return false
 }
 
 // Click simulates a user click: fires every registered click handler and

@@ -7,6 +7,15 @@
 // clock and cookie jar, so concurrent visits are fully isolated — the
 // fabric (netsim.Internet) is the only shared component, as on the real
 // web.
+//
+// The crawl does not assume a perfect network: when the fabric injects
+// faults (netsim.SetFaultModel), Options.Retry bounds per-fetch retries
+// with seeded backoff, Options.VisitBudgetMs caps each visit on the
+// virtual clock, failed subresources degrade gracefully instead of
+// aborting the visit, and every failure is classified into the taxonomy
+// that instrument.VisitLog records and analysis rolls up. All of it is
+// deterministic: a fixed seed and fault config reproduce the same
+// per-site records at any worker count.
 package crawler
 
 import (
@@ -39,9 +48,24 @@ type Options struct {
 	PerVisit func() (mw []browser.CookieMiddleware, attach func(*browser.Browser))
 	// Seed differentiates browser randomness across visits.
 	Seed uint64
-	// Progress, when set, receives (done, total) after every visit.
-	// Invocations are serialized (no two run concurrently) but arrive on
-	// crawl worker goroutines; a slow callback backpressures the crawl.
+	// Retry bounds transient-fault retries per fetch (connection resets,
+	// timeouts, truncated bodies, 5xx) with seeded jittered backoff on
+	// the virtual clock. The zero value disables retrying, preserving
+	// historical behaviour byte for byte.
+	Retry browser.RetryPolicy
+	// VisitBudgetMs, when > 0, is each visit's total budget in virtual
+	// milliseconds (landing load plus interaction). An exhausted budget
+	// degrades gracefully: in-flight page loads stop starting new work,
+	// the interaction loop ends, and the visit log is retained with its
+	// partial data and a "deadline" failure mark.
+	VisitBudgetMs float64
+	// Progress, when set, receives (done, total) after every completed
+	// visit. Invocations are serialized (no two run concurrently) but
+	// arrive on crawl worker goroutines; a slow callback backpressures
+	// the crawl. done counts completed visits, not delivered logs: when
+	// the context is cancelled mid-delivery, a finished visit's log can
+	// be dropped, and the drop's Progress invocation is the only trace
+	// of it — so the final done is the true number of visits performed.
 	Progress func(done, total int)
 	// Artifacts is the content-addressed cache shared by every worker's
 	// browser (compiled scripts, DOM templates). When nil, the crawl
@@ -122,20 +146,28 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 				// the context is cancelled AND the stream is full — never
 				// by the select's random choice while space remains, so a
 				// draining consumer (Crawl) retains every finished log.
+				delivered := true
 				select {
 				case out <- indexedLog{idx: idx, log: l}:
 				default:
 					select {
 					case out <- indexedLog{idx: idx, log: l}:
 					case <-ctx.Done():
-						return
+						delivered = false
 					}
 				}
+				// Every completed visit is accounted, delivered or not:
+				// a drop without this final serialized Progress flush
+				// would leave done silently undercounting the visits
+				// that actually ran (and burned fabric requests).
+				progressMu.Lock()
+				done++
 				if opts.Progress != nil {
-					progressMu.Lock()
-					done++
 					opts.Progress(done, len(sites))
-					progressMu.Unlock()
+				}
+				progressMu.Unlock()
+				if !delivered {
+					return
 				}
 			}
 		}()
@@ -228,6 +260,8 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		CookieMiddleware: mw,
 		Seed:             opts.Seed ^ (n * 0x9e3779b97f4a7c15),
 		Artifacts:        opts.Artifacts,
+		Retry:            opts.Retry,
+		VisitBudgetMs:    opts.VisitBudgetMs,
 	})
 	if err != nil {
 		return instrument.VisitLog{Site: site, URL: url, Error: err.Error()}
@@ -240,7 +274,10 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 	var pages []*browser.Page
 	landing, err := b.Visit(url)
 	if err != nil {
-		return rec.BuildVisitLog(site, nil, err)
+		// The partial page keeps the failed visit's trace — the document
+		// request, its retries, its failure class — in the log, so the
+		// failure taxonomy sees what the visit burned before dying.
+		return rec.BuildVisitLog(site, []*browser.Page{landing}, err)
 	}
 	pages = append(pages, landing)
 
@@ -248,6 +285,12 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		current := landing
 		current.Scroll()
 		for c := 0; c < maxClicks; c++ {
+			if b.DeadlineExceeded() {
+				// Budget exhausted between pages: keep what we have and
+				// latch the deadline so the visit log records it.
+				current.DeadlineHit = true
+				break
+			}
 			current.Click()
 			link := current.RandomLink()
 			b.Clock().AdvanceMillis(2000) // the paper's two-second pause
@@ -256,6 +299,10 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 			}
 			next, err := b.Visit(link)
 			if err != nil {
+				// A failed same-site navigation degrades the visit, it
+				// does not end it: keep the partial page so the failed
+				// document request reaches the log and the taxonomy.
+				pages = append(pages, next)
 				continue
 			}
 			pages = append(pages, next)

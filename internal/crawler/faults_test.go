@@ -1,0 +1,205 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cookieguard/internal/browser"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/webgen"
+)
+
+// TestDroppedVisitAccountedInProgress: a worker cancelled while its
+// delivery is blocked drops the finished log — but the visit still
+// happened, and Progress must say so. The final serialized Progress done
+// therefore equals the number of visits performed, delivered or not.
+func TestDroppedVisitAccountedInProgress(t *testing.T) {
+	w, sites := buildSites(t, 20)
+	var started, lastDone atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	out, errc := stream(ctx, sites, Options{
+		Internet: w.BuildInternet(),
+		Workers:  3,
+		PerVisit: func() ([]browser.CookieMiddleware, func(*browser.Browser)) {
+			started.Add(1)
+			return nil, nil
+		},
+		Progress: func(done, total int) { lastDone.Store(int64(done)) },
+	})
+
+	// Consume nothing: the buffer fills, workers block in delivery, and
+	// cancellation forces them onto the drop path.
+	for started.Load() < 4 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected context error")
+	}
+	// The pool has fully drained (errc closed after wg.Wait): every
+	// started visit completed and must have been accounted.
+	if got, want := lastDone.Load(), started.Load(); got != want {
+		t.Fatalf("final Progress done = %d, but %d visits ran — dropped logs uncounted", got, want)
+	}
+	drained := 0
+	for range out {
+		drained++
+	}
+	if drained >= int(started.Load()) {
+		t.Fatalf("nothing was dropped (delivered %d of %d); test exercised nothing", drained, started.Load())
+	}
+}
+
+// crawlJSON crawls sites and returns per-site marshalled records.
+func crawlJSON(t *testing.T, in *netsim.Internet, sites []string, workers int, retry browser.RetryPolicy) map[string]string {
+	t.Helper()
+	res, err := Crawl(context.Background(), sites, Options{
+		Internet: in,
+		Workers:  workers,
+		Interact: true,
+		Seed:     5,
+		Retry:    retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(res.Logs))
+	for _, v := range res.Logs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v.Site] = string(b)
+	}
+	return out
+}
+
+// TestFaultCrawlDeterministicAcrossWorkers: with a seeded fault model
+// and retries enabled, per-site records are byte-identical across runs
+// and worker counts — the acceptance criterion for the fault fabric.
+func TestFaultCrawlDeterministicAcrossWorkers(t *testing.T) {
+	cfg := webgen.DefaultConfig(40)
+	w := webgen.Build(cfg)
+	var domains []string
+	for _, s := range w.Sites {
+		domains = append(domains, s.Domain)
+	}
+	sites := SiteURLs(domains)
+	faults := netsim.UniformFaults(0.15, 99)
+	retry := browser.RetryPolicy{MaxAttempts: 3}
+
+	build := func() *netsim.Internet {
+		in := w.BuildInternet()
+		in.SetFaultModel(netsim.SeededFaults(faults))
+		return in
+	}
+	serial := crawlJSON(t, build(), sites, 1, retry)
+	wide := crawlJSON(t, build(), sites, 7, retry)
+	if len(serial) != len(wide) {
+		t.Fatalf("site counts diverge: %d vs %d", len(serial), len(wide))
+	}
+	faulted := false
+	for site, rec := range serial {
+		if wide[site] != rec {
+			t.Errorf("site %s: record differs between 1 and 7 workers under faults", site)
+		}
+		var v struct {
+			Failure  string `json:"failure"`
+			Requests []struct {
+				Failed  bool `json:"failed"`
+				Retries int  `json:"retries"`
+			} `json:"requests"`
+		}
+		if err := json.Unmarshal([]byte(rec), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Failure != "" {
+			faulted = true
+		}
+		for _, r := range v.Requests {
+			if r.Failed || r.Retries > 0 {
+				faulted = true
+			}
+		}
+	}
+	if !faulted {
+		t.Fatal("15% fault rate left no trace in 40 sites; fault fabric inert")
+	}
+}
+
+// TestAllFailingHostTerminatesWithinBudget: a crawl over a host that
+// times out on every attempt terminates within the configured attempt
+// budget and classifies the visit in the taxonomy.
+func TestAllFailingHostTerminatesWithinBudget(t *testing.T) {
+	in := netsim.New()
+	in.RegisterFunc("www.down.example", func(w http.ResponseWriter, r *http.Request) {})
+	var attempts atomic.Int64
+	in.SetFaultModel(func(req *http.Request) netsim.FaultDecision {
+		attempts.Add(1)
+		return netsim.FaultDecision{Kind: netsim.FaultTimeout, LatencyMs: 250}
+	})
+
+	res, err := Crawl(context.Background(), []string{"https://www.down.example/"}, Options{
+		Internet: in,
+		Workers:  1,
+		Interact: true,
+		Retry:    browser.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 1 {
+		t.Fatalf("logs = %d, want 1", len(res.Logs))
+	}
+	v := res.Logs[0]
+	if v.OK || v.Failure != string(browser.FailTimeout) {
+		t.Fatalf("visit = ok=%v failure=%q, want failed with class timeout", v.OK, v.Failure)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("fabric saw %d attempts, want exactly the budget of 3", got)
+	}
+	// The lost visit keeps its trace: the document request with its
+	// retries and class survives into the log for the failure rollup.
+	if len(v.Requests) != 1 {
+		t.Fatalf("failed visit logged %d requests, want its document request", len(v.Requests))
+	}
+	if r := v.Requests[0]; !r.Failed || r.Failure != string(browser.FailTimeout) || r.Retries != 2 {
+		t.Fatalf("document record = %+v, want failed/timeout with 2 retries", r)
+	}
+	if len(res.Complete()) != 0 {
+		t.Fatal("failed visit passed the completeness filter")
+	}
+}
+
+// TestVisitBudgetRetainsPartialVisit: a tight visit budget ends the
+// interaction early but the visit is retained, marked "deadline".
+func TestVisitBudgetRetainsPartialVisit(t *testing.T) {
+	w, sites := buildSites(t, 8)
+	res, err := Crawl(context.Background(), sites[:4], Options{
+		Internet:      w.BuildInternet(),
+		Workers:       2,
+		Interact:      true,
+		VisitBudgetMs: 500, // less than one two-second interaction pause
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	for _, v := range res.Logs {
+		if v.Failure == string(browser.FailDeadline) {
+			marked++
+			if !v.OK {
+				t.Errorf("site %s: deadline visit lost its data (ok=false)", v.Site)
+			}
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no visit recorded the exhausted budget")
+	}
+}

@@ -66,13 +66,19 @@ type CookieEvent struct {
 	MainFrame    bool     `json:"main_frame"`
 }
 
-// RequestEvent is one recorded outbound request.
+// RequestEvent is one recorded outbound request. Failure carries the
+// browser's failure-taxonomy class when the request failed (see
+// browser.FailureClass) and Retries the attempts beyond the first; both
+// are zero-valued — and absent from the JSON — on the fault-free path,
+// so records from fault-free crawls are unchanged.
 type RequestEvent struct {
 	URL             string `json:"url"`
 	Kind            string `json:"kind"`
 	InitiatorScript string `json:"initiator_script,omitempty"`
 	InitiatorDomain string `json:"initiator_domain,omitempty"`
 	Failed          bool   `json:"failed,omitempty"`
+	Failure         string `json:"failure,omitempty"`
+	Retries         int    `json:"retries,omitempty"`
 	MainFrame       bool   `json:"main_frame"`
 }
 
@@ -103,6 +109,12 @@ type VisitLog struct {
 	URL   string `json:"url"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Failure classifies the visit in the crawl failure taxonomy. With
+	// OK false it is the fatal class of the landing-load failure (dns,
+	// conn-reset, timeout, http, truncated, deadline, internal); with OK
+	// true it is either empty or "deadline" — the visit budget expired
+	// mid-visit and the partial data was retained.
+	Failure string `json:"failure,omitempty"`
 
 	Cookies   []CookieEvent    `json:"cookies,omitempty"`
 	Requests  []RequestEvent   `json:"requests,omitempty"`
@@ -116,8 +128,31 @@ type VisitLog struct {
 // logs and network request data must be present (§4.2). It is the single
 // shared predicate — the crawler's retention filter and the analysis
 // pipeline's per-log skip both delegate here.
+//
+// The predicate is deliberately insensitive to *degradation*: a visit
+// whose landing document loaded (OK) is retained even when individual
+// subresources, scripts, or frames failed, and even when the visit
+// budget expired mid-visit (Failure == "deadline") — exactly as the
+// paper retains crawls that lost a tracking pixel but not the page. Only
+// a fatal landing failure (OK == false) or missing cookie/request data
+// disqualifies a visit; per-request failures stay visible through
+// RequestEvent.Failed/Failure and feed the analysis failure table.
 func (v VisitLog) Complete() bool {
 	return v.OK && len(v.Cookies) > 0 && len(v.Requests) > 0
+}
+
+// Degraded reports whether a retained visit lost something along the
+// way: at least one failed request, or a mid-visit deadline.
+func (v VisitLog) Degraded() bool {
+	if v.Failure != "" {
+		return true
+	}
+	for _, r := range v.Requests {
+		if r.Failed {
+			return true
+		}
+	}
+	return false
 }
 
 // FilterComplete returns the logs that pass the retention criterion, in
@@ -197,12 +232,16 @@ func (r *Recorder) BuildVisitLog(site string, pages []*browser.Page, err error) 
 	v := VisitLog{Site: site, OK: err == nil}
 	if err != nil {
 		v.Error = err.Error()
+		v.Failure = string(browser.ClassifyError(err))
 	}
 	v.Cookies = r.Events()
 	for i, p := range pages {
 		if i == 0 {
 			v.URL = p.URL
 			v.Timing = p.Timing
+		}
+		if p.DeadlineHit && v.Failure == "" {
+			v.Failure = string(browser.FailDeadline)
 		}
 		for _, req := range p.Requests {
 			v.Requests = append(v.Requests, RequestEvent{
@@ -211,6 +250,8 @@ func (r *Recorder) BuildVisitLog(site string, pages []*browser.Page, err error) 
 				InitiatorScript: req.InitiatorScript,
 				InitiatorDomain: urlutil.RegistrableDomain(req.InitiatorScript),
 				Failed:          req.Failed,
+				Failure:         string(req.Failure),
+				Retries:         req.Retries,
 				MainFrame:       p.MainFrame(),
 			})
 		}

@@ -7,10 +7,15 @@
 // the jar, the instrumentation extension, CookieGuard — speaks standard
 // net/http, so the same code would run against the real web.
 //
-// The fabric also models the two network-level phenomena the paper
-// discusses: deterministic per-host latency (driving the page-load-time
-// experiments of §7.3) and CNAME cloaking (§8, "Manipulation of script
-// source"), where a first-party subdomain aliases a third-party server.
+// The fabric also models the network-level phenomena the paper discusses:
+// deterministic per-host latency (driving the page-load-time experiments
+// of §7.3) and CNAME cloaking (§8, "Manipulation of script source"),
+// where a first-party subdomain aliases a third-party server. Beyond the
+// happy path it injects the transient faults of a real measurement crawl
+// — 5xx responses, connection resets, timeouts, truncated bodies,
+// tail-latency spikes, and per-host flap schedules — through a seeded
+// deterministic FaultModel (SetFaultModel, SeededFaults), so resilience
+// experiments reproduce bit-for-bit.
 package netsim
 
 import (
@@ -70,6 +75,7 @@ type snapshot struct {
 	cnames    map[string]string
 	taps      []Tap
 	latency   LatencyModel
+	faults    FaultModel
 	respCache ResponseCache
 }
 
@@ -86,9 +92,11 @@ type Internet struct {
 	cnames   map[string]string
 	taps     []Tap
 	latency  LatencyModel
+	faults   FaultModel
 	cache    ResponseCache
 	frozen   atomic.Pointer[snapshot]
 	requests atomic.Int64
+	faulted  atomic.Int64
 }
 
 // New returns an empty Internet with the default latency model.
@@ -130,6 +138,7 @@ func (i *Internet) refreeze() {
 		cnames:    cnames,
 		taps:      taps,
 		latency:   i.latency,
+		faults:    i.faults,
 		respCache: i.cache,
 	})
 }
@@ -203,6 +212,18 @@ func (i *Internet) SetLatencyModel(m LatencyModel) {
 	i.mutate(func() { i.latency = m })
 }
 
+// SetFaultModel installs (or, with nil, removes) a fault model. With a
+// model installed, every RoundTrip attempt first consults it and may be
+// answered with an injected failure instead of the handler; see
+// SeededFaults for the deterministic implementation. The model only
+// applies to resolvable hosts — an unregistered host stays NXDOMAIN —
+// and never interacts with the response cache: error and truncated
+// deliveries bypass it, so cached and uncached crawls stay byte-identical
+// under any fault schedule.
+func (i *Internet) SetFaultModel(m FaultModel) {
+	i.mutate(func() { i.faults = m })
+}
+
 // Register serves host with handler. The host must be a bare lowercase
 // hostname without scheme or port.
 func (i *Internet) Register(host string, handler http.Handler) {
@@ -250,6 +271,9 @@ func (i *Internet) Tap(t Tap) {
 
 // Requests returns the total number of exchanges served.
 func (i *Internet) Requests() int64 { return i.requests.Load() }
+
+// Faults returns the total number of injected faults (all kinds).
+func (i *Internet) Faults() int64 { return i.faulted.Load() }
 
 // Hosts returns the registered hostnames (sorted order not guaranteed).
 func (i *Internet) Hosts() []string {
@@ -305,6 +329,59 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	lat := v.latency(req)
 
+	// Fault injection: consult the model before the handler or cache.
+	// Connection-level faults return an error carrying the virtual time
+	// the attempt burned; a synthesized 5xx never runs the handler; a
+	// tail-latency spike only inflates the charged latency; truncation is
+	// applied to the delivered copy after normal serving (below), so the
+	// response cache only ever stores intact exchanges.
+	var fd FaultDecision
+	if v.faults != nil {
+		fd = v.faults(req)
+	}
+	switch fd.Kind {
+	case FaultConnReset:
+		i.faulted.Add(1)
+		if fd.LatencyMs > 0 {
+			lat = fd.LatencyMs
+		}
+		return nil, &FaultError{Kind: FaultConnReset, Host: host, LatencyMs: lat}
+	case FaultTimeout:
+		i.faulted.Add(1)
+		stall := fd.LatencyMs
+		if stall <= 0 {
+			stall = lat
+		}
+		return nil, &FaultError{Kind: FaultTimeout, Host: host, LatencyMs: stall}
+	case FaultServerError:
+		i.faulted.Add(1)
+		status := fd.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		body := http.StatusText(status) + "\n"
+		resp := &http.Response{
+			StatusCode:    status,
+			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+		}
+		return i.respond(resp, req, lat, v.taps, servedBy), nil
+	case FaultTailLatency:
+		i.faulted.Add(1)
+		factor := fd.Factor
+		if factor <= 0 {
+			factor = 10
+		}
+		lat *= factor
+	case FaultTruncate:
+		i.faulted.Add(1)
+	}
+
 	// Replay a memoized exchange without touching the handler. The
 	// stored header is shared across hits, so it is cloned before the
 	// per-request latency header is added.
@@ -324,6 +401,9 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 				Body:          io.NopCloser(strings.NewReader(cr.body)),
 				ContentLength: int64(len(cr.body)),
 			}
+			if fd.Kind == FaultTruncate {
+				applyTruncation(resp, cr.body, fd)
+			}
 			return i.respond(resp, req, lat, v.taps, servedBy), nil
 		}
 	}
@@ -342,11 +422,16 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	if cacheable && rec.Code == http.StatusOK {
 		// Memoize 200s only: error pages are cheap and beacon sinks
 		// (204, unique query strings) would grow the cache unboundedly.
+		// The cache stores the intact exchange even when this delivery is
+		// truncated — the fault belongs to the attempt, not the content.
 		body := rec.Body.String()
 		hdr := resp.Header.Clone()
 		hdr.Set(BodyHashHeader, contenthash.Sum(body))
 		v.respCache.PutResponse(key, &cachedResponse{status: rec.Code, header: hdr, body: body})
 		resp.Header.Set(BodyHashHeader, hdr.Get(BodyHashHeader))
+	}
+	if fd.Kind == FaultTruncate {
+		applyTruncation(resp, rec.Body.String(), fd)
 	}
 	return i.respond(resp, req, lat, v.taps, servedBy), nil
 }

@@ -98,6 +98,23 @@ func Table1(w io.Writer, rows []analysis.Table1Row) {
 	Table(w, []string{"cookie type", "action", "% of websites", "% of cookies (no.)"}, out)
 }
 
+// Failures renders the crawl failure table: the taxonomy rollup of
+// fatal visit failures and degraded (recorded, not aborted) request
+// failures, plus the retry totals.
+func Failures(w io.Writer, s analysis.FailureStats, rows []analysis.FailureRow) {
+	fmt.Fprintf(w, "Failure table: %d visits failed, %d degraded; %d failed requests, %d retries\n",
+		s.VisitsFailed, s.VisitsDegraded, s.RequestsFailed, s.Retries)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no failures recorded)")
+		return
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Scope, r.Class, fmt.Sprintf("%d", r.Count)})
+	}
+	Table(w, []string{"scope", "class", "count"}, out)
+}
+
 // Table2 renders Table 2.
 func Table2(w io.Writer, rows []analysis.Table2Row) {
 	var out [][]string

@@ -70,6 +70,15 @@ type Config struct {
 	NLongTailTrackers int
 	NLongTailWidgets  int
 	NIdPPairs         int
+
+	// Flakiness, when non-nil, is the scenario-generation knob for an
+	// imperfect network: BuildInternet installs the corresponding seeded
+	// fault model (netsim.SeededFaults) on the fabric it builds, so the
+	// generated web itself stays byte-identical while its serving fabric
+	// exhibits the configured 5xx/reset/timeout/truncation/tail-latency
+	// rates and per-host flap schedules. Nil (the default) reproduces
+	// the fault-free fabric exactly.
+	Flakiness *netsim.FaultConfig
 }
 
 // DefaultConfig returns the paper-calibrated configuration for n sites.
@@ -290,10 +299,15 @@ func (w *Web) Register(in *netsim.Internet) {
 
 // Build registers a fresh Internet for the web and returns it. The
 // fabric is frozen after registration: the generated web is static, so
-// the serving path runs lock-free from the first request.
+// the serving path runs lock-free from the first request. When the
+// config carries a Flakiness knob, the corresponding seeded fault model
+// is installed before the freeze.
 func (w *Web) BuildInternet() *netsim.Internet {
 	in := netsim.New()
 	w.Register(in)
+	if w.Config.Flakiness != nil {
+		in.SetFaultModel(netsim.SeededFaults(*w.Config.Flakiness))
+	}
 	in.Freeze()
 	return in
 }

@@ -20,6 +20,9 @@ type config struct {
 	middleware  []MiddlewareFactory
 	progress    func(done, total int)
 	noArtifacts bool
+	faults      *FaultConfig
+	retry       RetryPolicy
+	visitBudget float64
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -67,6 +70,40 @@ func WithMiddleware(factories ...MiddlewareFactory) Option {
 // backpressures the crawl.
 func WithProgress(fn func(done, total int)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithFaults subjects the pipeline's network fabric to a seeded
+// deterministic fault schedule: 5xx responses, connection resets,
+// timeouts, truncated bodies, tail-latency spikes, and per-host flap
+// windows on the virtual clock, at the rates the config sets (see
+// UniformFaults for a one-knob mix). Faults are injected by the fabric,
+// so every layer above — browser, crawler, guard, analysis — sees them
+// exactly as it would see a real flaky network. Same seed and config ⇒
+// byte-identical per-site records across runs and worker counts; a
+// zero-rate config is byte-identical to not calling WithFaults at all.
+// Pair with WithRetryPolicy for a resilient crawl, and read the outcome
+// from Results.Failures / Results.FailureTable().
+func WithFaults(cfg FaultConfig) Option {
+	return func(c *config) { c.faults = &cfg }
+}
+
+// WithRetryPolicy bounds per-fetch retries of transient failures
+// (connection resets, timeouts, truncated bodies, 5xx responses) with
+// seeded jittered backoff on the virtual clock. The zero policy (and
+// not calling this option) performs single attempts, reproducing the
+// historical behaviour byte for byte; DefaultRetryPolicy() is a sane
+// starting point. A crawl over a host that fails on every attempt still
+// terminates within MaxAttempts tries per fetch.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(c *config) { c.retry = rp }
+}
+
+// WithVisitBudget caps each visit at ms virtual milliseconds (landing
+// load plus interaction). An exhausted budget degrades gracefully: the
+// visit keeps its partial data and is marked with the "deadline"
+// failure class. Zero (the default) disables the deadline.
+func WithVisitBudget(ms float64) Option {
+	return func(c *config) { c.visitBudget = ms }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's
