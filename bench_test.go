@@ -11,9 +11,14 @@ import (
 	"testing"
 
 	"cookieguard/internal/analysis"
+	"cookieguard/internal/artifact"
 	"cookieguard/internal/breakage"
+	"cookieguard/internal/browser"
 	"cookieguard/internal/instrument"
+	"cookieguard/internal/jsdsl"
+	"cookieguard/internal/netsim"
 	"cookieguard/internal/perf"
+	"cookieguard/internal/webgen"
 )
 
 const benchSites = 150
@@ -276,6 +281,103 @@ func BenchmarkEndToEndCrawl(b *testing.B) {
 		if res := study.Analyze(logs); res.Summary.SitesComplete == 0 {
 			b.Fatal("no complete sites")
 		}
+	}
+}
+
+// --- Focused allocation micro-benchmarks (PR 4) -------------------------
+//
+// The three benchmarks below isolate the layers the zero-alloc work
+// targets, so a regression in any one of them is attributable: the whole
+// instrumented visit (BenchmarkVisitAlloc), the per-page DOM template
+// clone (BenchmarkDOMClone), and script execution on a pooled
+// interpreter (BenchmarkInterpRun). Run with -benchmem; allocs/op is the
+// figure that matters.
+
+func BenchmarkVisitAlloc(b *testing.B) {
+	w := webgen.Build(webgen.DefaultConfig(30))
+	in := w.BuildInternet()
+	cache := artifact.New()
+	in.SetResponseCache(cache)
+	site := w.CompleteSites()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := instrument.NewRecorder()
+		br, err := browser.New(browser.Options{
+			Internet:         in,
+			CookieMiddleware: []browser.CookieMiddleware{rec.Middleware()},
+			Artifacts:        cache,
+			Pooling:          true,
+			Seed:             7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec.ObserveJar(br.Jar())
+		p, err := br.Visit(site.URL)
+		log := rec.BuildVisitLog(site.Domain, []*browser.Page{p}, err)
+		br.Release()
+		if !log.OK || len(log.Requests) == 0 {
+			b.Fatal("visit produced no data")
+		}
+	}
+}
+
+func BenchmarkDOMClone(b *testing.B) {
+	w := webgen.Build(webgen.DefaultConfig(30))
+	in := w.BuildInternet()
+	cache := artifact.New()
+	in.SetResponseCache(cache)
+	site := w.CompleteSites()[0]
+	resp, err := in.Client().Get(site.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	html, err := netsim.ReadBody(resp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cache.Document(site.URL, "", html)
+		if d.Root == nil {
+			b.Fatal("no clone")
+		}
+		d.Release()
+	}
+}
+
+func BenchmarkInterpRun(b *testing.B) {
+	// A representative tracker-shaped script: cookie reads and writes,
+	// string work, a loop, and a map — no network.
+	prog, err := jsdsl.Parse(`
+let all = get_all_cookies();
+let tags = [];
+for (k in all) {
+  if (len(all[k]) >= 4) { push(tags, k + ":" + all[k]); }
+}
+let i = 0;
+let acc = "";
+while (i < 20) {
+  acc = acc + str(i * 3);
+  i = i + 1;
+}
+set_cookie("bench", md5(acc), {"max_age": 3600});
+let back = get_cookie("bench");
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := &jsdsl.NopHost{}
+		in := jsdsl.AcquireInterp(host)
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+		in.Release()
 	}
 }
 

@@ -11,7 +11,12 @@
 // Usage:
 //
 //	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
-//	      [-retries N] [-o logs.jsonl] [-list tranco.csv]
+//	      [-retries N] [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
+//
+// -v prints live counters (progress, fabric faults, cache and pool hit
+// rates) to stderr every 100 visits. -pooling=false disables per-visit
+// object pooling; pooled and unpooled crawls with the same -seed emit
+// byte-identical records.
 package main
 
 import (
@@ -39,6 +44,10 @@ func main() {
 	faults := flag.Float64("faults", 0,
 		"overall per-attempt fault rate injected by the fabric (0 disables; deterministic for a fixed -seed)")
 	retries := flag.Int("retries", 1, "attempt budget per fetch under faults (1 = no retries)")
+	pooling := flag.Bool("pooling", true,
+		"recycle per-visit state (pages, DOM arenas, interpreters) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
+	verbose := flag.Bool("v", false,
+		"print live crawl counters to stderr (progress, fabric faults, cache and pool hit rates)")
 	flag.Parse()
 
 	opts := []cookieguard.Option{
@@ -46,6 +55,23 @@ func main() {
 		cookieguard.WithWorkers(*workers),
 		cookieguard.WithSeed(*seed),
 		cookieguard.WithInteract(true),
+		cookieguard.WithPooling(*pooling),
+	}
+	if *verbose {
+		// Live counters every 100 visits (and on the last): fault totals
+		// and cache/pool hit rates, so long crawls are observable.
+		opts = append(opts, cookieguard.WithProgressStats(func(ps cookieguard.ProgressStats) {
+			if ps.Done%100 != 0 && ps.Done != ps.Total {
+				return
+			}
+			cs := ps.Cache
+			progHit := rate(cs.ProgramHits, cs.ProgramMisses)
+			bodyHit := rate(cs.BodyHits, cs.BodyMisses)
+			fmt.Fprintf(os.Stderr,
+				"crawl: %d/%d visits, %d requests, %d faults, cache prog %.1f%% body %.1f%%, pool reuse %.1f%%\n",
+				ps.Done, ps.Total, ps.Requests, ps.Faults,
+				100*progHit, 100*bodyHit, 100*ps.Pool.ReuseRate())
+		}))
 	}
 	if *guarded {
 		opts = append(opts, cookieguard.WithGuard(cookieguard.DefaultGuardPolicy()))
@@ -81,19 +107,22 @@ func main() {
 	visited, complete := 0, 0
 	type rec struct{ site, line string }
 	var buffered []rec
+	// The streaming path encodes straight into the buffered writer: the
+	// encoder reuses its internal buffers line over line, where the old
+	// Marshal-per-line path allocated (and copied) every encoded log.
+	enc := json.NewEncoder(w)
 	for l := range logs {
 		visited++
 		if l.Complete() {
 			complete++
 		}
-		b, err := json.Marshal(l)
-		fatal(err)
 		if *sortOut {
+			b, err := json.Marshal(l)
+			fatal(err)
 			buffered = append(buffered, rec{site: l.Site, line: string(b)})
 			continue
 		}
-		w.Write(b)
-		w.WriteByte('\n')
+		fatal(enc.Encode(l))
 	}
 	fatal(<-errs)
 	if *sortOut {
@@ -106,6 +135,13 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", visited, complete)
+}
+
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func fatal(err error) {

@@ -5,8 +5,18 @@
 // Usage:
 //
 //	experiments [-sites N] [-workers N] [-seed S] [-perf N] [-breakage N]
-//	            [-artifact-cache=BOOL] [-bench-json FILE]
+//	            [-artifact-cache=BOOL] [-pooling=BOOL] [-bench-json FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-faults RATE] [-retries N]
+//
+// Profiling and the perf harness: -cpuprofile/-memprofile write pprof
+// profiles (the memory profile is taken right after the measurement
+// crawl), and -bench-json records allocs_per_site, bytes_per_site, GC
+// cycle/pause totals, and object-pool reuse counters alongside
+// throughput — BENCH_4.json is the checked-in baseline the CI bench
+// smoke job gates allocation regressions against. -pooling=false turns
+// per-visit object pooling off; pooled and unpooled runs with the same
+// seed emit byte-identical per-site records.
 //
 // Fault injection: -faults RATE subjects the fabric to a seeded
 // deterministic fault schedule (5xx, connection resets, timeouts,
@@ -37,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cookieguard"
@@ -60,9 +72,28 @@ func main() {
 		"overall per-attempt fault rate injected by the fabric (0 disables; 0.1 = 10% of attempts fault, spread across 5xx/reset/timeout/truncation/tail-latency plus flapping hosts)")
 	retries := flag.Int("retries", 1,
 		"attempt budget per fetch under faults (1 = no retries); retried with jittered backoff on the virtual clock")
+	pooling := flag.Bool("pooling", true,
+		"recycle per-visit state (pages, DOM arenas, interpreters, cached exchanges) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
+	crawlOnly := flag.Bool("crawl-only", false,
+		"exit after the measurement crawl and its -bench-json snapshot (skips the guard/breakage/performance experiments); the perf-harness mode CI's bench gate runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement crawl to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the measurement crawl to this file")
 	flag.Parse()
 
-	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *benchJSON, *faults, *retries); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *pooling, *crawlOnly, *benchJSON, *memProfile, *faults, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -75,17 +106,28 @@ type benchSnapshot struct {
 	Workers       int                    `json:"workers"`
 	Seed          uint64                 `json:"seed"`
 	ArtifactCache bool                   `json:"artifact_cache"`
+	Pooling       bool                   `json:"pooling"`
 	FaultRate     float64                `json:"fault_rate,omitempty"`
 	RetryAttempts int                    `json:"retry_attempts,omitempty"`
 	CrawlSeconds  float64                `json:"crawl_seconds"`
 	SitesPerSec   float64                `json:"sites_per_sec"`
+	// AllocsPerSite and BytesPerSite are runtime.MemStats deltas over the
+	// measurement crawl divided by the site count; the GC fields are the
+	// collector's cycle count and total pause over the same window. They
+	// are the regression-gated figures of the perf harness (CI compares
+	// AllocsPerSite against the checked-in baseline).
+	AllocsPerSite float64                `json:"allocs_per_site"`
+	BytesPerSite  float64                `json:"bytes_per_site"`
+	GCCycles      uint32                 `json:"gc_cycles"`
+	GCPauseMs     float64                `json:"gc_pause_ms"`
 	CacheStats    cookieguard.CacheStats `json:"cache_stats"`
+	PoolStats     cookieguard.PoolStats  `json:"pool_stats"`
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
 }
 
-func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool, benchJSON string, faultRate float64, retries int) error {
+func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pooling, crawlOnly bool, benchJSON, memProfile string, faultRate float64, retries int) error {
 	out := os.Stdout
 	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
 
@@ -104,17 +146,21 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 		cookieguard.WithSeed(seed),
 		cookieguard.WithInteract(true),
 		cookieguard.WithArtifactCache(artifactCache),
+		cookieguard.WithPooling(pooling),
 	}, resilience...)...)
 	ctx := context.Background()
 
 	// ---------- Measurement crawl (no guard), single streaming pass ----------
 	fmt.Fprintln(out, "--- measurement crawl (§4) ---")
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	crawlStart := time.Now()
 	res, err := study.Run(ctx)
 	if err != nil {
 		return err
 	}
 	crawlSecs := time.Since(crawlStart).Seconds()
+	runtime.ReadMemStats(&msAfter)
 	s := res.Summary
 	fmt.Fprintf(out, "crawled %d sites, %d complete (paper: 20000 -> 14917)\n",
 		s.SitesTotal, s.SitesComplete)
@@ -128,6 +174,22 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 		fmt.Fprintln(out)
 	}
 
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush accounting so the profile reflects the crawl
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "allocation profile written to %s\n\n", memProfile)
+	}
+
 	if benchJSON != "" {
 		snap := benchSnapshot{
 			Benchmark:     "StreamingPipeline",
@@ -135,11 +197,17 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 			Workers:       workers,
 			Seed:          seed,
 			ArtifactCache: artifactCache,
+			Pooling:       pooling,
 			FaultRate:     faultRate,
 			RetryAttempts: retries,
 			CrawlSeconds:  crawlSecs,
 			SitesPerSec:   float64(sites) / crawlSecs,
+			AllocsPerSite: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),
+			BytesPerSite:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sites),
+			GCCycles:      msAfter.NumGC - msBefore.NumGC,
+			GCPauseMs:     float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
 			CacheStats:    cs,
+			PoolStats:     study.PoolStats(),
 			Failures:      res.Failures,
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
@@ -150,6 +218,9 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache bool,
 			return fmt.Errorf("bench-json: %w", err)
 		}
 		fmt.Fprintf(out, "throughput snapshot written to %s\n\n", benchJSON)
+	}
+	if crawlOnly {
+		return nil
 	}
 
 	// ---------- §5.1 / §5.2 / §5.6 / §8 headline stats ----------

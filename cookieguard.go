@@ -67,6 +67,12 @@ type (
 	// CacheStats is a snapshot of the artifact cache's per-tier hit/miss
 	// counters (see Pipeline.CacheStats).
 	CacheStats = artifact.Stats
+	// PoolStats is a snapshot of the per-visit object pools' reuse
+	// counters (see Pipeline.PoolStats).
+	PoolStats = browser.PoolStats
+	// ProgressStats is the live-counter payload delivered to
+	// WithProgressStats callbacks after every completed visit.
+	ProgressStats = crawler.ProgressStats
 	// FaultConfig parameterizes the fabric's seeded fault injection
 	// (WithFaults).
 	FaultConfig = netsim.FaultConfig
@@ -144,6 +150,14 @@ func (p *Pipeline) CacheStats() CacheStats {
 	return p.artifacts.Stats()
 }
 
+// PoolStats returns a snapshot of the per-visit object pools' reuse
+// counters (pages, interpreters, DOM arenas). The counters are
+// process-wide and monotonic; on a long pooled crawl the reuse rate
+// (PoolStats.ReuseRate) should approach 1.
+func (p *Pipeline) PoolStats() PoolStats {
+	return browser.CollectPoolStats()
+}
+
 // SiteList returns the pipeline's ranked site list (Tranco analogue).
 func (p *Pipeline) SiteList() []trancolist.Entry {
 	entries := make([]trancolist.Entry, len(p.Web.Sites))
@@ -164,8 +178,10 @@ func (p *Pipeline) crawlOptions() crawler.Options {
 		Retry:                p.cfg.retry,
 		VisitBudgetMs:        p.cfg.visitBudget,
 		Progress:             p.cfg.progress,
+		ProgressStats:        p.cfg.progressStats,
 		Artifacts:            p.artifacts,
 		DisableArtifactCache: p.cfg.noArtifacts,
+		DisablePooling:       p.cfg.noPooling,
 	}
 	pol := p.cfg.guard
 	factories := p.cfg.middleware

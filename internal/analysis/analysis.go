@@ -591,12 +591,6 @@ func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
 func ExtractIdentifiers(value string, minLen int) []string {
 	var out []string
 	start := -1
-	flush := func(end int) {
-		if start >= 0 && end-start >= minLen {
-			out = append(out, value[start:end])
-		}
-		start = -1
-	}
 	for i := 0; i < len(value); i++ {
 		c := value[i]
 		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
@@ -605,10 +599,15 @@ func ExtractIdentifiers(value string, minLen int) []string {
 				start = i
 			}
 		} else {
-			flush(i)
+			if start >= 0 && i-start >= minLen {
+				out = append(out, value[start:i])
+			}
+			start = -1
 		}
 	}
-	flush(len(value))
+	if start >= 0 && len(value)-start >= minLen {
+		out = append(out, value[start:])
+	}
 	return out
 }
 
@@ -616,9 +615,10 @@ func ExtractIdentifiers(value string, minLen int) []string {
 // raw, Base64 (padding stripped — delimiters would split it anyway), MD5
 // hex, and SHA1 hex (§4.4).
 func EncodedForms(id string) []string {
-	b64 := strings.TrimRight(base64.StdEncoding.EncodeToString([]byte(id)), "=")
-	m := md5.Sum([]byte(id))
-	s := sha1.Sum([]byte(id))
+	bid := []byte(id)
+	b64 := strings.TrimRight(base64.StdEncoding.EncodeToString(bid), "=")
+	m := md5.Sum(bid)
+	s := sha1.Sum(bid)
 	return []string{id, b64, hex.EncodeToString(m[:]), hex.EncodeToString(s[:])}
 }
 

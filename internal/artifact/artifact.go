@@ -66,12 +66,21 @@ type progEntry struct {
 	err  error
 }
 
+// domEntry memoizes one parsed DOM template plus its tree size, so every
+// per-page clone can draw an exactly-sized arena without re-walking the
+// template.
+type domEntry struct {
+	root     *dom.Node
+	nodes    int
+	children int
+}
+
 // Cache is the concurrency-safe, content-hash-keyed artifact store.
 // The zero value is not usable; construct with New.
 type Cache struct {
 	mu     sync.RWMutex
 	progs  map[string]progEntry
-	doms   map[string]*dom.Node
+	doms   map[string]domEntry
 	bodies map[string]any
 
 	programHits, programMisses atomic.Uint64
@@ -83,7 +92,7 @@ type Cache struct {
 func New() *Cache {
 	return &Cache{
 		progs:  make(map[string]progEntry),
-		doms:   make(map[string]*dom.Node),
+		doms:   make(map[string]domEntry),
 		bodies: make(map[string]any),
 	}
 }
@@ -132,33 +141,44 @@ func (c *Cache) Program(key, src string) (*jsdsl.Program, error) {
 // here). The returned tree is the shared template: callers MUST NOT
 // mutate it — take a Node.Clone() per page (Document does both).
 func (c *Cache) DOMTemplate(key, html string) *dom.Node {
+	return c.domTemplate(key, html).root
+}
+
+func (c *Cache) domTemplate(key, html string) domEntry {
 	if key == "" {
 		key = contenthash.Sum(html)
 	}
 	c.mu.RLock()
-	root, ok := c.doms[key]
+	e, ok := c.doms[key]
 	c.mu.RUnlock()
 	if ok {
 		c.domHits.Add(1)
-		return root
+		return e
 	}
 	c.domMisses.Add(1)
 	parsed := dom.Parse(html)
+	nodes, children := dom.TreeStats(parsed)
+	e = domEntry{root: parsed, nodes: nodes, children: children}
 	c.mu.Lock()
 	if prior, ok := c.doms[key]; ok {
-		parsed = prior
+		e = prior
 	} else {
-		c.doms[key] = parsed
+		c.doms[key] = e
 	}
 	c.mu.Unlock()
-	return parsed
+	return e
 }
 
 // Document returns a fresh, independently mutable document for a page:
-// the cached template for html, deep-cloned. Mutations to the returned
-// document never reach the cache.
+// the cached template for html, deep-cloned into a pooled arena (one
+// backing slice per page instead of one allocation per node). Mutations
+// to the returned document never reach the cache; attribute maps are
+// shared copy-on-write. Callers that release pages should call
+// Document.Release when done so the arena is recycled — not releasing is
+// safe, just unpooled.
 func (c *Cache) Document(url, key, html string) *dom.Document {
-	return dom.NewDocument(url, c.DOMTemplate(key, html).Clone())
+	e := c.domTemplate(key, html)
+	return dom.NewPooledDocument(url, e.root, e.nodes, e.children)
 }
 
 // GetResponse looks up a cached response body entry (the netsim tier).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -64,6 +65,15 @@ type Options struct {
 	// can exhaust the budget while its reported (parallel-model) load
 	// time stays below it; size budgets against sequential fetch cost.
 	VisitBudgetMs float64
+	// Pooling recycles per-visit state — pages, DOM arenas, interpreters,
+	// the outbound request, cached network exchanges — through pools. It
+	// requires the explicit Release() lifecycle: the owner of the browser
+	// must call Release() once all data derived from the visit has been
+	// copied out, and must touch nothing of the visit afterwards. Fabric
+	// taps must not retain requests or responses past the tap callback
+	// when pooling is on (both are recycled across fetches). Off by
+	// default; pooled and unpooled visits produce byte-identical results.
+	Pooling bool
 }
 
 // Browser is a virtual browser instance: one cookie jar, one clock, one
@@ -73,12 +83,26 @@ type Browser struct {
 	opts     Options
 	jar      *cookiejar.Jar
 	clock    *vclock.Clock
-	client   *http.Client
+	rt       http.RoundTripper
 	api      CookieAPI
 	rng      *stats.Rand
 	retryRng *stats.Rand // backoff jitter; separate stream so retries
 	// never perturb the interaction/rand_id draws of the page itself
 	deadline time.Time // zero = no visit budget
+
+	// pages tracks every page this browser created (landing pages,
+	// navigations, frames) when pooling is on, for Release.
+	pages []*Page
+
+	// req/hdr are the reusable outbound request and its header map: a
+	// browser performs one fetch at a time, and the fabric never retains
+	// the request past RoundTrip (responses released back to its pool
+	// drop their back-pointer), so one request object serves every fetch.
+	req        http.Request
+	hdr        http.Header
+	cookieVal  [1]string
+	attemptVal [1]string
+	vclockVal  [1]string
 }
 
 // New constructs a Browser.
@@ -105,9 +129,17 @@ func New(opts Options) (*Browser, error) {
 		opts:     opts,
 		jar:      cookiejar.New(opts.Clock),
 		clock:    opts.Clock,
-		client:   opts.Internet.Client(),
+		rt:       opts.Internet,
 		rng:      stats.NewRand(opts.Seed ^ 0xb5297a4d),
 		retryRng: stats.NewRand(opts.Seed ^ 0x27d4eb2f),
+	}
+	b.hdr = make(http.Header, 4)
+	b.req = http.Request{
+		Method:     http.MethodGet,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     b.hdr,
 	}
 	if opts.VisitBudgetMs > 0 {
 		b.deadline = opts.Clock.Now().Add(time.Duration(opts.VisitBudgetMs * float64(time.Millisecond)))
@@ -178,21 +210,59 @@ func (b *Browser) fetch(url string) fetchResult {
 // fetchOnce performs a single attempt, stamping the attempt number and
 // the virtual time on the request so the fabric's fault model can draw
 // per-attempt decisions and follow flap schedules.
-func (b *Browser) fetchOnce(url string, attempt int) fetchResult {
+//
+// With pooling on, the request object, its header map, and the
+// single-element value slices are owned by the browser and reused
+// across fetches: a browser performs one exchange at a time, and under
+// the pooling contract nothing retains the exchange past its round trip
+// (taps must not keep requests or responses — the same caveat
+// ReleaseResponse documents). Without pooling every fetch builds a
+// fresh request, preserving the historical retain-safety for taps. The
+// transport is called directly either way — the fabric never redirects,
+// so http.Client's redirect machinery (and its per-request bookkeeping
+// allocations) adds nothing; transport errors are wrapped in *url.Error
+// exactly as http.Client would, keeping recorded error strings
+// byte-identical.
+func (b *Browser) fetchOnce(rawURL string, attempt int) fetchResult {
 	if b.DeadlineExceeded() {
 		return fetchResult{failure: FailDeadline, err: ErrVisitDeadline}
 	}
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	u, err := url.Parse(rawURL)
 	if err != nil {
 		return fetchResult{failure: FailInternal, err: err}
 	}
-	if hdr := b.jar.CookieHeader(url); hdr != "" {
-		req.Header.Set("Cookie", hdr)
+	var req *http.Request
+	if b.opts.Pooling {
+		req = &b.req
+		req.URL = u
+		if hdr := b.jar.CookieHeader(rawURL); hdr != "" {
+			b.cookieVal[0] = hdr
+			b.hdr["Cookie"] = b.cookieVal[:]
+		} else {
+			delete(b.hdr, "Cookie")
+		}
+		b.attemptVal[0] = strconv.Itoa(attempt)
+		b.hdr[netsim.AttemptHeader] = b.attemptVal[:]
+		b.vclockVal[0] = strconv.FormatInt(b.clock.UnixMillis(), 10)
+		b.hdr[netsim.VClockHeader] = b.vclockVal[:]
+	} else {
+		req = &http.Request{
+			Method:     http.MethodGet,
+			URL:        u,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header, 4),
+		}
+		if hdr := b.jar.CookieHeader(rawURL); hdr != "" {
+			req.Header.Set("Cookie", hdr)
+		}
+		req.Header.Set(netsim.AttemptHeader, strconv.Itoa(attempt))
+		req.Header.Set(netsim.VClockHeader, strconv.FormatInt(b.clock.UnixMillis(), 10))
 	}
-	req.Header.Set(netsim.AttemptHeader, strconv.Itoa(attempt))
-	req.Header.Set(netsim.VClockHeader, strconv.FormatInt(b.clock.UnixMillis(), 10))
-	resp, err := b.client.Do(req)
+	resp, err := b.rt.RoundTrip(req)
 	if err != nil {
+		err = &url.Error{Op: "Get", URL: u.String(), Err: err}
 		var fe *netsim.FaultError
 		if errors.As(err, &fe) {
 			// Failed attempts burn virtual time like successful ones.
@@ -206,7 +276,7 @@ func (b *Browser) fetchOnce(url string, attempt int) fetchResult {
 		return fetchResult{status: resp.StatusCode, failure: classifyFetchError(err), err: err}
 	}
 	for _, sc := range resp.Header.Values("Set-Cookie") {
-		b.jar.SetFromHeader(url, sc)
+		b.jar.SetFromHeader(rawURL, sc)
 	}
 	res := fetchResult{
 		body:     body,
@@ -219,6 +289,11 @@ func (b *Browser) fetchOnce(url string, attempt int) fetchResult {
 	// and scripts — additionally treat any >= 400 status as fatal.
 	if resp.StatusCode >= 500 {
 		res.failure = FailHTTP
+	}
+	if b.opts.Pooling {
+		// The exchange is fully consumed (latency, body, cookies, hash);
+		// hand a pooled response back to the fabric.
+		netsim.ReleaseResponse(resp)
 	}
 	return res
 }

@@ -46,7 +46,7 @@ func (h *hostBinding) CookieStoreDelete(name string) {
 // classified on the record but otherwise ignored, just like a dropped
 // tracking pixel.
 func (h *hostBinding) Send(url string, params map[string]string) {
-	full := urlutil.WithParams(urlutil.Resolve(h.page.URL, url), params)
+	full := urlutil.WithParams(h.page.resolve(url), params)
 	fr := h.page.currentFrame()
 	h.page.recordRequest(full, ReqBeacon, fr)
 	h.page.noteResult(full, h.page.browser.fetch(full))
@@ -58,7 +58,7 @@ func (h *hostBinding) Send(url string, params map[string]string) {
 func (h *hostBinding) Inject(src string) {
 	p := h.page
 	fr := p.currentFrame()
-	full := urlutil.Resolve(p.URL, src)
+	full := p.resolve(src)
 	path := make([]string, 0, len(fr.path)+1)
 	path = append(path, fr.path...)
 	if fr.scriptURL != "" {
@@ -143,7 +143,8 @@ func (h *hostBinding) NowMillis() int64 {
 
 func (h *hostBinding) RandID(n int) string {
 	const hexDigits = "0123456789abcdef"
-	out := make([]byte, n)
+	var buf [128]byte // jsdsl caps rand_id at 128 chars
+	out := buf[:n]
 	r := h.page.browser.rng
 	for i := range out {
 		out[i] = hexDigits[r.Intn(16)]

@@ -2,6 +2,7 @@ package browser
 
 import (
 	"fmt"
+	"net/url"
 
 	"cookieguard/internal/artifact"
 	"cookieguard/internal/dom"
@@ -131,6 +132,28 @@ type Page struct {
 	// model: the fabric fetches sequentially, so we credit back the
 	// difference between the sequential sum and the slowest resource.
 	parallelCredit float64
+
+	// binding is the page's jsdsl.Host, shared by every script the page
+	// executes; interps tracks pooled interpreters so Release can recycle
+	// them once no deferred callback can run anymore.
+	binding hostBinding
+	interps []*jsdsl.Interp
+
+	// baseURL is the lazily parsed page URL, so the many per-page
+	// reference resolutions parse the base once instead of per call.
+	baseURL *url.URL
+}
+
+// resolve resolves ref against the page URL, caching the parsed base.
+func (p *Page) resolve(ref string) string {
+	if p.baseURL == nil {
+		u, err := url.Parse(p.URL)
+		if err != nil {
+			return ref // same fallback as urlutil.Resolve on a bad base
+		}
+		p.baseURL = u
+	}
+	return urlutil.ResolveRef(p.baseURL, ref)
 }
 
 type injection struct {
@@ -141,12 +164,20 @@ type injection struct {
 
 func newPage(b *Browser, url string, mainFrame bool) *Page {
 	origin, _ := urlutil.ParseOrigin(url)
-	return &Page{
-		URL:       url,
-		Origin:    origin,
-		browser:   b,
-		mainFrame: mainFrame,
+	var p *Page
+	if b.opts.Pooling {
+		pageAcquired.Add(1)
+		p = pagePool.Get().(*Page)
+		b.pages = append(b.pages, p)
+	} else {
+		p = &Page{}
 	}
+	p.URL = url
+	p.Origin = origin
+	p.browser = b
+	p.mainFrame = mainFrame
+	p.binding.page = p
+	return p
 }
 
 // elapsed returns ms since navigation start.
@@ -196,7 +227,7 @@ func (p *Page) load() error {
 			break
 		}
 		if src := s.Attr("src"); src != "" {
-			p.runExternal(urlutil.Resolve(p.URL, src), "", nil)
+			p.runExternal(p.resolve(src), "", nil)
 		} else {
 			p.runInline(s.InnerText())
 		}
@@ -240,7 +271,7 @@ func (p *Page) loadSubresources() {
 			resources = append(resources, struct {
 				url  string
 				kind RequestKind
-			}{urlutil.Resolve(p.URL, src), ReqSubresource})
+			}{p.resolve(src), ReqSubresource})
 		}
 	}
 	for _, l := range p.Doc.ByTag("link") {
@@ -248,7 +279,7 @@ func (p *Page) loadSubresources() {
 			resources = append(resources, struct {
 				url  string
 				kind RequestKind
-			}{urlutil.Resolve(p.URL, href), ReqSubresource})
+			}{p.resolve(href), ReqSubresource})
 		}
 	}
 
@@ -278,7 +309,7 @@ func (p *Page) loadSubresources() {
 		if p.budgetExhausted() {
 			break
 		}
-		src := urlutil.Resolve(p.URL, f.Attr("src"))
+		src := p.resolve(f.Attr("src"))
 		preMS := b.clock.UnixMillis()
 		p.recordRequest(src, ReqFrame, frame{})
 		sub := newPage(b, src, false)
@@ -309,27 +340,35 @@ func (p *Page) loadSubresources() {
 }
 
 // drainInjections executes dynamically injected scripts breadth-first.
+// The queue is consumed by index rather than by re-slicing the head, so
+// a recycled page keeps the queue's full backing array; any tail left
+// unprocessed on budget exhaustion is compacted to the front for a later
+// drain (Click).
 func (p *Page) drainInjections() {
-	for len(p.injectQ) > 0 && !p.budgetExhausted() {
-		inj := p.injectQ[0]
-		p.injectQ = p.injectQ[1:]
+	i := 0
+	for i < len(p.injectQ) && !p.budgetExhausted() {
+		inj := p.injectQ[i]
+		i++
 		if len(inj.path) > p.browser.opts.MaxInjectionDepth {
 			continue
 		}
 		p.runExternal(inj.src, inj.parent, inj.path)
 	}
+	p.injectQ = append(p.injectQ[:0], p.injectQ[i:]...)
 }
 
 // drainDeferred runs setTimeout-style callbacks (which may inject more
-// scripts or defer more work).
+// scripts or defer more work). Same index-based consumption as
+// drainInjections, for the same backing-array reasons.
 func (p *Page) drainDeferred() {
-	for (len(p.deferQ) > 0 || len(p.injectQ) > 0) && !p.budgetExhausted() {
-		if len(p.deferQ) == 0 {
+	i := 0
+	for (i < len(p.deferQ) || len(p.injectQ) > 0) && !p.budgetExhausted() {
+		if i >= len(p.deferQ) {
 			p.drainInjections()
 			continue
 		}
-		task := p.deferQ[0]
-		p.deferQ = p.deferQ[1:]
+		task := p.deferQ[i]
+		i++
 		fr := task.frame
 		if p.browser.opts.DropAsyncAttribution {
 			fr = frame{} // stack lost: unattributable (paper §8)
@@ -339,6 +378,7 @@ func (p *Page) drainDeferred() {
 		p.execStack = p.execStack[:len(p.execStack)-1]
 		p.drainInjections()
 	}
+	p.deferQ = append(p.deferQ[:0], p.deferQ[i:]...)
 }
 
 // runExternal fetches and executes an external script. A failed fetch
@@ -401,7 +441,16 @@ func (p *Page) execScript(source, sourceHash string, fr frame, exec *ScriptExec)
 		return
 	}
 	p.execStack = append(p.execStack, fr)
-	interp := jsdsl.NewInterp(&hostBinding{page: p})
+	var interp *jsdsl.Interp
+	if p.browser.opts.Pooling {
+		// Pooled interpreters are recycled at Release time, not here: the
+		// script may have registered click handlers or deferred callbacks
+		// that re-enter this interpreter later in the page's life.
+		interp = jsdsl.AcquireInterp(&p.binding)
+		p.interps = append(p.interps, interp)
+	} else {
+		interp = jsdsl.NewInterp(&p.binding)
+	}
 	err = interp.Run(prog)
 	p.execStack = p.execStack[:len(p.execStack)-1]
 	exec.Err = err
@@ -504,7 +553,7 @@ func (p *Page) RandomLink() string {
 		return ""
 	}
 	l := links[p.browser.rng.Intn(len(links))]
-	return urlutil.Resolve(p.URL, l.Attr("href"))
+	return p.resolve(l.Attr("href"))
 }
 
 // MainFrame reports whether this page is a top-level document.

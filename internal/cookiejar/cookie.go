@@ -11,7 +11,7 @@ package cookiejar
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -80,9 +80,17 @@ func (c *Cookie) Clone() *Cookie {
 // ParseSetCookie parses one Set-Cookie header line (or a document.cookie
 // assignment string, which uses the same grammar) relative to now.
 // It returns nil if the line has no parsable name=value prefix.
+//
+// Segments are walked in place rather than materialized with
+// strings.Split: this parser runs once per cookie write on the crawl hot
+// path, and the split slice was one of its dominant allocations.
 func ParseSetCookie(line string, now time.Time) *Cookie {
-	parts := strings.Split(line, ";")
-	nv := strings.TrimSpace(parts[0])
+	nv := line
+	rest := ""
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		nv, rest = line[:i], line[i+1:]
+	}
+	nv = strings.TrimSpace(nv)
 	eq := strings.IndexByte(nv, '=')
 	if eq <= 0 {
 		return nil // empty name not allowed
@@ -96,7 +104,13 @@ func ParseSetCookie(line string, now time.Time) *Cookie {
 		return nil
 	}
 	var maxAgeSet bool
-	for _, attr := range parts[1:] {
+	for rest != "" {
+		attr := rest
+		if i := strings.IndexByte(rest, ';'); i >= 0 {
+			attr, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		attr = strings.TrimSpace(attr)
 		if attr == "" {
 			continue
@@ -235,18 +249,23 @@ func pathMatch(requestPath, cookiePath string) bool {
 // then earlier creation time (RFC 6265 §5.4 step 2). The RFC leaves the
 // order of remaining ties undefined; they are broken on (domain, name) so
 // serialization does not inherit map iteration order — with a fixed seed,
-// repeated crawls then produce byte-identical logs.
+// repeated crawls then produce byte-identical logs. The generic stable
+// sort avoids sort.SliceStable's per-call reflection allocations on the
+// cookie-render hot path.
 func sortCookies(cs []*Cookie) {
-	sort.SliceStable(cs, func(i, j int) bool {
-		if len(cs[i].Path) != len(cs[j].Path) {
-			return len(cs[i].Path) > len(cs[j].Path)
+	slices.SortStableFunc(cs, func(a, b *Cookie) int {
+		if len(a.Path) != len(b.Path) {
+			return len(b.Path) - len(a.Path)
 		}
-		if !cs[i].Created.Equal(cs[j].Created) {
-			return cs[i].Created.Before(cs[j].Created)
+		if !a.Created.Equal(b.Created) {
+			if a.Created.Before(b.Created) {
+				return -1
+			}
+			return 1
 		}
-		if cs[i].Domain != cs[j].Domain {
-			return cs[i].Domain < cs[j].Domain
+		if c := strings.Compare(a.Domain, b.Domain); c != 0 {
+			return c
 		}
-		return cs[i].Name < cs[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 }

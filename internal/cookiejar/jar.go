@@ -118,6 +118,7 @@ type Jar struct {
 	observers []Observer
 	gen       uint64
 	memo      map[memoKey]memoEntry
+	scratch   []*Cookie // renderCookies match buffer, reused under mu
 }
 
 // New returns an empty jar using the given clock.
@@ -343,7 +344,7 @@ func (j *Jar) renderCookies(rawURL string, httpOnlyToo bool) string {
 		return ""
 	}
 
-	var matched []*Cookie
+	matched := j.scratch[:0]
 	var minExpiry time.Time
 	for k, c := range j.store {
 		if c.Expired(now) {
@@ -360,11 +361,25 @@ func (j *Jar) renderCookies(rawURL string, httpOnlyToo bool) string {
 		}
 	}
 	sortCookies(matched)
-	pairs := make([]string, len(matched))
-	for i, c := range matched {
-		pairs[i] = c.Pair()
+	// Render straight into one builder: the per-cookie Pair() strings and
+	// the pairs slice the old strings.Join path allocated were among the
+	// crawl's dominant allocations. Bytes are identical.
+	var b strings.Builder
+	n := 0
+	for _, c := range matched {
+		n += len(c.Name) + len(c.Value) + 3
 	}
-	value := strings.Join(pairs, "; ")
+	b.Grow(n)
+	for i, c := range matched {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte('=')
+		b.WriteString(c.Value)
+	}
+	value := b.String()
+	j.scratch = matched
 	if j.memo == nil {
 		j.memo = make(map[memoKey]memoEntry)
 	}

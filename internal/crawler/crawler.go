@@ -79,6 +79,38 @@ type Options struct {
 	// switch exists for that equivalence check and for memory-ceiling
 	// tuning.
 	DisableArtifactCache bool
+	// DisablePooling turns per-visit object pooling off (every visit
+	// allocates its pages, DOM arenas, and interpreters fresh). Pooled
+	// and unpooled crawls with the same seed produce byte-identical
+	// logs; this switch exists for that equivalence check and as the
+	// escape hatch behind cookieguard.WithPooling(false). When pooling
+	// is on (the default), the worker owns the release lifecycle: it
+	// calls Browser.Release after the visit log is built.
+	DisablePooling bool
+	// ProgressStats, when set, receives live crawl counters after every
+	// completed visit: progress, fabric request/fault totals, artifact
+	// cache hit/miss counters, and pool reuse counters. Invocations are
+	// serialized (after Progress, under the same lock) and arrive on
+	// crawl worker goroutines; a slow callback backpressures the crawl.
+	ProgressStats func(ProgressStats)
+}
+
+// ProgressStats is the live-counter payload delivered to
+// Options.ProgressStats after each completed visit. Fabric and pool
+// counters are process-/fabric-lifetime totals, not deltas.
+type ProgressStats struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Requests and Faults are the fabric's exchange and injected-fault
+	// totals (netsim.Internet.Requests/Faults).
+	Requests int64 `json:"requests"`
+	Faults   int64 `json:"faults"`
+	// Cache is the artifact cache's per-tier hit/miss snapshot (zero when
+	// the crawl runs uncached).
+	Cache artifact.Stats `json:"cache"`
+	// Pool is the per-visit object pools' reuse snapshot (zero deltas
+	// when the crawl runs unpooled).
+	Pool browser.PoolStats `json:"pool"`
 }
 
 // Result is the outcome of a crawl.
@@ -164,6 +196,19 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 				done++
 				if opts.Progress != nil {
 					opts.Progress(done, len(sites))
+				}
+				if opts.ProgressStats != nil {
+					ps := ProgressStats{
+						Done:     done,
+						Total:    len(sites),
+						Requests: opts.Internet.Requests(),
+						Faults:   opts.Internet.Faults(),
+						Pool:     browser.CollectPoolStats(),
+					}
+					if opts.Artifacts != nil {
+						ps.Cache = opts.Artifacts.Stats()
+					}
+					opts.ProgressStats(ps)
 				}
 				progressMu.Unlock()
 				if !delivered {
@@ -262,6 +307,7 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		Artifacts:        opts.Artifacts,
 		Retry:            opts.Retry,
 		VisitBudgetMs:    opts.VisitBudgetMs,
+		Pooling:          !opts.DisablePooling,
 	})
 	if err != nil {
 		return instrument.VisitLog{Site: site, URL: url, Error: err.Error()}
@@ -270,6 +316,11 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		attach(b)
 	}
 	rec.ObserveJar(b.Jar())
+	// The worker owns the pooling lifecycle: BuildVisitLog copies out
+	// everything the log keeps, after which the visit's pages, arenas,
+	// and interpreters go back to the pools. Nothing of the visit is
+	// touched after Release.
+	defer b.Release()
 
 	var pages []*browser.Page
 	landing, err := b.Visit(url)

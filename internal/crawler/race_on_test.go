@@ -1,0 +1,8 @@
+//go:build race
+
+package crawler
+
+// raceEnabled relaxes timing/GC-sensitive thresholds: under the race
+// detector execution slows ~10x, so sync.Pool sheds far more objects to
+// intervening GC cycles than in a production build.
+const raceEnabled = true

@@ -1,0 +1,120 @@
+package dom
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena is the backing storage for one page's cloned DOM: every copied
+// node lives in one nodes slice and every child pointer in one children
+// slice, so a whole-tree clone costs two (reused) allocations instead of
+// one per node. Arenas cycle through a package pool — NewPooledDocument
+// draws one, Document.Release returns it — making the per-visit clone of
+// a cached template effectively allocation-free once the pool is warm.
+type Arena struct {
+	nodes    []Node
+	children []*Node
+}
+
+// ensure resets the arena and guarantees capacity for a clone of the
+// given size. Capacity is reserved up front so the slices never grow
+// mid-clone: node pointers handed out during cloning point into the
+// backing arrays and must stay valid.
+func (a *Arena) ensure(nodes, children int) {
+	if cap(a.nodes) < nodes {
+		a.nodes = make([]Node, 0, nodes)
+	} else {
+		a.nodes = a.nodes[:0]
+	}
+	if cap(a.children) < children {
+		a.children = make([]*Node, 0, children)
+	} else {
+		a.children = a.children[:0]
+	}
+}
+
+var (
+	arenaPool = sync.Pool{New: func() any {
+		arenaAllocated.Add(1)
+		return new(Arena)
+	}}
+	arenaAllocated atomic.Uint64
+	arenaAcquired  atomic.Uint64
+)
+
+// ArenaPoolStats reports how many arenas were ever allocated and how many
+// acquisitions the pool served; acquired−allocated is the reuse count.
+func ArenaPoolStats() (allocated, acquired uint64) {
+	return arenaAllocated.Load(), arenaAcquired.Load()
+}
+
+// TreeStats returns the node count and total child-slot count of the
+// subtree rooted at n. Callers that clone a shared template repeatedly
+// compute this once and pass it to NewPooledDocument.
+func TreeStats(n *Node) (nodes, children int) {
+	nodes = 1
+	children += len(n.Children)
+	for _, c := range n.Children {
+		cn, cc := TreeStats(c)
+		nodes += cn
+		children += cc
+	}
+	return nodes, children
+}
+
+// NewPooledDocument deep-clones root into a pooled arena and wraps it in
+// a Document whose Release hands the arena back. nodes/children must be
+// TreeStats(root). The clone shares the template's attribute maps
+// copy-on-write: reads see identical values, and the first mutating
+// access (SetAttr/SetStyle) copies the map, so the shared template is
+// never written through.
+func NewPooledDocument(url string, root *Node, nodes, children int) *Document {
+	arenaAcquired.Add(1)
+	a := arenaPool.Get().(*Arena)
+	a.ensure(nodes, children)
+	return &Document{URL: url, Root: cloneInto(a, root, nil), arena: a}
+}
+
+// Release returns the document's arena (when it has one) to the pool.
+// The caller owns the lifecycle: after Release no node of this document
+// may be touched again — the arena's nodes are overwritten by the next
+// clone. Documents without an arena (plain Parse/Clone) ignore Release.
+func (d *Document) Release() {
+	a := d.arena
+	if a == nil {
+		return
+	}
+	d.arena = nil
+	d.Root = nil
+	d.Mutations = nil
+	arenaPool.Put(a)
+}
+
+// cloneInto copies src into the arena, carving the node and its child
+// slots from the backing slices. Child slices use full slice expressions
+// so a later AppendChild reallocates instead of clobbering a sibling's
+// region.
+func cloneInto(a *Arena, src, parent *Node) *Node {
+	a.nodes = append(a.nodes, Node{
+		Kind:   src.Kind,
+		Tag:    src.Tag,
+		Text:   src.Text,
+		Owner:  src.Owner,
+		Parent: parent,
+	})
+	cp := &a.nodes[len(a.nodes)-1]
+	if src.Attrs != nil {
+		cp.Attrs = src.Attrs
+		cp.sharedAttrs = true
+	}
+	if n := len(src.Children); n > 0 {
+		start := len(a.children)
+		a.children = a.children[:start+n]
+		cs := a.children[start : start+n : start+n]
+		for i, c := range src.Children {
+			cs[i] = cloneInto(a, c, cp)
+		}
+		cp.Children = cs
+	}
+	return cp
+}

@@ -10,6 +10,7 @@ package dom
 
 import (
 	"strings"
+	"sync"
 )
 
 // NodeKind discriminates element and text nodes.
@@ -34,6 +35,27 @@ type Node struct {
 	// Owner is the URL of the script that created this node, or "" for
 	// nodes created by the HTML parser (i.e. owned by the page).
 	Owner string
+
+	// sharedAttrs marks Attrs as borrowed from a shared template (arena
+	// clones). Mutating accessors copy the map first (ownAttrs), so the
+	// template's map is never written through.
+	sharedAttrs bool
+}
+
+// ownAttrs makes n.Attrs privately writable: shared (template-borrowed)
+// maps are copied on first write, nil maps are created.
+func (n *Node) ownAttrs() {
+	if n.sharedAttrs {
+		m := make(map[string]string, len(n.Attrs)+1)
+		for k, v := range n.Attrs {
+			m[k] = v
+		}
+		n.Attrs = m
+		n.sharedAttrs = false
+	}
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
 }
 
 // Attr returns the value of an attribute ("" if absent).
@@ -47,21 +69,32 @@ func (n *Node) Attr(name string) string {
 // ID returns the element's id attribute.
 func (n *Node) ID() string { return n.Attr("id") }
 
+// textBufPool recycles InnerText's scratch buffer: inline-script bodies
+// are re-serialized from the DOM on every page that executes them, and
+// only the final string needs to outlive the call.
+var textBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
 // InnerText concatenates the text content of the subtree.
 func (n *Node) InnerText() string {
-	var b strings.Builder
-	n.collectText(&b)
-	return b.String()
+	bp := textBufPool.Get().(*[]byte)
+	buf := n.appendText((*bp)[:0])
+	s := string(buf)
+	*bp = buf
+	textBufPool.Put(bp)
+	return s
 }
 
-func (n *Node) collectText(b *strings.Builder) {
+func (n *Node) appendText(buf []byte) []byte {
 	if n.Kind == KindText {
-		b.WriteString(n.Text)
-		return
+		return append(buf, n.Text...)
 	}
 	for _, c := range n.Children {
-		c.collectText(b)
+		buf = c.appendText(buf)
 	}
+	return buf
 }
 
 // Clone deep-copies the subtree rooted at n: element attributes,
@@ -171,6 +204,10 @@ type Document struct {
 	URL       string
 	Root      *Node
 	Mutations []Mutation
+
+	// arena backs the cloned tree for pooled documents (NewPooledDocument);
+	// Release returns it. Nil for documents built from a plain Parse/Clone.
+	arena *Arena
 }
 
 // NewDocument wraps a root node (usually from Parse).
@@ -180,27 +217,33 @@ func NewDocument(url string, root *Node) *Document {
 
 // ByID returns the first element with the given id, or nil.
 func (d *Document) ByID(id string) *Node {
-	var found *Node
-	d.Root.walk(func(n *Node) bool {
-		if n.Kind == KindElement && n.ID() == id {
-			found = n
-			return false
+	return d.Root.findByID(id)
+}
+
+func (n *Node) findByID(id string) *Node {
+	if n.Kind == KindElement && n.ID() == id {
+		return n
+	}
+	for _, c := range n.Children {
+		if f := c.findByID(id); f != nil {
+			return f
 		}
-		return true
-	})
-	return found
+	}
+	return nil
 }
 
 // ByTag returns all elements with the given tag, in document order.
 func (d *Document) ByTag(tag string) []*Node {
-	tag = strings.ToLower(tag)
-	var out []*Node
-	d.Root.walk(func(n *Node) bool {
-		if n.Kind == KindElement && n.Tag == tag {
-			out = append(out, n)
-		}
-		return true
-	})
+	return d.Root.collectTag(strings.ToLower(tag), nil)
+}
+
+func (n *Node) collectTag(tag string, out []*Node) []*Node {
+	if n.Kind == KindElement && n.Tag == tag {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		out = c.collectTag(tag, out)
+	}
 	return out
 }
 
@@ -259,18 +302,14 @@ func (d *Document) SetText(target *Node, text, byScript string) {
 
 // SetAttr sets an attribute on target, attributed to byScript.
 func (d *Document) SetAttr(target *Node, name, value, byScript string) {
-	if target.Attrs == nil {
-		target.Attrs = make(map[string]string)
-	}
+	target.ownAttrs()
 	target.Attrs[strings.ToLower(name)] = value
 	d.record(Mutation{Kind: MutAttr, Target: target, ByScript: byScript, Attribute: name, NewValue: value})
 }
 
 // SetStyle sets a style property (modelled as style:<prop> attributes).
 func (d *Document) SetStyle(target *Node, prop, value, byScript string) {
-	if target.Attrs == nil {
-		target.Attrs = make(map[string]string)
-	}
+	target.ownAttrs()
 	target.Attrs["style:"+strings.ToLower(prop)] = value
 	d.record(Mutation{Kind: MutStyle, Target: target, ByScript: byScript, Attribute: prop, NewValue: value})
 }

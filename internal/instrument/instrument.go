@@ -174,8 +174,11 @@ type Recorder struct {
 	events []CookieEvent
 }
 
-// NewRecorder returns an empty Recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+// NewRecorder returns an empty Recorder, pre-sized for a typical visit's
+// cookie-event volume.
+func NewRecorder() *Recorder {
+	return &Recorder{events: make([]CookieEvent, 0, 48)}
+}
 
 // Middleware returns the cookie-API wrapper that records operations. It
 // forwards to next after recording, so it can wrap either the raw API (a
@@ -235,6 +238,26 @@ func (r *Recorder) BuildVisitLog(site string, pages []*browser.Page, err error) 
 		v.Failure = string(browser.ClassifyError(err))
 	}
 	v.Cookies = r.Events()
+	// Pre-size the event slices exactly: the totals are known, and the
+	// append-grow path below them was a measurable slice-copy cost on
+	// large visits.
+	var nReq, nScr, nMut int
+	for _, p := range pages {
+		nReq += len(p.Requests)
+		nScr += len(p.Scripts)
+		if p.Doc != nil {
+			nMut += len(p.Doc.Mutations)
+		}
+	}
+	if nReq > 0 {
+		v.Requests = make([]RequestEvent, 0, nReq)
+	}
+	if nScr > 0 {
+		v.Scripts = make([]ScriptRecord, 0, nScr)
+	}
+	if nMut > 0 {
+		v.Mutations = make([]MutationRecord, 0, nMut)
+	}
 	for i, p := range pages {
 		if i == 0 {
 			v.URL = p.URL

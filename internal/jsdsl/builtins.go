@@ -21,24 +21,21 @@ func argString(args []Value, i int) (string, bool) {
 	if i >= len(args) {
 		return "", false
 	}
-	s, ok := args[i].(string)
-	return s, ok
+	return args[i].AsString()
 }
 
 func argNumber(args []Value, i int) (float64, bool) {
 	if i >= len(args) {
 		return 0, false
 	}
-	f, ok := args[i].(float64)
-	return f, ok
+	return args[i].AsNumber()
 }
 
 func argMap(args []Value, i int) (*Map, bool) {
 	if i >= len(args) {
 		return nil, false
 	}
-	m, ok := args[i].(*Map)
-	return m, ok
+	return args[i].AsMap()
 }
 
 // stringMap converts a script Map into map[string]string via ToString.
@@ -54,8 +51,28 @@ func stringMap(m *Map) map[string]string {
 // ordered name/value pairs. Exported because the guard and analysis also
 // need it.
 func ParseCookieString(s string) (names []string, values map[string]string) {
-	values = map[string]string{}
-	for _, part := range strings.Split(s, ";") {
+	return parseCookieStringInto(s, nil, nil)
+}
+
+// parseCookieStringInto is ParseCookieString reusing the caller's slice
+// and map (the interpreter's memo passes its previous buffers back in so
+// a changed cookie string re-parses without reallocating). Segments are
+// walked in place; strings.Split here was one of the crawl's dominant
+// allocation sites.
+func parseCookieStringInto(s string, names []string, values map[string]string) ([]string, map[string]string) {
+	if values == nil {
+		values = map[string]string{}
+	} else {
+		clear(values)
+	}
+	rest := s
+	for rest != "" {
+		part := rest
+		if i := strings.IndexByte(rest, ';'); i >= 0 {
+			part, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
@@ -110,15 +127,15 @@ func init() {
 	builtins = map[string]builtinFunc{
 		// ---- document.cookie surface ----
 		"doc_cookie": func(in *Interp, args []Value) (Value, error) {
-			return in.Host.DocCookie(), nil
+			return Str(in.Host.DocCookie()), nil
 		},
 		"doc_set_cookie": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("doc_set_cookie")
+				return Value{}, errArity("doc_set_cookie")
 			}
 			in.Host.SetDocCookie(s)
-			return nil, nil
+			return Value{}, nil
 		},
 		// get_cookie/set_cookie/delete_cookie are library sugar layered
 		// on the raw document.cookie property, exactly like the helper
@@ -127,79 +144,79 @@ func init() {
 		"get_cookie": func(in *Interp, args []Value) (Value, error) {
 			name, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("get_cookie")
+				return Value{}, errArity("get_cookie")
 			}
 			_, vals := in.parsedDocCookie(in.Host.DocCookie())
 			if v, ok := vals[name]; ok {
-				return v, nil
+				return Str(v), nil
 			}
-			return nil, nil
+			return Value{}, nil
 		},
 		"get_all_cookies": func(in *Interp, args []Value) (Value, error) {
 			names, vals := in.parsedDocCookie(in.Host.DocCookie())
 			m := NewMap()
 			for _, n := range names {
-				m.Entries[n] = vals[n]
+				m.Entries[n] = Str(vals[n])
 			}
-			return m, nil
+			return MapVal(m), nil
 		},
 		"set_cookie": func(in *Interp, args []Value) (Value, error) {
 			name, ok1 := argString(args, 0)
 			if !ok1 || len(args) < 2 {
-				return nil, errArity("set_cookie")
+				return Value{}, errArity("set_cookie")
 			}
 			value := ToString(args[1])
 			attrs, _ := argMap(args, 2)
 			in.Host.SetDocCookie(buildAssignment(name, value, attrs))
-			return nil, nil
+			return Value{}, nil
 		},
 		"delete_cookie": func(in *Interp, args []Value) (Value, error) {
 			name, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("delete_cookie")
+				return Value{}, errArity("delete_cookie")
 			}
 			attrs, _ := argMap(args, 1)
 			assignment := buildAssignment(name, "", attrs) + "; Max-Age=0"
 			in.Host.SetDocCookie(assignment)
-			return nil, nil
+			return Value{}, nil
 		},
 		"parse_cookies": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("parse_cookies")
+				return Value{}, errArity("parse_cookies")
 			}
 			names, vals := ParseCookieString(s)
 			m := NewMap()
 			for _, n := range names {
-				m.Entries[n] = vals[n]
+				m.Entries[n] = Str(vals[n])
 			}
-			return m, nil
+			return MapVal(m), nil
 		},
 
 		// ---- CookieStore API ----
 		"cookiestore_get": func(in *Interp, args []Value) (Value, error) {
 			name, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("cookiestore_get")
+				return Value{}, errArity("cookiestore_get")
 			}
 			rec, found := in.Host.CookieStoreGet(name)
 			if !found {
-				return nil, nil
+				return Value{}, nil
 			}
-			return cookieRecordToMap(rec), nil
+			return MapVal(cookieRecordToMap(rec)), nil
 		},
 		"cookiestore_get_all": func(in *Interp, args []Value) (Value, error) {
 			recs := in.Host.CookieStoreGetAll()
 			l := &List{}
 			for _, rec := range recs {
-				l.Elems = append(l.Elems, cookieRecordToMap(rec))
+				l.Elems = append(l.Elems, MapVal(cookieRecordToMap(rec)))
 			}
-			return l, nil
+			return ListVal(l), nil
 		},
 		"cookiestore_set": func(in *Interp, args []Value) (Value, error) {
 			name, ok1 := argString(args, 0)
 			if !ok1 || len(args) < 2 {
-				return nil, errArity("cookiestore_set")
+				return Value{}, errArity("cookiestore_set")
 			}
 			rec := CookieRecord{Name: name, Value: ToString(args[1])}
 			if attrs, ok := argMap(args, 2); ok {
@@ -210,7 +227,7 @@ func init() {
 					case "path":
 						rec.Path = ToString(v)
 					case "max_age", "max-age":
-						if f, ok := v.(float64); ok {
+						if f, ok := v.AsNumber(); ok {
 							rec.MaxAge = int64(f)
 						}
 					case "secure":
@@ -221,123 +238,123 @@ func init() {
 				}
 			}
 			in.Host.CookieStoreSet(rec)
-			return nil, nil
+			return Value{}, nil
 		},
 		"cookiestore_delete": func(in *Interp, args []Value) (Value, error) {
 			name, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("cookiestore_delete")
+				return Value{}, errArity("cookiestore_delete")
 			}
 			in.Host.CookieStoreDelete(name)
-			return nil, nil
+			return Value{}, nil
 		},
 
 		// ---- network / injection ----
 		"send": func(in *Interp, args []Value) (Value, error) {
 			url, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("send")
+				return Value{}, errArity("send")
 			}
 			params := map[string]string{}
 			if m, ok := argMap(args, 1); ok {
 				params = stringMap(m)
 			}
 			in.Host.Send(url, params)
-			return nil, nil
+			return Value{}, nil
 		},
 		"inject": func(in *Interp, args []Value) (Value, error) {
 			src, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("inject")
+				return Value{}, errArity("inject")
 			}
 			in.Host.Inject(src)
-			return nil, nil
+			return Value{}, nil
 		},
 
 		// ---- DOM ----
 		"dom_set_text": func(in *Interp, args []Value) (Value, error) {
 			id, ok1 := argString(args, 0)
 			if !ok1 || len(args) < 2 {
-				return nil, errArity("dom_set_text")
+				return Value{}, errArity("dom_set_text")
 			}
-			return in.Host.DOMSetText(id, ToString(args[1])), nil
+			return BoolVal(in.Host.DOMSetText(id, ToString(args[1]))), nil
 		},
 		"dom_set_attr": func(in *Interp, args []Value) (Value, error) {
 			id, ok := argString(args, 0)
 			if !ok || len(args) < 3 {
-				return nil, errArity("dom_set_attr")
+				return Value{}, errArity("dom_set_attr")
 			}
-			return in.Host.DOMSetAttr(id, ToString(args[1]), ToString(args[2])), nil
+			return BoolVal(in.Host.DOMSetAttr(id, ToString(args[1]), ToString(args[2]))), nil
 		},
 		"dom_set_style": func(in *Interp, args []Value) (Value, error) {
 			id, ok := argString(args, 0)
 			if !ok || len(args) < 3 {
-				return nil, errArity("dom_set_style")
+				return Value{}, errArity("dom_set_style")
 			}
-			return in.Host.DOMSetStyle(id, ToString(args[1]), ToString(args[2])), nil
+			return BoolVal(in.Host.DOMSetStyle(id, ToString(args[1]), ToString(args[2]))), nil
 		},
 		"dom_insert": func(in *Interp, args []Value) (Value, error) {
 			parent, ok1 := argString(args, 0)
 			tag, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("dom_insert")
+				return Value{}, errArity("dom_insert")
 			}
 			attrs := map[string]string{}
 			if m, ok := argMap(args, 2); ok {
 				attrs = stringMap(m)
 			}
-			return in.Host.DOMInsert(parent, tag, attrs), nil
+			return BoolVal(in.Host.DOMInsert(parent, tag, attrs)), nil
 		},
 		"dom_remove": func(in *Interp, args []Value) (Value, error) {
 			id, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("dom_remove")
+				return Value{}, errArity("dom_remove")
 			}
-			return in.Host.DOMRemove(id), nil
+			return BoolVal(in.Host.DOMRemove(id)), nil
 		},
 		"dom_get_text": func(in *Interp, args []Value) (Value, error) {
 			id, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("dom_get_text")
+				return Value{}, errArity("dom_get_text")
 			}
 			text, found := in.Host.DOMGetText(id)
 			if !found {
-				return nil, nil
+				return Value{}, nil
 			}
-			return text, nil
+			return Str(text), nil
 		},
 
 		// ---- events / scheduling ----
 		"on_click": func(in *Interp, args []Value) (Value, error) {
 			c, ok := closureArg(args, 0)
 			if !ok {
-				return nil, errArity("on_click")
+				return Value{}, errArity("on_click")
 			}
 			in.Host.OnClick(func() { _, _ = in.callClosure(c, nil, 0) })
-			return nil, nil
+			return Value{}, nil
 		},
 		"defer_run": func(in *Interp, args []Value) (Value, error) {
 			c, ok := closureArg(args, 0)
 			if !ok {
-				return nil, errArity("defer_run")
+				return Value{}, errArity("defer_run")
 			}
 			in.Host.DeferRun(func() { _, _ = in.callClosure(c, nil, 0) })
-			return nil, nil
+			return Value{}, nil
 		},
 
 		// ---- environment ----
 		"now_ms": func(in *Interp, args []Value) (Value, error) {
-			return float64(in.Host.NowMillis()), nil
+			return Num(float64(in.Host.NowMillis())), nil
 		},
 		"rand_id": func(in *Interp, args []Value) (Value, error) {
 			n, ok := argNumber(args, 0)
 			if !ok || n < 1 || n > 128 {
-				return nil, errArity("rand_id")
+				return Value{}, errArity("rand_id")
 			}
-			return in.Host.RandID(int(n)), nil
+			return Str(in.Host.RandID(int(n))), nil
 		},
 		"page_url": func(in *Interp, args []Value) (Value, error) {
-			return in.Host.PageURL(), nil
+			return Str(in.Host.PageURL()), nil
 		},
 		"log": func(in *Interp, args []Value) (Value, error) {
 			parts := make([]string, len(args))
@@ -345,76 +362,79 @@ func init() {
 				parts[i] = ToString(a)
 			}
 			in.Host.Log(strings.Join(parts, " "))
-			return nil, nil
+			return Value{}, nil
 		},
 
 		// ---- pure string/number helpers ----
 		"len": func(in *Interp, args []Value) (Value, error) {
 			if len(args) != 1 {
-				return nil, errArity("len")
+				return Value{}, errArity("len")
 			}
-			switch x := args[0].(type) {
-			case string:
-				return float64(len(x)), nil
-			case *List:
-				return float64(len(x.Elems)), nil
-			case *Map:
-				return float64(len(x.Entries)), nil
-			case nil:
-				return float64(0), nil
-			default:
-				return nil, &RuntimeError{Msg: "len of unsupported type"}
+			v := args[0]
+			switch v.Kind() {
+			case KindString:
+				return Num(float64(len(v.str))), nil
+			case KindNull:
+				return Num(0), nil
+			case KindRef:
+				if l, ok := v.AsList(); ok {
+					return Num(float64(len(l.Elems))), nil
+				}
+				if m, ok := v.AsMap(); ok {
+					return Num(float64(len(m.Entries))), nil
+				}
 			}
+			return Value{}, &RuntimeError{Msg: "len of unsupported type"}
 		},
 		"str": func(in *Interp, args []Value) (Value, error) {
 			if len(args) != 1 {
-				return nil, errArity("str")
+				return Value{}, errArity("str")
 			}
-			return ToString(args[0]), nil
+			return Str(ToString(args[0])), nil
 		},
 		"num": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
 				if f, ok := argNumber(args, 0); ok {
-					return f, nil
+					return Num(f), nil
 				}
-				return nil, errArity("num")
+				return Value{}, errArity("num")
 			}
 			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
-				return nil, nil
+				return Value{}, nil
 			}
-			return f, nil
+			return Num(f), nil
 		},
 		"split": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			sep, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("split")
+				return Value{}, errArity("split")
 			}
 			l := &List{}
 			for _, part := range strings.Split(s, sep) {
-				l.Elems = append(l.Elems, part)
+				l.Elems = append(l.Elems, Str(part))
 			}
-			return l, nil
+			return ListVal(l), nil
 		},
 		"join": func(in *Interp, args []Value) (Value, error) {
-			list, ok := args[0].(*List)
+			list, ok := args[0].AsList()
 			sep, ok2 := argString(args, 1)
 			if len(args) < 2 || !ok || !ok2 {
-				return nil, errArity("join")
+				return Value{}, errArity("join")
 			}
 			parts := make([]string, len(list.Elems))
 			for i, e := range list.Elems {
 				parts[i] = ToString(e)
 			}
-			return strings.Join(parts, sep), nil
+			return Str(strings.Join(parts, sep)), nil
 		},
 		"substr": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			start, ok2 := argNumber(args, 1)
 			if !ok || !ok2 {
-				return nil, errArity("substr")
+				return Value{}, errArity("substr")
 			}
 			end := float64(len(s))
 			if e, ok := argNumber(args, 2); ok {
@@ -422,167 +442,167 @@ func init() {
 			}
 			si, ei := clampIndex(int(start), len(s)), clampIndex(int(end), len(s))
 			if si > ei {
-				return "", nil
+				return Str(""), nil
 			}
-			return s[si:ei], nil
+			return Str(s[si:ei]), nil
 		},
 		"contains": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			sub, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("contains")
+				return Value{}, errArity("contains")
 			}
-			return strings.Contains(s, sub), nil
+			return BoolVal(strings.Contains(s, sub)), nil
 		},
 		"index_of": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			sub, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("index_of")
+				return Value{}, errArity("index_of")
 			}
-			return float64(strings.Index(s, sub)), nil
+			return Num(float64(strings.Index(s, sub))), nil
 		},
 		"starts_with": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			p, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("starts_with")
+				return Value{}, errArity("starts_with")
 			}
-			return strings.HasPrefix(s, p), nil
+			return BoolVal(strings.HasPrefix(s, p)), nil
 		},
 		"ends_with": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			p, ok2 := argString(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("ends_with")
+				return Value{}, errArity("ends_with")
 			}
-			return strings.HasSuffix(s, p), nil
+			return BoolVal(strings.HasSuffix(s, p)), nil
 		},
 		"lower": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("lower")
+				return Value{}, errArity("lower")
 			}
-			return strings.ToLower(s), nil
+			return Str(strings.ToLower(s)), nil
 		},
 		"upper": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("upper")
+				return Value{}, errArity("upper")
 			}
-			return strings.ToUpper(s), nil
+			return Str(strings.ToUpper(s)), nil
 		},
 		"trim": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("trim")
+				return Value{}, errArity("trim")
 			}
-			return strings.TrimSpace(s), nil
+			return Str(strings.TrimSpace(s)), nil
 		},
 		"replace": func(in *Interp, args []Value) (Value, error) {
 			s, ok1 := argString(args, 0)
 			old, ok2 := argString(args, 1)
 			nw, ok3 := argString(args, 2)
 			if !ok1 || !ok2 || !ok3 {
-				return nil, errArity("replace")
+				return Value{}, errArity("replace")
 			}
-			return strings.ReplaceAll(s, old, nw), nil
+			return Str(strings.ReplaceAll(s, old, nw)), nil
 		},
 
 		// ---- encodings (the exfiltration obfuscations of §4.4) ----
 		"b64": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("b64")
+				return Value{}, errArity("b64")
 			}
-			return base64.StdEncoding.EncodeToString([]byte(s)), nil
+			return Str(base64.StdEncoding.EncodeToString([]byte(s))), nil
 		},
 		"md5": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("md5")
+				return Value{}, errArity("md5")
 			}
 			sum := md5.Sum([]byte(s))
-			return hex.EncodeToString(sum[:]), nil
+			return Str(hex.EncodeToString(sum[:])), nil
 		},
 		"sha1": func(in *Interp, args []Value) (Value, error) {
 			s, ok := argString(args, 0)
 			if !ok {
-				return nil, errArity("sha1")
+				return Value{}, errArity("sha1")
 			}
 			sum := sha1.Sum([]byte(s))
-			return hex.EncodeToString(sum[:]), nil
+			return Str(hex.EncodeToString(sum[:])), nil
 		},
 
 		// ---- collections ----
 		"keys": func(in *Interp, args []Value) (Value, error) {
 			m, ok := argMap(args, 0)
 			if !ok {
-				return nil, errArity("keys")
+				return Value{}, errArity("keys")
 			}
 			l := &List{}
 			for _, k := range m.Keys() {
-				l.Elems = append(l.Elems, k)
+				l.Elems = append(l.Elems, Str(k))
 			}
-			return l, nil
+			return ListVal(l), nil
 		},
 		"has": func(in *Interp, args []Value) (Value, error) {
 			m, ok := argMap(args, 0)
 			k, ok2 := argString(args, 1)
 			if !ok || !ok2 {
-				return nil, errArity("has")
+				return Value{}, errArity("has")
 			}
 			_, found := m.Entries[k]
-			return found, nil
+			return BoolVal(found), nil
 		},
 		"push": func(in *Interp, args []Value) (Value, error) {
-			l, ok := args[0].(*List)
+			l, ok := args[0].AsList()
 			if len(args) < 2 || !ok {
-				return nil, errArity("push")
+				return Value{}, errArity("push")
 			}
 			l.Elems = append(l.Elems, args[1])
-			return l, nil
+			return ListVal(l), nil
 		},
 		"range": func(in *Interp, args []Value) (Value, error) {
 			n, ok := argNumber(args, 0)
 			if !ok || n < 0 || n > 1e6 {
-				return nil, errArity("range")
+				return Value{}, errArity("range")
 			}
 			l := &List{}
 			for i := 0; i < int(n); i++ {
-				l.Elems = append(l.Elems, float64(i))
+				l.Elems = append(l.Elems, Num(float64(i)))
 			}
-			return l, nil
+			return ListVal(l), nil
 		},
 		"min": func(in *Interp, args []Value) (Value, error) {
 			a, ok1 := argNumber(args, 0)
 			b, ok2 := argNumber(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("min")
+				return Value{}, errArity("min")
 			}
-			return math.Min(a, b), nil
+			return Num(math.Min(a, b)), nil
 		},
 		"max": func(in *Interp, args []Value) (Value, error) {
 			a, ok1 := argNumber(args, 0)
 			b, ok2 := argNumber(args, 1)
 			if !ok1 || !ok2 {
-				return nil, errArity("max")
+				return Value{}, errArity("max")
 			}
-			return math.Max(a, b), nil
+			return Num(math.Max(a, b)), nil
 		},
 		"floor": func(in *Interp, args []Value) (Value, error) {
 			a, ok := argNumber(args, 0)
 			if !ok {
-				return nil, errArity("floor")
+				return Value{}, errArity("floor")
 			}
-			return math.Floor(a), nil
+			return Num(math.Floor(a)), nil
 		},
 		"concat": func(in *Interp, args []Value) (Value, error) {
 			var b strings.Builder
 			for _, a := range args {
 				b.WriteString(ToString(a))
 			}
-			return b.String(), nil
+			return Str(b.String()), nil
 		},
 	}
 }
@@ -591,8 +611,7 @@ func closureArg(args []Value, i int) (*Closure, bool) {
 	if i >= len(args) {
 		return nil, false
 	}
-	c, ok := args[i].(*Closure)
-	return c, ok
+	return args[i].AsClosure()
 }
 
 func clampIndex(i, n int) int {
@@ -607,10 +626,10 @@ func clampIndex(i, n int) int {
 
 func cookieRecordToMap(rec CookieRecord) *Map {
 	m := NewMap()
-	m.Entries["name"] = rec.Name
-	m.Entries["value"] = rec.Value
-	m.Entries["domain"] = rec.Domain
-	m.Entries["path"] = rec.Path
+	m.Entries["name"] = Str(rec.Name)
+	m.Entries["value"] = Str(rec.Value)
+	m.Entries["domain"] = Str(rec.Domain)
+	m.Entries["path"] = Str(rec.Path)
 	return m
 }
 

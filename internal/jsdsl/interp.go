@@ -2,6 +2,8 @@ package jsdsl
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // DefaultMaxSteps bounds script execution; a real browser has watchdogs
@@ -41,6 +43,16 @@ type Interp struct {
 	steps   int
 	globals *Env
 
+	// envFree recycles block/call scopes within and across runs of this
+	// interpreter. A scope returns here when its block exits, unless a
+	// closure captured it (Env.captured).
+	envFree []*Env
+
+	// argStack is the shared backing for builtin/closure argument slices:
+	// arguments are pushed per call and popped on return, so nested calls
+	// reuse one growing buffer instead of allocating a slice per call.
+	argStack []Value
+
 	// Single-slot memo for parsing the document.cookie string: scripts
 	// poll get_cookie far more often than the string changes, and
 	// ParseCookieString is pure, so an identical input reuses the parsed
@@ -53,19 +65,91 @@ type Interp struct {
 }
 
 // parsedDocCookie returns ParseCookieString(s), memoized on the exact
-// input string.
+// input string. A miss re-parses into the memo's previous slice and map
+// instead of allocating fresh ones — sound because the parsed view never
+// escapes the builtin that asked for it (builtins copy into fresh script
+// Maps or return plain strings).
 func (in *Interp) parsedDocCookie(s string) ([]string, map[string]string) {
 	if in.cookieMemo && s == in.cookieStr {
 		return in.cookieNames, in.cookieVals
 	}
-	names, vals := ParseCookieString(s)
-	in.cookieStr, in.cookieNames, in.cookieVals, in.cookieMemo = s, names, vals, true
-	return names, vals
+	in.cookieNames, in.cookieVals = parseCookieStringInto(s, in.cookieNames[:0], in.cookieVals)
+	in.cookieStr, in.cookieMemo = s, true
+	return in.cookieNames, in.cookieVals
 }
 
 // NewInterp returns an interpreter bound to host.
 func NewInterp(host Host) *Interp {
 	return &Interp{Host: host, MaxSteps: DefaultMaxSteps, globals: NewEnv(nil)}
+}
+
+// interpPool recycles interpreters across script runs. An interpreter's
+// recycled state — scope maps, the argument stack, the cookie-parse memo
+// — is what makes repeated script execution allocation-frugal.
+var (
+	interpPool = sync.Pool{New: func() any {
+		interpAllocated.Add(1)
+		return NewInterp(nil)
+	}}
+	interpAllocated atomic.Uint64
+	interpAcquired  atomic.Uint64
+)
+
+// AcquireInterp returns a pooled interpreter bound to host. The caller
+// owns it until Release; interpreters must not be released while any
+// closure they produced (click handlers, deferred callbacks) can still
+// run.
+func AcquireInterp(host Host) *Interp {
+	interpAcquired.Add(1)
+	in := interpPool.Get().(*Interp)
+	in.Host = host
+	return in
+}
+
+// Release resets the interpreter (fresh global scope, zero step count;
+// the cookie memo survives — it is keyed on the exact input string) and
+// returns it to the pool.
+func (in *Interp) Release() {
+	in.Host = nil
+	in.steps = 0
+	in.MaxSteps = DefaultMaxSteps
+	g := in.globals
+	if g.captured {
+		// A closure kept the old global scope alive; give the next run a
+		// fresh one and let the captured chain retire with its closures.
+		in.globals = NewEnv(nil)
+	} else {
+		clear(g.vars)
+	}
+	interpPool.Put(in)
+}
+
+// InterpPoolStats reports how many interpreters were ever allocated and
+// how many acquisitions the pool served.
+func InterpPoolStats() (allocated, acquired uint64) {
+	return interpAllocated.Load(), interpAcquired.Load()
+}
+
+// newEnv returns a (pooled, if available) scope chained to parent.
+func (in *Interp) newEnv(parent *Env) *Env {
+	if n := len(in.envFree); n > 0 {
+		e := in.envFree[n-1]
+		in.envFree = in.envFree[:n-1]
+		e.parent = parent
+		return e
+	}
+	return NewEnv(parent)
+}
+
+// releaseEnv recycles a scope whose block has exited. Captured scopes
+// (closures reference them) are left to the garbage collector.
+func (in *Interp) releaseEnv(e *Env) {
+	if e.captured {
+		return
+	}
+	clear(e.vars)
+	e.parent = nil
+	in.envFree = append(in.envFree, e)
 }
 
 // Run executes a program in the interpreter's global scope.
@@ -146,7 +230,10 @@ func (in *Interp) execStmt(s Stmt, env *Env) error {
 			return err
 		}
 		if Truthy(cond) {
-			return in.execBlock(st.Then, NewEnv(env))
+			scope := in.newEnv(env)
+			err := in.execBlock(st.Then, scope)
+			in.releaseEnv(scope)
+			return err
 		}
 		if st.Else != nil {
 			return in.execStmt(st.Else, env)
@@ -165,7 +252,9 @@ func (in *Interp) execStmt(s Stmt, env *Env) error {
 			if !Truthy(cond) {
 				return nil
 			}
-			err = in.execBlock(st.Body, NewEnv(env))
+			scope := in.newEnv(env)
+			err = in.execBlock(st.Body, scope)
+			in.releaseEnv(scope)
 			switch err.(type) {
 			case nil, continueSignal:
 			case breakSignal:
@@ -184,19 +273,24 @@ func (in *Interp) execStmt(s Stmt, env *Env) error {
 			return err
 		}
 		var items []Value
-		switch x := seq.(type) {
-		case *List:
-			items = append(items, x.Elems...)
-		case *Map:
-			for _, k := range x.Keys() {
-				items = append(items, k)
-			}
-		case string:
-			for _, ch := range x {
-				items = append(items, string(ch))
-			}
-		case nil:
+		switch seq.kind {
+		case KindNull:
 			return nil
+		case KindString:
+			for _, ch := range seq.str {
+				items = append(items, Str(string(ch)))
+			}
+		case KindRef:
+			switch x := seq.ref.(type) {
+			case *List:
+				items = append(items, x.Elems...)
+			case *Map:
+				for _, k := range x.Keys() {
+					items = append(items, Str(k))
+				}
+			default:
+				return &RuntimeError{Line: st.Line, Msg: "for-in over non-iterable"}
+			}
 		default:
 			return &RuntimeError{Line: st.Line, Msg: "for-in over non-iterable"}
 		}
@@ -204,9 +298,10 @@ func (in *Interp) execStmt(s Stmt, env *Env) error {
 			if err := in.step(st.Line); err != nil {
 				return err
 			}
-			scope := NewEnv(env)
+			scope := in.newEnv(env)
 			scope.Define(st.Var, item)
 			err := in.execBlock(st.Body, scope)
+			in.releaseEnv(scope)
 			switch err.(type) {
 			case nil, continueSignal:
 			case breakSignal:
@@ -236,7 +331,10 @@ func (in *Interp) execStmt(s Stmt, env *Env) error {
 	case *ContinueStmt:
 		return continueSignal{}
 	case *BlockStmt:
-		return in.execBlock(st, NewEnv(env))
+		scope := in.newEnv(env)
+		err := in.execBlock(st, scope)
+		in.releaseEnv(scope)
+		return err
 	default:
 		return &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}
 	}
@@ -265,7 +363,7 @@ func (in *Interp) execAssign(st *AssignStmt, env *Env) error {
 		case "-=":
 			return in.binop("-", old, newVal, st.Line)
 		}
-		return nil, &RuntimeError{Line: st.Line, Msg: "bad assignment op " + st.Op}
+		return Value{}, &RuntimeError{Line: st.Line, Msg: "bad assignment op " + st.Op}
 	}
 
 	switch target := st.Target.(type) {
@@ -290,32 +388,31 @@ func (in *Interp) execAssign(st *AssignStmt, env *Env) error {
 		if err != nil {
 			return err
 		}
-		switch c := container.(type) {
-		case *List:
-			i, ok := idx.(float64)
-			if !ok || int(i) < 0 || int(i) >= len(c.Elems) {
+		if l, ok := container.AsList(); ok {
+			i, ok := idx.AsNumber()
+			if !ok || int(i) < 0 || int(i) >= len(l.Elems) {
 				return &RuntimeError{Line: st.Line, Msg: "list index out of range"}
 			}
-			v, err := apply(c.Elems[int(i)])
+			v, err := apply(l.Elems[int(i)])
 			if err != nil {
 				return err
 			}
-			c.Elems[int(i)] = v
+			l.Elems[int(i)] = v
 			return nil
-		case *Map:
-			k, ok := idx.(string)
+		}
+		if m, ok := container.AsMap(); ok {
+			k, ok := idx.AsString()
 			if !ok {
 				return &RuntimeError{Line: st.Line, Msg: "map key must be a string"}
 			}
-			v, err := apply(c.Entries[k])
+			v, err := apply(m.Entries[k])
 			if err != nil {
 				return err
 			}
-			c.Entries[k] = v
+			m.Entries[k] = v
 			return nil
-		default:
-			return &RuntimeError{Line: st.Line, Msg: "cannot index-assign this value"}
 		}
+		return &RuntimeError{Line: st.Line, Msg: "cannot index-assign this value"}
 	default:
 		return &RuntimeError{Line: st.Line, Msg: "invalid assignment target"}
 	}
@@ -324,113 +421,123 @@ func (in *Interp) execAssign(st *AssignStmt, env *Env) error {
 func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	switch x := e.(type) {
 	case *NumberLit:
-		return x.Value, nil
+		return Num(x.Value), nil
 	case *StringLit:
-		return x.Value, nil
+		return Str(x.Value), nil
 	case *BoolLit:
-		return x.Value, nil
+		return BoolVal(x.Value), nil
 	case *NullLit:
-		return nil, nil
+		return Value{}, nil
 
 	case *Ident:
 		if v, ok := env.Lookup(x.Name); ok {
 			return v, nil
 		}
 		if _, ok := builtins[x.Name]; ok {
-			return builtinRef(x.Name), nil
+			return builtinVal(x.Name), nil
 		}
-		return nil, &RuntimeError{Line: x.Line, Msg: "undefined variable " + x.Name}
+		return Value{}, &RuntimeError{Line: x.Line, Msg: "undefined variable " + x.Name}
 
 	case *ListLit:
 		l := &List{}
+		if n := len(x.Elems); n > 0 {
+			l.Elems = make([]Value, 0, n)
+		}
 		for _, el := range x.Elems {
 			v, err := in.eval(el, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			l.Elems = append(l.Elems, v)
 		}
-		return l, nil
+		return ListVal(l), nil
 
 	case *MapLit:
 		m := NewMap()
 		for i := range x.Keys {
 			kv, err := in.eval(x.Keys[i], env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
-			k, ok := kv.(string)
+			k, ok := kv.AsString()
 			if !ok {
-				return nil, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
+				return Value{}, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
 			}
 			v, err := in.eval(x.Values[i], env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			m.Entries[k] = v
 		}
-		return m, nil
+		return MapVal(m), nil
 
 	case *FuncLit:
-		return &Closure{Fn: x, Env: env}, nil
+		// The closure can reach every scope on the chain; mark them all
+		// captured so none returns to the scope pool under it.
+		for s := env; s != nil && !s.captured; s = s.parent {
+			s.captured = true
+		}
+		return ClosureVal(&Closure{Fn: x, Env: env}), nil
 
 	case *IndexExpr:
 		container, err := in.eval(x.X, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		idx, err := in.eval(x.Index, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		switch c := container.(type) {
-		case *List:
-			i, ok := idx.(float64)
-			if !ok || int(i) < 0 || int(i) >= len(c.Elems) {
-				return nil, nil // out-of-range reads yield null, like JS undefined
+		switch container.kind {
+		case KindString:
+			i, ok := idx.AsNumber()
+			if !ok || int(i) < 0 || int(i) >= len(container.str) {
+				return Value{}, nil
 			}
-			return c.Elems[int(i)], nil
-		case *Map:
-			k, ok := idx.(string)
-			if !ok {
-				return nil, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
+			return Str(string(container.str[int(i)])), nil
+		case KindNull:
+			return Value{}, &RuntimeError{Line: x.Line, Msg: "cannot index null"}
+		case KindRef:
+			switch c := container.ref.(type) {
+			case *List:
+				i, ok := idx.AsNumber()
+				if !ok || int(i) < 0 || int(i) >= len(c.Elems) {
+					return Value{}, nil // out-of-range reads yield null, like JS undefined
+				}
+				return c.Elems[int(i)], nil
+			case *Map:
+				k, ok := idx.AsString()
+				if !ok {
+					return Value{}, &RuntimeError{Line: x.Line, Msg: "map key must be a string"}
+				}
+				return c.Entries[k], nil
 			}
-			return c.Entries[k], nil
-		case string:
-			i, ok := idx.(float64)
-			if !ok || int(i) < 0 || int(i) >= len(c) {
-				return nil, nil
-			}
-			return string(c[int(i)]), nil
-		case nil:
-			return nil, &RuntimeError{Line: x.Line, Msg: "cannot index null"}
-		default:
-			return nil, &RuntimeError{Line: x.Line, Msg: "cannot index this value"}
 		}
+		return Value{}, &RuntimeError{Line: x.Line, Msg: "cannot index this value"}
 
 	case *UnaryExpr:
 		v, err := in.eval(x.X, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		switch x.Op {
 		case "!":
-			return !Truthy(v), nil
+			return BoolVal(!Truthy(v)), nil
 		case "-":
-			f, ok := v.(float64)
+			f, ok := v.AsNumber()
 			if !ok {
-				return nil, &RuntimeError{Line: x.Line, Msg: "unary minus on non-number"}
+				return Value{}, &RuntimeError{Line: x.Line, Msg: "unary minus on non-number"}
 			}
-			return -f, nil
+			return Num(-f), nil
 		}
-		return nil, &RuntimeError{Line: x.Line, Msg: "unknown unary op " + x.Op}
+		return Value{}, &RuntimeError{Line: x.Line, Msg: "unknown unary op " + x.Op}
 
 	case *BinaryExpr:
 		// Short-circuit logical operators.
 		if x.Op == "&&" {
 			l, err := in.eval(x.L, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			if !Truthy(l) {
 				return l, nil
@@ -440,7 +547,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 		if x.Op == "||" {
 			l, err := in.eval(x.L, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			if Truthy(l) {
 				return l, nil
@@ -449,145 +556,149 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 		}
 		l, err := in.eval(x.L, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		r, err := in.eval(x.R, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return in.binop(x.Op, l, r, x.Line)
 
 	case *CallExpr:
 		callee, err := in.eval(x.Callee, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
-		args := make([]Value, len(x.Args))
-		for i, a := range x.Args {
+		// Arguments are pushed on the interpreter's shared stack; the
+		// slice passed down is consumed synchronously by the callee, so
+		// popping after the call is sound (closures stored for later —
+		// on_click, defer_run — are invoked with fresh argument slices).
+		base := len(in.argStack)
+		for _, a := range x.Args {
 			v, err := in.eval(a, env)
 			if err != nil {
-				return nil, err
+				in.argStack = in.argStack[:base]
+				return Value{}, err
 			}
-			args[i] = v
+			in.argStack = append(in.argStack, v)
 		}
-		switch f := callee.(type) {
-		case *Closure:
-			return in.callClosure(f, args, x.Line)
-		case builtinRef:
-			fn := builtins[string(f)]
-			v, err := fn(in, args)
+		args := in.argStack[base:]
+		var out Value
+		switch callee.kind {
+		case KindRef:
+			f, ok := callee.ref.(*Closure)
+			if !ok {
+				in.argStack = in.argStack[:base]
+				return Value{}, &RuntimeError{Line: x.Line, Msg: "not callable"}
+			}
+			out, err = in.callClosure(f, args, x.Line)
+		case KindBuiltin:
+			fn := builtins[callee.str]
+			out, err = fn(in, args)
 			if err != nil {
 				if re, ok := err.(*RuntimeError); ok && re.Line == 0 {
 					re.Line = x.Line
 				}
-				return nil, err
 			}
-			return v, nil
 		default:
-			return nil, &RuntimeError{Line: x.Line, Msg: "not callable"}
+			in.argStack = in.argStack[:base]
+			return Value{}, &RuntimeError{Line: x.Line, Msg: "not callable"}
 		}
+		in.argStack = in.argStack[:base]
+		if err != nil {
+			return Value{}, err
+		}
+		return out, nil
 	default:
-		return nil, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
+		return Value{}, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}
 	}
 }
 
-// builtinRef is a first-class reference to a builtin function.
-type builtinRef string
-
 func (in *Interp) callClosure(c *Closure, args []Value, line int) (Value, error) {
 	if err := in.step(line); err != nil {
-		return nil, err
+		return Value{}, err
 	}
-	scope := NewEnv(c.Env)
+	scope := in.newEnv(c.Env)
 	for i, p := range c.Fn.Params {
 		if i < len(args) {
 			scope.Define(p, args[i])
 		} else {
-			scope.Define(p, nil)
+			scope.Define(p, Value{})
 		}
 	}
 	err := in.execBlock(c.Fn.Body, scope)
+	in.releaseEnv(scope)
 	if rs, ok := err.(returnSignal); ok {
 		return rs.value, nil
 	}
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
-	return nil, nil
+	return Value{}, nil
 }
 
 func (in *Interp) binop(op string, l, r Value, line int) (Value, error) {
 	switch op {
 	case "+":
-		if lf, ok := l.(float64); ok {
-			if rf, ok := r.(float64); ok {
-				return lf + rf, nil
-			}
+		if l.kind == KindNumber && r.kind == KindNumber {
+			return Num(l.num + r.num), nil
 		}
 		// string concatenation when either side is a string
-		if _, ok := l.(string); ok {
-			return ToString(l) + ToString(r), nil
+		if l.kind == KindString || r.kind == KindString {
+			return Str(ToString(l) + ToString(r)), nil
 		}
-		if _, ok := r.(string); ok {
-			return ToString(l) + ToString(r), nil
-		}
-		return nil, &RuntimeError{Line: line, Msg: "invalid operands for +"}
+		return Value{}, &RuntimeError{Line: line, Msg: "invalid operands for +"}
 	case "-", "*", "/", "%":
-		lf, lok := l.(float64)
-		rf, rok := r.(float64)
-		if !lok || !rok {
-			return nil, &RuntimeError{Line: line, Msg: "arithmetic on non-numbers"}
+		if l.kind != KindNumber || r.kind != KindNumber {
+			return Value{}, &RuntimeError{Line: line, Msg: "arithmetic on non-numbers"}
 		}
+		lf, rf := l.num, r.num
 		switch op {
 		case "-":
-			return lf - rf, nil
+			return Num(lf - rf), nil
 		case "*":
-			return lf * rf, nil
+			return Num(lf * rf), nil
 		case "/":
 			if rf == 0 {
-				return nil, &RuntimeError{Line: line, Msg: "division by zero"}
+				return Value{}, &RuntimeError{Line: line, Msg: "division by zero"}
 			}
-			return lf / rf, nil
+			return Num(lf / rf), nil
 		case "%":
 			if rf == 0 {
-				return nil, &RuntimeError{Line: line, Msg: "modulo by zero"}
+				return Value{}, &RuntimeError{Line: line, Msg: "modulo by zero"}
 			}
-			return float64(int64(lf) % int64(rf)), nil
+			return Num(float64(int64(lf) % int64(rf))), nil
 		}
 	case "==":
-		return valueEquals(l, r), nil
+		return BoolVal(valueEquals(l, r)), nil
 	case "!=":
-		return !valueEquals(l, r), nil
+		return BoolVal(!valueEquals(l, r)), nil
 	case "<", ">", "<=", ">=":
-		if lf, lok := l.(float64); lok {
-			if rf, rok := r.(float64); rok {
-				switch op {
-				case "<":
-					return lf < rf, nil
-				case ">":
-					return lf > rf, nil
-				case "<=":
-					return lf <= rf, nil
-				case ">=":
-					return lf >= rf, nil
-				}
+		if l.kind == KindNumber && r.kind == KindNumber {
+			switch op {
+			case "<":
+				return BoolVal(l.num < r.num), nil
+			case ">":
+				return BoolVal(l.num > r.num), nil
+			case "<=":
+				return BoolVal(l.num <= r.num), nil
+			case ">=":
+				return BoolVal(l.num >= r.num), nil
 			}
 		}
-		if ls, lok := l.(string); lok {
-			if rs, rok := r.(string); rok {
-				switch op {
-				case "<":
-					return ls < rs, nil
-				case ">":
-					return ls > rs, nil
-				case "<=":
-					return ls <= rs, nil
-				case ">=":
-					return ls >= rs, nil
-				}
+		if l.kind == KindString && r.kind == KindString {
+			switch op {
+			case "<":
+				return BoolVal(l.str < r.str), nil
+			case ">":
+				return BoolVal(l.str > r.str), nil
+			case "<=":
+				return BoolVal(l.str <= r.str), nil
+			case ">=":
+				return BoolVal(l.str >= r.str), nil
 			}
 		}
-		return nil, &RuntimeError{Line: line, Msg: "invalid comparison operands"}
+		return Value{}, &RuntimeError{Line: line, Msg: "invalid comparison operands"}
 	}
-	return nil, &RuntimeError{Line: line, Msg: "unknown operator " + op}
+	return Value{}, &RuntimeError{Line: line, Msg: "unknown operator " + op}
 }

@@ -291,11 +291,15 @@ func TestCallClosureFromGo(t *testing.T) {
 	if !ok {
 		t.Fatal("add not defined")
 	}
-	res, err := in.CallClosure(v.(*Closure), float64(2), float64(3))
+	c, ok := v.AsClosure()
+	if !ok {
+		t.Fatal("add is not a closure")
+	}
+	res, err := in.CallClosure(c, Num(2), Num(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.(float64) != 5 {
+	if f, ok := res.AsNumber(); !ok || f != 5 {
 		t.Fatalf("res = %v", res)
 	}
 }

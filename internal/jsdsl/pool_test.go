@@ -1,0 +1,122 @@
+package jsdsl
+
+import (
+	"testing"
+)
+
+// TestAcquireReleaseReuse: a pooled interpreter produces the same results
+// as a fresh one, run after run, including across Release cycles.
+func TestAcquireReleaseReuse(t *testing.T) {
+	src := `
+let acc = [];
+let i = 0;
+while (i < 5) {
+  push(acc, str(i * i));
+  i = i + 1;
+}
+for (k in {"b": 2, "a": 1}) { push(acc, k); }
+log(join(acc, ","));`
+	want := func() string {
+		h := &NopHost{}
+		in := NewInterp(h)
+		if err := in.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+		return h.Logs[0]
+	}()
+	for i := 0; i < 3; i++ {
+		h := &NopHost{}
+		in := AcquireInterp(h)
+		if err := in.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+		if h.Logs[0] != want {
+			t.Fatalf("pooled run %d: %q != %q", i, h.Logs[0], want)
+		}
+		in.Release()
+	}
+}
+
+// TestScopePoolClosureCapture: scopes captured by closures must survive
+// the scope pool — the closure still sees its variables after the block
+// that created it has exited (and its sibling scopes were recycled).
+func TestScopePoolClosureCapture(t *testing.T) {
+	src := `
+let fns = [];
+for (i in range(3)) {
+  let x = i * 10;
+  push(fns, fn() { return x + i; });
+}
+for (j in range(50)) { let waste = j; }
+log(str(fns[0]()) + "," + str(fns[1]()) + "," + str(fns[2]()));`
+	h := &NopHost{}
+	in := AcquireInterp(h)
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	in.Release()
+	if h.Logs[0] != "0,11,22" {
+		t.Fatalf("closure capture broken under scope pooling: %q", h.Logs[0])
+	}
+}
+
+// TestReleaseAfterCapturedGlobals: a script that leaves a closure in the
+// global scope must not poison the next pooled run.
+func TestReleaseAfterCapturedGlobals(t *testing.T) {
+	h1 := &NopHost{}
+	in := AcquireInterp(h1)
+	if err := in.RunSource(`let f = fn() { return 1; }; log(str(f()));`); err != nil {
+		t.Fatal(err)
+	}
+	in.Release()
+
+	h2 := &NopHost{}
+	in2 := AcquireInterp(h2)
+	// A fresh run must not see f.
+	if err := in2.RunSource(`log(str(f()));`); err == nil {
+		t.Fatal("globals leaked across Release")
+	}
+	in2.Release()
+}
+
+// TestArgStackNestedCalls: nested calls share the argument stack; deep
+// and interleaved call shapes must not corrupt outer arguments.
+func TestArgStackNestedCalls(t *testing.T) {
+	src := `
+let add3 = fn(a, b, c) { return a + b + c; };
+let twice = fn(x) { return x * 2; };
+log(str(add3(twice(add3(1, 2, 3)), twice(twice(2)), add3(twice(1), 1, 1))));`
+	h := &NopHost{}
+	in := AcquireInterp(h)
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	in.Release()
+	// add3(12, 8, 4) = 24
+	if h.Logs[0] != "24" {
+		t.Fatalf("nested arg stack: %q", h.Logs[0])
+	}
+}
+
+// TestCookieMemoReuseAcrossStrings: the in-place cookie-parse memo must
+// return correct views as the cookie string changes.
+func TestCookieMemoReuseAcrossStrings(t *testing.T) {
+	in := AcquireInterp(&NopHost{})
+	defer in.Release()
+	n1, v1 := in.parsedDocCookie("a=1; b=2")
+	if len(n1) != 2 || v1["a"] != "1" || v1["b"] != "2" {
+		t.Fatalf("first parse: %v %v", n1, v1)
+	}
+	n2, v2 := in.parsedDocCookie("c=3")
+	if len(n2) != 1 || v2["c"] != "3" {
+		t.Fatalf("second parse: %v %v", n2, v2)
+	}
+	if _, stale := v2["a"]; stale {
+		t.Fatal("stale entry survived memo reuse")
+	}
+	// Memo hit: identical input returns the same view.
+	n3, _ := in.parsedDocCookie("c=3")
+	if len(n3) != 1 || n3[0] != "c" {
+		t.Fatalf("memo hit: %v", n3)
+	}
+}

@@ -7,9 +7,97 @@ import (
 	"strings"
 )
 
-// Value is a SiteScript runtime value: nil (null), bool, float64, string,
-// *List, *Map, or *Closure.
-type Value interface{}
+// Kind discriminates SiteScript runtime values.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNumber
+	KindString
+	KindRef     // *List, *Map, or *Closure in ref
+	KindBuiltin // builtin function; name in str
+)
+
+// Value is a SiteScript runtime value as a small tagged struct. Nulls,
+// booleans, numbers, and strings live inline — passing them around the
+// interpreter never heap-allocates, unlike the previous interface{}
+// representation, which boxed every number and string on the hot path.
+// Lists, maps, and closures are reference types carried in ref.
+//
+// The zero Value is null.
+type Value struct {
+	kind Kind
+	num  float64 // number; booleans use 0/1
+	str  string  // string value, or builtin name for KindBuiltin
+	ref  any     // *List, *Map, or *Closure for KindRef
+}
+
+// Constructors.
+
+// Null returns the null value (also the zero Value).
+func Null() Value { return Value{} }
+
+// BoolVal returns a boolean value.
+func BoolVal(b bool) Value {
+	if b {
+		return Value{kind: KindBool, num: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Num returns a number value.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// ListVal wraps a list.
+func ListVal(l *List) Value { return Value{kind: KindRef, ref: l} }
+
+// MapVal wraps a map.
+func MapVal(m *Map) Value { return Value{kind: KindRef, ref: m} }
+
+// ClosureVal wraps a closure.
+func ClosureVal(c *Closure) Value { return Value{kind: KindRef, ref: c} }
+
+func builtinVal(name string) Value { return Value{kind: KindBuiltin, str: name} }
+
+// Accessors.
+
+// Kind returns the value's kind tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsString returns the string payload when the value is a string.
+func (v Value) AsString() (string, bool) { return v.str, v.kind == KindString }
+
+// AsNumber returns the numeric payload when the value is a number.
+func (v Value) AsNumber() (float64, bool) { return v.num, v.kind == KindNumber }
+
+// AsBool returns the boolean payload when the value is a boolean.
+func (v Value) AsBool() (bool, bool) { return v.num != 0, v.kind == KindBool }
+
+// AsList returns the list when the value wraps one.
+func (v Value) AsList() (*List, bool) {
+	l, ok := v.ref.(*List)
+	return l, v.kind == KindRef && ok
+}
+
+// AsMap returns the map when the value wraps one.
+func (v Value) AsMap() (*Map, bool) {
+	m, ok := v.ref.(*Map)
+	return m, v.kind == KindRef && ok
+}
+
+// AsClosure returns the closure when the value wraps one.
+func (v Value) AsClosure() (*Closure, bool) {
+	c, ok := v.ref.(*Closure)
+	return c, v.kind == KindRef && ok
+}
 
 // List is a mutable sequence.
 type List struct {
@@ -43,15 +131,15 @@ type Closure struct {
 // Truthy implements SiteScript truthiness: null and false are falsy, the
 // number 0 is falsy, "" is falsy; everything else is truthy.
 func Truthy(v Value) bool {
-	switch x := v.(type) {
-	case nil:
+	switch v.kind {
+	case KindNull:
 		return false
-	case bool:
-		return x
-	case float64:
-		return x != 0
-	case string:
-		return x != ""
+	case KindBool:
+		return v.num != 0
+	case KindNumber:
+		return v.num != 0
+	case KindString:
+		return v.str != ""
 	default:
 		return true
 	}
@@ -59,18 +147,22 @@ func Truthy(v Value) bool {
 
 // ToString renders a value the way scripts see it when concatenating.
 func ToString(v Value) string {
-	switch x := v.(type) {
-	case nil:
+	switch v.kind {
+	case KindNull:
 		return "null"
-	case bool:
-		if x {
+	case KindBool:
+		if v.num != 0 {
 			return "true"
 		}
 		return "false"
-	case float64:
-		return formatNumber(x)
-	case string:
-		return x
+	case KindNumber:
+		return formatNumber(v.num)
+	case KindString:
+		return v.str
+	case KindBuiltin:
+		return "<fn>"
+	}
+	switch x := v.ref.(type) {
 	case *List:
 		parts := make([]string, len(x.Elems))
 		for i, e := range x.Elems {
@@ -91,7 +183,7 @@ func ToString(v Value) string {
 	case *Closure:
 		return "<fn>"
 	default:
-		return fmt.Sprintf("%v", v)
+		return fmt.Sprintf("%v", v.ref)
 	}
 }
 
@@ -106,21 +198,20 @@ func formatNumber(f float64) string {
 // valueEquals implements == (deep for lists/maps is not needed by any
 // script; reference equality applies there, like JS objects).
 func valueEquals(a, b Value) bool {
-	if a == nil || b == nil {
-		return a == nil && b == nil
+	if a.kind != b.kind {
+		return false
 	}
-	switch x := a.(type) {
-	case bool:
-		y, ok := b.(bool)
-		return ok && x == y
-	case float64:
-		y, ok := b.(float64)
-		return ok && x == y
-	case string:
-		y, ok := b.(string)
-		return ok && x == y
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool, KindNumber:
+		return a.num == b.num
+	case KindString:
+		return a.str == b.str
+	case KindBuiltin:
+		return a.str == b.str
 	default:
-		return a == b
+		return a.ref == b.ref
 	}
 }
 
@@ -128,6 +219,11 @@ func valueEquals(a, b Value) bool {
 type Env struct {
 	vars   map[string]Value
 	parent *Env
+
+	// captured marks scopes referenced by a closure (and every scope the
+	// closure can reach through the chain). Captured scopes outlive their
+	// block and are never returned to the interpreter's scope pool.
+	captured bool
 }
 
 // NewEnv returns a scope chained to parent (nil for the global scope).
@@ -145,7 +241,7 @@ func (e *Env) Lookup(name string) (Value, bool) {
 			return v, true
 		}
 	}
-	return nil, false
+	return Value{}, false
 }
 
 // Set assigns to an existing variable; it reports whether it was found.

@@ -32,6 +32,113 @@ import (
 	"cookieguard/internal/contenthash"
 )
 
+// --- allocation-frugal response plumbing ---------------------------------
+//
+// The crawl performs hundreds of request/response exchanges per visit, the
+// overwhelming majority replayed from the response cache. The helpers here
+// keep that replay path nearly allocation-free: response structs and their
+// header maps are pooled (reclaimed via ReleaseResponse once the browser
+// has consumed the exchange), status lines and latency header values are
+// memoized per distinct value, and bodies travel as *stringBody so ReadBody
+// hands back the cached string without copying it.
+
+// stringBody is an io.ReadCloser over an immutable string. ReadBody
+// recognizes it and returns the string without the ReadAll round trip.
+type stringBody struct {
+	strings.Reader
+	s      string
+	pooled bool // response came from respPool; ReleaseResponse reclaims it
+}
+
+func (b *stringBody) Close() error { return nil }
+
+func (b *stringBody) set(s string) {
+	b.s = s
+	b.Reader.Reset(s)
+}
+
+// respPool recycles cache-hit responses: the Response struct, its Header
+// map, and the stringBody. A pooled response is handed back through
+// ReleaseResponse by the single consumer of the exchange (the browser).
+var respPool = sync.Pool{New: func() any {
+	r := &http.Response{Header: make(http.Header, 8)}
+	b := &stringBody{pooled: true}
+	r.Body = b
+	return r
+}}
+
+// pooledResponse returns a reset pooled response with status, headers
+// copied from src (value slices shared — they are never mutated), and body.
+func pooledResponse(status int, src http.Header, body string) *http.Response {
+	r := respPool.Get().(*http.Response)
+	sb := r.Body.(*stringBody)
+	sb.set(body)
+	h := r.Header
+	clear(h)
+	for k, vv := range src {
+		h[k] = vv
+	}
+	r.StatusCode = status
+	r.Status = statusLine(status)
+	r.Proto, r.ProtoMajor, r.ProtoMinor = "HTTP/1.1", 1, 1
+	r.ContentLength = int64(len(body))
+	r.Request = nil
+	return r
+}
+
+// ReleaseResponse returns a pooled response to the pool. It must only be
+// called by the exchange's single consumer once the body and headers are
+// fully consumed and never referenced again; taps must not retain
+// responses past the tap callback when callers release. Non-pooled
+// responses are ignored, so callers may release unconditionally.
+func ReleaseResponse(resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	sb, ok := resp.Body.(*stringBody)
+	if !ok || !sb.pooled {
+		return
+	}
+	resp.Request = nil
+	respPool.Put(resp)
+}
+
+// statusLine memoizes "200 OK"-style status lines per code.
+var statusLines sync.Map // int -> string
+
+func statusLine(code int) string {
+	if s, ok := statusLines.Load(code); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%d %s", code, http.StatusText(code))
+	statusLines.Store(code, s)
+	return s
+}
+
+// latencyValue memoizes the one-element header slice for a latency value.
+// The slice is shared across responses and never mutated; the distinct
+// latency population is bounded by the latency model's per-host spread
+// (plus tail-latency factors), and the memo is capped defensively.
+var (
+	latencyValues     sync.Map // float64 -> []string
+	latencyValuesSize atomic.Int64
+)
+
+const latencyValuesMax = 1 << 16
+
+func latencyValue(lat float64) []string {
+	if v, ok := latencyValues.Load(lat); ok {
+		return v.([]string)
+	}
+	v := []string{strconv.FormatFloat(lat, 'f', 2, 64)}
+	if latencyValuesSize.Load() < latencyValuesMax {
+		if _, loaded := latencyValues.LoadOrStore(lat, v); !loaded {
+			latencyValuesSize.Add(1)
+		}
+	}
+	return v
+}
+
 // LatencyHeader carries the simulated network latency of an exchange, in
 // milliseconds, back to the caller. Browsers advance their virtual clock
 // by this amount per fetch.
@@ -306,7 +413,9 @@ func cacheKey(u *url.URL) string {
 // request back-pointer, accounting, and taps.
 func (i *Internet) respond(resp *http.Response, req *http.Request, lat float64, taps []Tap, servedBy string) *http.Response {
 	resp.Request = req
-	resp.Header.Set(LatencyHeader, strconv.FormatFloat(lat, 'f', 2, 64))
+	// The latency value slice is memoized and shared across responses;
+	// Header.Get reads it exactly as a Set one (the key is canonical).
+	resp.Header[LatencyHeader] = latencyValue(lat)
 	i.requests.Add(1)
 	ex := Exchange{Request: req, Response: resp, Host: servedBy}
 	for _, t := range taps {
@@ -359,16 +468,21 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 		if status == 0 {
 			status = http.StatusServiceUnavailable
 		}
-		body := http.StatusText(status) + "\n"
-		resp := &http.Response{
-			StatusCode:    status,
-			Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
-			Proto:         "HTTP/1.1",
-			ProtoMajor:    1,
-			ProtoMinor:    1,
-			Header:        http.Header{},
-			Body:          io.NopCloser(strings.NewReader(body)),
-			ContentLength: int64(len(body)),
+		body := errorBody(status)
+		var resp *http.Response
+		if len(v.taps) == 0 {
+			resp = pooledResponse(status, nil, body)
+		} else {
+			resp = &http.Response{
+				StatusCode:    status,
+				Status:        statusLine(status),
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        http.Header{},
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+			}
 		}
 		return i.respond(resp, req, lat, v.taps, servedBy), nil
 	case FaultTailLatency:
@@ -391,18 +505,29 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 		key = cacheKey(req.URL)
 		if e, ok := v.respCache.GetResponse(key); ok {
 			cr := e.(*cachedResponse)
-			resp := &http.Response{
-				StatusCode:    cr.status,
-				Status:        fmt.Sprintf("%d %s", cr.status, http.StatusText(cr.status)),
-				Proto:         "HTTP/1.1",
-				ProtoMajor:    1,
-				ProtoMinor:    1,
-				Header:        cr.header.Clone(),
-				Body:          io.NopCloser(strings.NewReader(cr.body)),
-				ContentLength: int64(len(cr.body)),
-			}
-			if fd.Kind == FaultTruncate {
-				applyTruncation(resp, cr.body, fd)
+			var resp *http.Response
+			if len(v.taps) == 0 && fd.Kind != FaultTruncate {
+				// Replay through the pool: header entries are copied into
+				// the pooled map (value slices shared, never mutated) and
+				// the browser returns the response via ReleaseResponse. A
+				// registered tap could retain the exchange, so taps force
+				// the historical fresh-allocation path; truncation rewrites
+				// body and headers, so it does too.
+				resp = pooledResponse(cr.status, cr.header, cr.body)
+			} else {
+				resp = &http.Response{
+					StatusCode:    cr.status,
+					Status:        statusLine(cr.status),
+					Proto:         "HTTP/1.1",
+					ProtoMajor:    1,
+					ProtoMinor:    1,
+					Header:        cr.header.Clone(),
+					Body:          io.NopCloser(strings.NewReader(cr.body)),
+					ContentLength: int64(len(cr.body)),
+				}
+				if fd.Kind == FaultTruncate {
+					applyTruncation(resp, cr.body, fd)
+				}
 			}
 			return i.respond(resp, req, lat, v.taps, servedBy), nil
 		}
@@ -419,19 +544,25 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	handler.ServeHTTP(rec, inner)
 
 	resp := rec.Result()
+	body := rec.Body.String()
+	// Deliver the body as a *stringBody so ReadBody returns it without a
+	// second copy (rec.Body.String() above is the only materialization).
+	sb := &stringBody{}
+	sb.set(body)
+	resp.Body = sb
+	resp.ContentLength = int64(len(body))
 	if cacheable && rec.Code == http.StatusOK {
 		// Memoize 200s only: error pages are cheap and beacon sinks
 		// (204, unique query strings) would grow the cache unboundedly.
 		// The cache stores the intact exchange even when this delivery is
 		// truncated — the fault belongs to the attempt, not the content.
-		body := rec.Body.String()
 		hdr := resp.Header.Clone()
 		hdr.Set(BodyHashHeader, contenthash.Sum(body))
 		v.respCache.PutResponse(key, &cachedResponse{status: rec.Code, header: hdr, body: body})
 		resp.Header.Set(BodyHashHeader, hdr.Get(BodyHashHeader))
 	}
 	if fd.Kind == FaultTruncate {
-		applyTruncation(resp, rec.Body.String(), fd)
+		applyTruncation(resp, body, fd)
 	}
 	return i.respond(resp, req, lat, v.taps, servedBy), nil
 }
@@ -462,8 +593,26 @@ func Latency(resp *http.Response) float64 {
 	return f
 }
 
-// ReadBody fully reads and closes a response body.
+// errorBody memoizes the "<status text>\n" body of synthesized errors.
+var errorBodies sync.Map // int -> string
+
+func errorBody(status int) string {
+	if s, ok := errorBodies.Load(status); ok {
+		return s.(string)
+	}
+	s := http.StatusText(status) + "\n"
+	errorBodies.Store(status, s)
+	return s
+}
+
+// ReadBody fully reads and closes a response body. Bodies served by the
+// fabric are *stringBody and return their backing string without copying;
+// anything else takes the io.ReadAll path.
 func ReadBody(resp *http.Response) (string, error) {
+	if sb, ok := resp.Body.(*stringBody); ok && sb.Len() == len(sb.s) {
+		sb.Reader.Reset("") // consumed; a second read sees EOF, as before
+		return sb.s, nil
+	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestPooledReplayAndRelease: cache-hit responses cycle through the
+// response pool; repeated fetch/release rounds must keep returning the
+// exact cached exchange (status, headers, body, body hash).
+func TestPooledReplayAndRelease(t *testing.T) {
+	in := New()
+	in.RegisterFunc("a.example", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.Header().Set("Set-Cookie", "sid=1; Path=/")
+		w.Write([]byte("hello body"))
+	})
+	in.SetResponseCache(newMapCache())
+	in.Freeze()
+	client := in.Client()
+
+	var hash string
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get("https://a.example/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 || resp.Status != "200 OK" {
+			t.Fatalf("round %d: status %q", i, resp.Status)
+		}
+		if got := resp.Header.Get("Content-Type"); got != "text/plain" {
+			t.Fatalf("round %d: content-type %q", i, got)
+		}
+		if got := resp.Header.Values("Set-Cookie"); len(got) != 1 || got[0] != "sid=1; Path=/" {
+			t.Fatalf("round %d: set-cookie %v", i, got)
+		}
+		if Latency(resp) <= 0 {
+			t.Fatalf("round %d: missing latency header", i)
+		}
+		body, err := ReadBody(resp)
+		if err != nil || body != "hello body" {
+			t.Fatalf("round %d: body %q err %v", i, body, err)
+		}
+		h := resp.Header.Get(BodyHashHeader)
+		if i == 1 {
+			hash = h // first round is the miss (no hash check before fill)
+		} else if i > 1 && h != hash {
+			t.Fatalf("round %d: body hash drifted %q != %q", i, h, hash)
+		}
+		ReleaseResponse(resp)
+	}
+}
+
+// TestReleaseResponseIgnoresForeign: releasing handler-path and
+// foreign responses must be a safe no-op.
+func TestReleaseResponseIgnoresForeign(t *testing.T) {
+	ReleaseResponse(nil)
+	ReleaseResponse(&http.Response{})
+	in := New()
+	in.RegisterFunc("b.example", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("x"))
+	})
+	in.Freeze()
+	resp, err := in.Client().Get("https://b.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadBody(resp)
+	if err != nil || body != "x" {
+		t.Fatalf("body %q err %v", body, err)
+	}
+	ReleaseResponse(resp) // non-pooled stringBody: ignored
+}
+
+// TestTapsDisablePooledReplay: a registered tap may retain the exchange,
+// so cache hits must not hand out pooled responses then.
+func TestTapsDisablePooledReplay(t *testing.T) {
+	in := New()
+	in.RegisterFunc("c.example", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("tapped"))
+	})
+	in.SetResponseCache(newMapCache())
+	var retained []*http.Response
+	in.Tap(func(ex Exchange) { retained = append(retained, ex.Response) })
+	in.Freeze()
+	client := in.Client()
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get("https://c.example/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBody(resp); err != nil {
+			t.Fatal(err)
+		}
+		ReleaseResponse(resp)
+	}
+	// Every retained response must still carry its own intact status.
+	for i, r := range retained {
+		if r.StatusCode != 200 {
+			t.Fatalf("retained response %d corrupted: %d", i, r.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package publicsuffix
+
+import (
+	"net"
+	"testing"
+)
+
+// TestIsIPLiteralMatchesNetParseIP pins the allocation-free IP check to
+// net.ParseIP's verdict for every input shape the host paths can see.
+func TestIsIPLiteralMatchesNetParseIP(t *testing.T) {
+	cases := []string{
+		"1.2.3.4", "0.0.0.0", "255.255.255.255", "256.1.1.1", "1.2.3.4.5",
+		"1.2.3", "01.2.3.4", "1.02.3.4", "1.2.3.04", "1.2.3.", ".1.2.3.4",
+		"1..2.3", "", "a.b.c.d", "site00042.com", "www.example.co.uk",
+		"123.example.com", "1234.1.1.1", "12.34.56.78", "0.1.2.3",
+		"::1", "2001:db8::1", "fe80::", "not:an:ip", "1.2.3.4:443",
+		"10.0.0.1", "192.168.1.1", "999.999.999.999", "metrics.site00001.com",
+	}
+	for _, c := range cases {
+		want := net.ParseIP(c) != nil
+		if got := isIPLiteral(c); got != want {
+			t.Errorf("isIPLiteral(%q) = %v, net.ParseIP says %v", c, got, want)
+		}
+	}
+}
+
+// TestCachedResultsStable checks that repeated (cached) lookups agree with
+// each other and that IP/suffix/empty hosts keep their error contract.
+func TestCachedResultsStable(t *testing.T) {
+	hosts := []string{
+		"www.site00042.com", "site00042.com", "a.b.co.uk", "co.uk", "com",
+		"1.2.3.4", "localhost", "metrics.site00007.de",
+	}
+	for _, h := range hosts {
+		s1, l1 := PublicSuffix(h)
+		d1, e1 := ETLDPlusOne(h)
+		for i := 0; i < 3; i++ {
+			s2, l2 := PublicSuffix(h)
+			d2, e2 := ETLDPlusOne(h)
+			if s1 != s2 || l1 != l2 || d1 != d2 || e1 != e2 {
+				t.Fatalf("unstable results for %q", h)
+			}
+		}
+	}
+	if _, err := ETLDPlusOne("1.2.3.4"); err != ErrIPAddress {
+		t.Errorf("IP literal: got %v, want ErrIPAddress", err)
+	}
+	if _, err := ETLDPlusOne(""); err != ErrEmptyHost {
+		t.Errorf("empty host: got %v, want ErrEmptyHost", err)
+	}
+	if _, err := ETLDPlusOne("co.uk"); err != ErrIsSuffix {
+		t.Errorf("bare suffix: got %v, want ErrIsSuffix", err)
+	}
+	if d := RegistrableDomain("www.site00042.com"); d != "site00042.com" {
+		t.Errorf("RegistrableDomain = %q", d)
+	}
+}

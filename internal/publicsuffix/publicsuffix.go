@@ -17,6 +17,8 @@ import (
 	"errors"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // rule is one parsed public-suffix rule.
@@ -75,14 +77,101 @@ func normalize(host string) string {
 	return host
 }
 
+// isIPLiteral reports whether host is an IP address literal, matching
+// net.ParseIP(host) != nil without its per-call error allocations. Hosts
+// containing a colon (IPv6 literals — never valid hostnames) fall back to
+// net.ParseIP; everything else is checked as dotted-decimal IPv4.
+func isIPLiteral(host string) bool {
+	if strings.IndexByte(host, ':') >= 0 {
+		return net.ParseIP(host) != nil
+	}
+	fields := 0
+	i := 0
+	for {
+		// One decimal field: 1–3 digits, value ≤ 255, no leading zero
+		// (net.ParseIP rejects leading zeros, e.g. "01.2.3.4").
+		start := i
+		v := 0
+		for i < len(host) && host[i] >= '0' && host[i] <= '9' {
+			v = v*10 + int(host[i]-'0')
+			if v > 255 {
+				return false
+			}
+			i++
+		}
+		n := i - start
+		if n == 0 || n > 3 || (n > 1 && host[start] == '0') {
+			return false
+		}
+		fields++
+		if i == len(host) {
+			return fields == 4
+		}
+		if host[i] != '.' || fields == 4 {
+			return false
+		}
+		i++
+	}
+}
+
+// psEntry is a memoized per-host computation: the public suffix, whether a
+// list rule matched, and the derived registrable domain (or its error).
+// Entries are immutable once stored.
+type psEntry struct {
+	suffix string
+	listed bool
+	domain string
+	err    error
+}
+
+// hostCache memoizes per-host suffix/domain computations. The measurement
+// pipeline asks for the same bounded universe of hosts millions of times
+// per crawl, and the answers are pure functions of the embedded list, so a
+// process-wide cache is sound. Size is bounded to keep a pathological
+// input space from growing it without limit; past the cap, lookups compute
+// without storing.
+var (
+	hostCache     sync.Map // string -> *psEntry
+	hostCacheSize atomic.Int64
+)
+
+const hostCacheMax = 1 << 17
+
+func lookupHost(host string) *psEntry {
+	if e, ok := hostCache.Load(host); ok {
+		return e.(*psEntry)
+	}
+	e := &psEntry{}
+	if isIPLiteral(host) {
+		e.suffix = host
+		e.err = ErrIPAddress
+	} else {
+		e.suffix, e.listed = computePublicSuffix(host)
+		e.domain, e.err = computeETLDPlusOne(host, e.suffix)
+	}
+	if hostCacheSize.Load() < hostCacheMax {
+		if _, loaded := hostCache.LoadOrStore(host, e); !loaded {
+			hostCacheSize.Add(1)
+		}
+	}
+	return e
+}
+
 // PublicSuffix returns the public suffix of host and whether any rule from
 // the embedded list matched (false means the implicit "*" fallback of the
 // PSL algorithm was used, i.e. the last label alone is the suffix).
 func PublicSuffix(host string) (suffix string, listed bool) {
 	host = normalize(host)
-	if host == "" || net.ParseIP(host) != nil {
+	if host == "" {
 		return host, false
 	}
+	e := lookupHost(host)
+	return e.suffix, e.listed
+}
+
+// computePublicSuffix is the uncached suffix computation; host is already
+// normalized, non-empty, and not an IP literal.
+func computePublicSuffix(host string) (suffix string, listed bool) {
 	labels := strings.Split(host, ".")
 	n := len(labels)
 	rev := make([]string, n)
@@ -156,10 +245,13 @@ func ETLDPlusOne(host string) (string, error) {
 	if host == "" {
 		return "", ErrEmptyHost
 	}
-	if net.ParseIP(host) != nil {
-		return "", ErrIPAddress
-	}
-	suffix, _ := PublicSuffix(host)
+	e := lookupHost(host)
+	return e.domain, e.err
+}
+
+// computeETLDPlusOne derives the registrable domain from an already
+// computed suffix; host is normalized, non-empty, and not an IP literal.
+func computeETLDPlusOne(host, suffix string) (string, error) {
 	if host == suffix {
 		return "", ErrIsSuffix
 	}

@@ -59,12 +59,75 @@ func (o Origin) RegistrableDomain() string {
 
 // Hostname extracts the lower-cased host (without port) from a URL string,
 // returning "" if the URL does not parse or has no host.
+//
+// The common "scheme://host[:port]/..." shape is handled with a single
+// scan and no allocation (strings.ToLower returns its input unchanged for
+// already-lowercase hosts, which is every host the synthetic web serves);
+// anything unusual falls back to net/url.
 func Hostname(rawURL string) string {
+	if h, ok := fastHostname(rawURL); ok {
+		return strings.ToLower(h)
+	}
 	u, err := url.Parse(rawURL)
 	if err != nil {
 		return ""
 	}
 	return strings.ToLower(u.Hostname())
+}
+
+// fastHostname slices the host out of a plain absolute URL. ok is false
+// for any shape with userinfo, IPv6 literals, escapes, a non-numeric
+// port, characters url.Parse would reject, or no "//" authority — those
+// take the slow path, so the fast path never reports a host for a URL
+// the slow path would call unparsable.
+func fastHostname(rawURL string) (string, bool) {
+	i := strings.Index(rawURL, "://")
+	if i <= 0 {
+		return "", false
+	}
+	for j := 0; j < i; j++ { // scheme must be [a-zA-Z][a-zA-Z0-9+.-]*
+		c := rawURL[j]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z':
+		case j > 0 && ('0' <= c && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return "", false
+		}
+	}
+	rest := rawURL[i+3:]
+	end := len(rest)
+	for j := 0; j < len(rest); j++ {
+		if c := rest[j]; c == '/' || c == '?' || c == '#' {
+			end = j
+			break
+		}
+	}
+	host := rest[:end]
+	if host == "" {
+		return "", false
+	}
+	if k := strings.IndexByte(host, ':'); k >= 0 {
+		port := host[k+1:]
+		host = host[:k]
+		if host == "" {
+			return "", false
+		}
+		for i := 0; i < len(port); i++ { // url.Parse rejects non-numeric ports
+			if port[i] < '0' || port[i] > '9' {
+				return "", false
+			}
+		}
+	}
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9':
+		case c == '.' || c == '-' || c == '_':
+		default:
+			return "", false // userinfo, brackets, escapes, spaces, …
+		}
+	}
+	return host, true
 }
 
 // RegistrableDomain returns the eTLD+1 of the host of a URL string, or ""
@@ -137,12 +200,29 @@ func WithParams(base string, params map[string]string) string {
 	if err != nil {
 		return base
 	}
-	q := u.Query()
 	keys := make([]string, 0, len(params))
 	for k := range params {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	if u.RawQuery == "" {
+		// Fast path for the common beacon shape (no pre-existing query):
+		// build the encoded query directly. url.Values.Encode emits
+		// sorted keys with QueryEscape applied to both sides — exactly
+		// this loop, minus the Values map and its per-key slices.
+		var b strings.Builder
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(params[k]))
+		}
+		u.RawQuery = b.String()
+		return u.String()
+	}
+	q := u.Query()
 	for _, k := range keys {
 		q.Set(k, params[k])
 	}
@@ -157,9 +237,16 @@ func Resolve(base, ref string) string {
 	if err != nil {
 		return ref
 	}
+	return ResolveRef(b, ref)
+}
+
+// ResolveRef is Resolve against an already parsed base. Pages resolve
+// dozens of references against the same base URL; parsing the base once
+// per page removes the dominant allocation of the old string-only path.
+func ResolveRef(base *url.URL, ref string) string {
 	r, err := url.Parse(ref)
 	if err != nil {
 		return ref
 	}
-	return b.ResolveReference(r).String()
+	return base.ResolveReference(r).String()
 }

@@ -12,17 +12,19 @@ type MiddlewareFactory = func() CookieMiddleware
 
 // config is the resolved option set of a Pipeline.
 type config struct {
-	sites       int
-	seed        uint64
-	workers     int
-	interact    bool
-	guard       *Policy
-	middleware  []MiddlewareFactory
-	progress    func(done, total int)
-	noArtifacts bool
-	faults      *FaultConfig
-	retry       RetryPolicy
-	visitBudget float64
+	sites         int
+	seed          uint64
+	workers       int
+	interact      bool
+	guard         *Policy
+	middleware    []MiddlewareFactory
+	progress      func(done, total int)
+	progressStats func(ProgressStats)
+	noArtifacts   bool
+	noPooling     bool
+	faults        *FaultConfig
+	retry         RetryPolicy
+	visitBudget   float64
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -104,6 +106,30 @@ func WithRetryPolicy(rp RetryPolicy) Option {
 // failure class. Zero (the default) disables the deadline.
 func WithVisitBudget(ms float64) Option {
 	return func(c *config) { c.visitBudget = ms }
+}
+
+// WithProgressStats registers a callback invoked with live crawl
+// counters after every finished visit: done/total progress, the fabric's
+// request and injected-fault totals, artifact-cache hit/miss counters,
+// and object-pool reuse counters. It is the observability companion of
+// WithProgress for long crawls — cmd/crawl -v prints these lines.
+// Invocations are serialized; a slow callback backpressures the crawl.
+func WithProgressStats(fn func(ProgressStats)) Option {
+	return func(c *config) { c.progressStats = fn }
+}
+
+// WithPooling enables (the default) or disables per-visit object
+// pooling: pages, DOM arenas, SiteScript interpreters, and cached
+// network exchanges are recycled across visits behind an explicit
+// release lifecycle owned by the crawl workers. Pooling is semantically
+// invisible — pooled and unpooled runs with the same seed emit
+// byte-identical per-site records, under faults and at any worker count
+// (enforced by equivalence tests) — and exists to take allocation and GC
+// pressure out of the visit hot path. Disable it to reproduce the
+// unpooled baseline or when embedding the pipeline next to code that
+// must not share pooled state.
+func WithPooling(on bool) Option {
+	return func(c *config) { c.noPooling = !on }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's

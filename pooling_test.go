@@ -1,0 +1,93 @@
+package cookieguard
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// pipelineRecords crawls the pipeline and returns site -> encoded log.
+func pipelineRecords(t *testing.T, opts ...Option) map[string]string {
+	t.Helper()
+	p := New(opts...)
+	logs, err := p.Crawl(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(logs))
+	for _, l := range logs {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[l.Site] = string(b)
+	}
+	return out
+}
+
+// TestWithPoolingEquivalence is the pipeline-level determinism contract
+// of PR 4: WithPooling(false) and the pooled default emit byte-identical
+// per-site records — clean and under faults with retries, across worker
+// counts.
+func TestWithPoolingEquivalence(t *testing.T) {
+	base := []Option{WithSites(40), WithInteract(true), WithSeed(3)}
+	ref := pipelineRecords(t, append([]Option{WithWorkers(2), WithPooling(false)}, base...)...)
+	for _, workers := range []int{1, 8} {
+		got := pipelineRecords(t, append([]Option{WithWorkers(workers)}, base...)...)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d sites != %d", workers, len(got), len(ref))
+		}
+		for site, want := range ref {
+			if got[site] != want {
+				t.Fatalf("workers=%d: pooled pipeline record for %s differs", workers, site)
+			}
+		}
+	}
+
+	faulted := []Option{
+		WithSites(40), WithInteract(true), WithSeed(3),
+		WithFaults(UniformFaults(0.12, 3)), WithRetryPolicy(DefaultRetryPolicy()),
+	}
+	fref := pipelineRecords(t, append([]Option{WithWorkers(4), WithPooling(false)}, faulted...)...)
+	fgot := pipelineRecords(t, append([]Option{WithWorkers(4)}, faulted...)...)
+	for site, want := range fref {
+		if fgot[site] != want {
+			t.Fatalf("faulted pooled pipeline record for %s differs", site)
+		}
+	}
+}
+
+// TestProgressStatsCallback: the live-counter callback fires serialized
+// with monotone progress and carries fabric/cache/pool counters.
+func TestProgressStatsCallback(t *testing.T) {
+	var last ProgressStats
+	var calls int
+	p := New(
+		WithSites(20), WithWorkers(4), WithInteract(true),
+		WithProgressStats(func(ps ProgressStats) {
+			calls++
+			if ps.Done < last.Done || ps.Done > ps.Total {
+				t.Errorf("non-monotone progress: %+v after %+v", ps, last)
+			}
+			last = ps
+		}),
+	)
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 || last.Done != 20 || last.Total != 20 {
+		t.Fatalf("progress stats: calls=%d last=%+v", calls, last)
+	}
+	if last.Requests == 0 {
+		t.Fatal("fabric request counter missing from progress stats")
+	}
+	if last.Cache.Lookups() == 0 {
+		t.Fatal("cache stats missing from progress stats")
+	}
+	if last.Pool.PageAcquired == 0 {
+		t.Fatal("pool stats missing from progress stats")
+	}
+	if p.PoolStats().ReuseRate() <= 0 {
+		t.Fatal("pooled crawl reported no reuse")
+	}
+}
