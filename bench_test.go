@@ -39,6 +39,23 @@ func crawlOnce(b *testing.B, guarded bool) (*Pipeline, []instrument.VisitLog) {
 	return p, logs
 }
 
+// BenchmarkAnalyzerObserve isolates the incremental analysis fold — the
+// per-log cost Run pays while streaming — so the identifier-encoding
+// memo's win (md5/sha1/base64 of repeated identifiers computed once per
+// run instead of once per observation) is attributable.
+func BenchmarkAnalyzerObserve(b *testing.B) {
+	study, logs := crawlOnce(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := study.NewAnalyzer()
+		for _, v := range logs {
+			an.Observe(v)
+		}
+		an.Finalize()
+	}
+}
+
 func BenchmarkSummaryStats(b *testing.B) {
 	study, logs := crawlOnce(b, false)
 	b.ResetTimer()

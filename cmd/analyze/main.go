@@ -62,6 +62,12 @@ func main() {
 		s.UniquePairsDocument, s.UniquePairsCookieStore)
 	report.Failures(out, res.Failures, res.FailureTable())
 	fmt.Fprintln(out)
+	if rows := res.VantageTable(); len(rows) > 1 {
+		// Multi-vantage logs: compare retention and latency tails per
+		// region (single-vantage logs skip the table — nothing to compare).
+		report.Vantages(out, rows)
+		fmt.Fprintln(out)
+	}
 	report.Table1(out, res.Table1())
 	fmt.Fprintln(out)
 	report.Table2(out, res.Table2(20))

@@ -11,12 +11,23 @@
 // Usage:
 //
 //	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
-//	      [-retries N] [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
+//	      [-retries N] [-second-pass] [-breaker] [-vantages eu-west,us-east]
+//	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
 //
 // -v prints live counters (progress, fabric faults, cache and pool hit
 // rates) to stderr every 100 visits. -pooling=false disables per-visit
 // object pooling; pooled and unpooled crawls with the same -seed emit
 // byte-identical records.
+//
+// Scheduling: -second-pass re-crawls visits that failed on transient
+// classes once the primary frontier drains (only the re-crawl's record
+// is emitted, marked with "attempt":2 on its requests); -breaker sheds
+// fetches and visits to hosts whose circuit opened ("circuit-open"
+// failure class) instead of burning the retry budget; -vantages crawls
+// every site once per named region — region-derived latency and, with
+// -faults, region-seeded fault schedules — tagging each record with its
+// vantage. All three keep per-site records byte-identical across runs
+// and worker counts for a fixed -seed.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cookieguard"
 	"cookieguard/internal/trancolist"
@@ -44,6 +56,12 @@ func main() {
 	faults := flag.Float64("faults", 0,
 		"overall per-attempt fault rate injected by the fabric (0 disables; deterministic for a fixed -seed)")
 	retries := flag.Int("retries", 1, "attempt budget per fetch under faults (1 = no retries)")
+	secondPass := flag.Bool("second-pass", false,
+		"re-crawl visits that failed on transient classes once the primary frontier drains (the failure-set second pass)")
+	breaker := flag.Bool("breaker", false,
+		"per-host circuit breaking: shed fetches/visits to hosts that keep failing instead of burning the retry budget")
+	vantages := flag.String("vantages", "",
+		"comma-separated vantage-point names; crawls every site once per region (region-derived latency, region-seeded -faults), tagging records with their vantage")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	verbose := flag.Bool("v", false,
@@ -84,6 +102,21 @@ func main() {
 		rp.MaxAttempts = *retries
 		opts = append(opts, cookieguard.WithRetryPolicy(rp))
 	}
+	if *secondPass {
+		opts = append(opts, cookieguard.WithSecondPass(true))
+	}
+	if *breaker {
+		opts = append(opts, cookieguard.WithBreaker(cookieguard.Breaker{Enabled: true}))
+	}
+	if *vantages != "" {
+		var vs []cookieguard.Vantage
+		for _, name := range strings.Split(*vantages, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				vs = append(vs, cookieguard.RegionVantage(name, *faults, *seed))
+			}
+		}
+		opts = append(opts, cookieguard.WithVantages(vs...))
+	}
 	p := cookieguard.New(opts...)
 
 	if *listPath != "" {
@@ -119,15 +152,15 @@ func main() {
 		if *sortOut {
 			b, err := json.Marshal(l)
 			fatal(err)
-			buffered = append(buffered, rec{site: l.Site, line: string(b)})
+			buffered = append(buffered, rec{site: l.Site + "\x00" + l.Vantage, line: string(b)})
 			continue
 		}
 		fatal(enc.Encode(l))
 	}
 	fatal(<-errs)
 	if *sortOut {
-		// Sites are unique per crawl, so site order is total and the
-		// emitted file is byte-stable for a fixed seed.
+		// (site, vantage) is unique per crawl, so the sort order is
+		// total and the emitted file is byte-stable for a fixed seed.
 		sort.Slice(buffered, func(i, j int) bool { return buffered[i].site < buffered[j].site })
 		for _, r := range buffered {
 			w.WriteString(r.line)

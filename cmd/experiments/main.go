@@ -7,7 +7,18 @@
 //	experiments [-sites N] [-workers N] [-seed S] [-perf N] [-breakage N]
 //	            [-artifact-cache=BOOL] [-pooling=BOOL] [-bench-json FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE]
-//	            [-faults RATE] [-retries N]
+//	            [-faults RATE] [-retries N] [-second-pass] [-breaker]
+//	            [-vantages eu-west,us-east]
+//
+// Scheduling and vantage points: -second-pass re-crawls the transient
+// failure set once the primary frontier drains, -breaker enables
+// per-host circuit breaking (sheds recorded as "circuit-open"), and
+// -vantages crawls every site once per named region over the same
+// frozen web and artifact cache, printing the per-vantage retention and
+// load-event latency-tail table (the Figure 6 comparison across
+// regions). -bench-json records per-vantage sites/s and the scheduler's
+// shed/probe counters alongside the usual throughput figures
+// (BENCH_5.json by convention for multi-vantage faulted runs).
 //
 // Profiling and the perf harness: -cpuprofile/-memprofile write pprof
 // profiles (the memory profile is taken right after the measurement
@@ -49,6 +60,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"cookieguard"
@@ -72,6 +84,12 @@ func main() {
 		"overall per-attempt fault rate injected by the fabric (0 disables; 0.1 = 10% of attempts fault, spread across 5xx/reset/timeout/truncation/tail-latency plus flapping hosts)")
 	retries := flag.Int("retries", 1,
 		"attempt budget per fetch under faults (1 = no retries); retried with jittered backoff on the virtual clock")
+	secondPass := flag.Bool("second-pass", false,
+		"re-crawl visits that failed on transient classes once the primary frontier drains (only the re-crawl's record is kept)")
+	breaker := flag.Bool("breaker", false,
+		"per-host circuit breaking: shed fetches/visits to hosts that keep failing ('circuit-open') instead of burning the retry budget")
+	vantages := flag.String("vantages", "",
+		"comma-separated vantage-point names; crawls every site once per region and prints the per-vantage latency-tail table")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters, cached exchanges) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	crawlOnly := flag.Bool("crawl-only", false,
@@ -93,24 +111,53 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*sites, *workers, *seed, *perfN, *breakN, *artifactCache, *pooling, *crawlOnly, *benchJSON, *memProfile, *faults, *retries); err != nil {
+	cfg := runConfig{
+		sites: *sites, workers: *workers, seed: *seed,
+		perfN: *perfN, breakN: *breakN,
+		artifactCache: *artifactCache, pooling: *pooling, crawlOnly: *crawlOnly,
+		benchJSON: *benchJSON, memProfile: *memProfile,
+		faultRate: *faults, retries: *retries,
+		secondPass: *secondPass, breaker: *breaker,
+	}
+	if *vantages != "" {
+		for _, name := range strings.Split(*vantages, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.vantages = append(cfg.vantages, cookieguard.RegionVantage(name, *faults, *seed))
+			}
+		}
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// runConfig bundles the flag set run consumes.
+type runConfig struct {
+	sites, workers         int
+	seed                   uint64
+	perfN, breakN          int
+	artifactCache, pooling bool
+	crawlOnly              bool
+	benchJSON, memProfile  string
+	faultRate              float64
+	retries                int
+	secondPass, breaker    bool
+	vantages               []cookieguard.Vantage
+}
+
 // benchSnapshot is the schema of the -bench-json throughput record.
 type benchSnapshot struct {
-	Benchmark     string                 `json:"benchmark"`
-	Sites         int                    `json:"sites"`
-	Workers       int                    `json:"workers"`
-	Seed          uint64                 `json:"seed"`
-	ArtifactCache bool                   `json:"artifact_cache"`
-	Pooling       bool                   `json:"pooling"`
-	FaultRate     float64                `json:"fault_rate,omitempty"`
-	RetryAttempts int                    `json:"retry_attempts,omitempty"`
-	CrawlSeconds  float64                `json:"crawl_seconds"`
-	SitesPerSec   float64                `json:"sites_per_sec"`
+	Benchmark     string  `json:"benchmark"`
+	Sites         int     `json:"sites"`
+	Workers       int     `json:"workers"`
+	Seed          uint64  `json:"seed"`
+	ArtifactCache bool    `json:"artifact_cache"`
+	Pooling       bool    `json:"pooling"`
+	FaultRate     float64 `json:"fault_rate,omitempty"`
+	RetryAttempts int     `json:"retry_attempts,omitempty"`
+	CrawlSeconds  float64 `json:"crawl_seconds"`
+	SitesPerSec   float64 `json:"sites_per_sec"`
 	// AllocsPerSite and BytesPerSite are runtime.MemStats deltas over the
 	// measurement crawl divided by the site count; the GC fields are the
 	// collector's cycle count and total pause over the same window. They
@@ -122,12 +169,32 @@ type benchSnapshot struct {
 	GCPauseMs     float64                `json:"gc_pause_ms"`
 	CacheStats    cookieguard.CacheStats `json:"cache_stats"`
 	PoolStats     cookieguard.PoolStats  `json:"pool_stats"`
+	// Sched is the scheduler-counter snapshot: visit virtual time,
+	// circuit-breaker shed/probe activity, and second-pass volume (all
+	// zero without -breaker/-second-pass).
+	Sched cookieguard.SchedSnapshot `json:"sched"`
+	// Vantages carries per-vantage throughput and latency-tail rows for
+	// multi-vantage runs (absent otherwise).
+	Vantages []vantageBench `json:"vantages,omitempty"`
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
 }
 
-func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pooling, crawlOnly bool, benchJSON, memProfile string, faultRate float64, retries int) error {
+// vantageBench is one vantage point's row in the bench snapshot.
+type vantageBench struct {
+	Name         string  `json:"name"`
+	CrawlSeconds float64 `json:"crawl_seconds"`
+	SitesPerSec  float64 `json:"sites_per_sec"`
+	cookieguard.VantageStats
+}
+
+func run(cfg runConfig) error {
+	sites, workers, seed := cfg.sites, cfg.workers, cfg.seed
+	perfN, breakN := cfg.perfN, cfg.breakN
+	artifactCache, pooling, crawlOnly := cfg.artifactCache, cfg.pooling, cfg.crawlOnly
+	benchJSON, memProfile := cfg.benchJSON, cfg.memProfile
+	faultRate, retries := cfg.faultRate, cfg.retries
 	out := os.Stdout
 	fmt.Fprintf(out, "=== CookieGuard reproduction: %d sites ===\n\n", sites)
 
@@ -139,6 +206,15 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pool
 		rp := cookieguard.DefaultRetryPolicy()
 		rp.MaxAttempts = retries
 		resilience = append(resilience, cookieguard.WithRetryPolicy(rp))
+	}
+	if cfg.secondPass {
+		resilience = append(resilience, cookieguard.WithSecondPass(true))
+	}
+	if cfg.breaker {
+		resilience = append(resilience, cookieguard.WithBreaker(cookieguard.Breaker{Enabled: true}))
+	}
+	if len(cfg.vantages) > 0 {
+		resilience = append(resilience, cookieguard.WithVantages(cfg.vantages...))
 	}
 	study := cookieguard.New(append([]cookieguard.Option{
 		cookieguard.WithSites(sites),
@@ -155,9 +231,33 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pool
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	crawlStart := time.Now()
-	res, err := study.Run(ctx)
-	if err != nil {
-		return err
+	// Named-vantage runs crawl vantage by vantage so each region's
+	// throughput is separately attributable (even a single region, whose
+	// bench row would otherwise report zero seconds); everything folds
+	// into one analyzer, whose per-vantage rollup feeds the comparison
+	// table.
+	var res *cookieguard.Results
+	vantSecs := map[string]float64{}
+	if vs := study.Vantages(); len(cfg.vantages) > 0 {
+		an := study.NewAnalyzer()
+		for _, v := range vs {
+			vStart := time.Now()
+			logs, errs := study.StreamVantage(ctx, v)
+			for l := range logs {
+				an.Observe(l)
+			}
+			if err := <-errs; err != nil {
+				return err
+			}
+			vantSecs[v.Name] = time.Since(vStart).Seconds()
+		}
+		res = an.Finalize()
+	} else {
+		var err error
+		res, err = study.Run(ctx)
+		if err != nil {
+			return err
+		}
 	}
 	crawlSecs := time.Since(crawlStart).Seconds()
 	runtime.ReadMemStats(&msAfter)
@@ -166,11 +266,22 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pool
 		s.SitesTotal, s.SitesComplete)
 	cs := study.CacheStats()
 	fmt.Fprintf(out, "throughput %.1f sites/s; artifact cache: %d program hits / %d misses, %d dom hits, %d body hits\n\n",
-		float64(sites)/crawlSecs, cs.ProgramHits, cs.ProgramMisses, cs.DOMHits, cs.BodyHits)
+		float64(s.SitesTotal)/crawlSecs, cs.ProgramHits, cs.ProgramMisses, cs.DOMHits, cs.BodyHits)
 
 	if faultRate > 0 {
 		fmt.Fprintf(out, "--- failure taxonomy (fault rate %.1f%%, %d attempts/fetch) ---\n", 100*faultRate, retries)
 		report.Failures(out, res.Failures, res.FailureTable())
+		fmt.Fprintln(out)
+	}
+	if cfg.breaker || cfg.secondPass {
+		sc := study.SchedStats()
+		fmt.Fprintf(out, "scheduler: %d visits (%.0f virtual s), %d visit sheds, %d fetch sheds, %d circuits opened, %d probes, %d requeued, %d second-pass kept\n\n",
+			sc.Visits, float64(sc.VirtualMs)/1000, sc.ShedVisits, sc.ShedFetches,
+			sc.Opened, sc.Probes, sc.Requeued, sc.SecondPassKept)
+	}
+	if len(cfg.vantages) > 0 {
+		fmt.Fprintln(out, "--- per-vantage comparison (Figure 6 across regions) ---")
+		report.Vantages(out, res.VantageTable())
 		fmt.Fprintln(out)
 	}
 
@@ -208,7 +319,18 @@ func run(sites, workers int, seed uint64, perfN, breakN int, artifactCache, pool
 			GCPauseMs:     float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
 			CacheStats:    cs,
 			PoolStats:     study.PoolStats(),
+			Sched:         study.SchedStats(),
 			Failures:      res.Failures,
+		}
+		for _, row := range res.VantageTable() {
+			if row.Vantage == "" && len(cfg.vantages) == 0 {
+				continue // single implicit vantage: no per-vantage rows
+			}
+			vb := vantageBench{Name: row.Vantage, CrawlSeconds: vantSecs[row.Vantage], VantageStats: row.VantageStats}
+			if vb.CrawlSeconds > 0 {
+				vb.SitesPerSec = float64(row.Visits) / vb.CrawlSeconds
+			}
+			snap.Vantages = append(snap.Vantages, vb)
 		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {

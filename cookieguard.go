@@ -79,6 +79,21 @@ type (
 	// RetryPolicy bounds transient-fault retries per fetch
 	// (WithRetryPolicy).
 	RetryPolicy = browser.RetryPolicy
+	// Vantage is a named crawl origin: a region with its own latency
+	// model and fault rates (WithVantages).
+	Vantage = netsim.Vantage
+	// Frontier is the crawl scheduler's queue abstraction
+	// (WithScheduler).
+	Frontier = crawler.Frontier
+	// Breaker configures per-host circuit breaking (WithBreaker).
+	Breaker = crawler.Breaker
+	// SchedSnapshot is a plain-value copy of the scheduler counters
+	// (Pipeline.SchedStats): visit virtual time, circuit-breaker
+	// sheds/probes, second-pass volume.
+	SchedSnapshot = crawler.SchedSnapshot
+	// VantageStats is one vantage point's retention and latency-tail
+	// rollup (Results.Vantages).
+	VantageStats = analysis.VantageStats
 	// FailureStats is the analysis rollup of the crawl failure taxonomy
 	// (Results.Failures).
 	FailureStats = analysis.FailureStats
@@ -107,6 +122,10 @@ type Pipeline struct {
 	// bodies are shared across every crawl, worker, and evaluation this
 	// pipeline runs. Nil when disabled via WithArtifactCache(false).
 	artifacts *artifact.Cache
+
+	// sched accumulates scheduler counters across every crawl this
+	// pipeline runs (all vantages share it, like the artifact cache).
+	sched *crawler.SchedStats
 }
 
 // New generates a synthetic web and returns the pipeline over it,
@@ -129,7 +148,7 @@ func New(opts ...Option) *Pipeline {
 	}
 	gen.Flakiness = cfg.faults
 	w := webgen.Build(gen)
-	p := &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet()}
+	p := &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet(), sched: &crawler.SchedStats{}}
 	if !cfg.noArtifacts {
 		p.artifacts = artifact.New()
 		// The generated web serves static bytes per URL, so the fabric
@@ -167,9 +186,10 @@ func (p *Pipeline) SiteList() []trancolist.Entry {
 	return entries
 }
 
-// crawlOptions assembles the crawler configuration, composing the guard
-// (innermost, enforcing) with registered middleware factories.
-func (p *Pipeline) crawlOptions() crawler.Options {
+// crawlOptions assembles the crawler configuration for one vantage
+// point, composing the guard (innermost, enforcing) with registered
+// middleware factories.
+func (p *Pipeline) crawlOptions(v Vantage) crawler.Options {
 	opts := crawler.Options{
 		Internet:             p.Net,
 		Workers:              p.cfg.workers,
@@ -182,6 +202,13 @@ func (p *Pipeline) crawlOptions() crawler.Options {
 		Artifacts:            p.artifacts,
 		DisableArtifactCache: p.cfg.noArtifacts,
 		DisablePooling:       p.cfg.noPooling,
+		Scheduler:            p.cfg.scheduler,
+		Breaker:              p.cfg.breaker,
+		SecondPass:           crawler.SecondPass{Enabled: p.cfg.secondPass},
+		Stats:                p.sched,
+	}
+	if !v.Default() {
+		opts.Vantage = &v
 	}
 	pol := p.cfg.guard
 	factories := p.cfg.middleware
@@ -207,26 +234,87 @@ func (p *Pipeline) crawlOptions() crawler.Options {
 	return opts
 }
 
+// Vantages returns the pipeline's configured vantage points; with none
+// configured, the single implicit default vantage.
+func (p *Pipeline) Vantages() []Vantage {
+	if len(p.cfg.vantages) == 0 {
+		return []Vantage{{}}
+	}
+	return append([]Vantage(nil), p.cfg.vantages...)
+}
+
+// SchedStats returns a snapshot of the scheduler counters accumulated
+// over every crawl this pipeline has run: visit virtual time,
+// circuit-breaker shed/probe activity, and second-pass volume. All
+// zero unless WithBreaker/WithSecondPass (or a breaker-enabled crawl)
+// produced any.
+func (p *Pipeline) SchedStats() SchedSnapshot { return p.sched.Snapshot() }
+
+// StreamVantage runs the measurement crawl from one vantage point and
+// delivers its visit logs incrementally (each tagged v.Name). Multiple
+// vantage streams over the same pipeline share the web, the fabric, and
+// the artifact cache.
+func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLog, <-chan error) {
+	return crawler.Stream(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions(v))
+}
+
 // Stream runs the instrumented measurement crawl (§4) and delivers
 // visit logs incrementally, in completion order, as each visit finishes.
 // The log channel is bounded by the worker count, so a slow consumer
 // backpressures the crawl; cancelling the context stops the crawl
 // mid-stream. Both channels close when the crawl ends; the error channel
 // yields at most one error.
+//
+// With WithVantages configured, the stream visits every site once per
+// vantage point, vantage by vantage in configuration order — one
+// frozen web, one artifact cache, per-vantage record streams (each log
+// tagged with its vantage name). Progress callbacks restart per
+// vantage: done counts that vantage's visits out of the site total.
 func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
-	return crawler.Stream(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions())
+	vs := p.Vantages()
+	if len(vs) == 1 {
+		return p.StreamVantage(ctx, vs[0])
+	}
+	out := make(chan VisitLog)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		defer close(errc)
+		for _, v := range vs {
+			logs, errs := p.StreamVantage(ctx, v)
+			for l := range logs {
+				select {
+				case out <- l:
+				case <-ctx.Done():
+					for range logs {
+					}
+				}
+			}
+			if err := <-errs; err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	return out, errc
 }
 
 // Crawl runs the measurement crawl over every site and materializes all
-// logs, in ranked-site order. It is a batch wrapper over Stream —
-// memory scales with the site count, so prefer Run or Stream for
-// large workloads.
+// logs, in ranked-site order (with WithVantages, one ranked-order block
+// per vantage, concatenated in configuration order). It is a batch
+// wrapper over the streaming core — memory scales with the site count
+// times the vantage count, so prefer Run or Stream for large workloads.
 func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
-	res, err := crawler.Crawl(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions())
-	if err != nil {
-		return nil, err
+	sites := crawler.SiteURLs(trancolist.Domains(p.SiteList()))
+	var all []VisitLog
+	for _, v := range p.Vantages() {
+		res, err := crawler.Crawl(ctx, sites, p.crawlOptions(v))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res.Logs...)
 	}
-	return res.Logs, nil
+	return all, nil
 }
 
 // Run executes the full pipeline — crawl (§4) plus analysis (§4.4) — in
@@ -311,6 +399,26 @@ func UniformFaults(rate float64, seed uint64) FaultConfig {
 // DefaultRetryPolicy is three attempts with jittered exponential backoff
 // on the virtual clock (see browser.DefaultRetryPolicy).
 func DefaultRetryPolicy() RetryPolicy { return browser.DefaultRetryPolicy() }
+
+// NewFIFOFrontier is the default scheduler frontier: visits pop in
+// input order, second-pass requeues afterwards (see WithScheduler).
+func NewFIFOFrontier() Frontier { return crawler.NewFIFOFrontier() }
+
+// NewShuffleFrontier pops the visit set in a seeded random permutation
+// (see WithScheduler); requeues still pop after the primary set drains.
+func NewShuffleFrontier(seed uint64) Frontier { return crawler.NewShuffleFrontier(seed) }
+
+// RegionVantage is the convenience constructor for WithVantages: a
+// named vantage with the region's derived latency model and, when rate
+// is non-zero, a region-seeded uniform fault mix — so two regions crawl
+// the same web at different distances with independent fault schedules.
+func RegionVantage(name string, rate float64, seed uint64) Vantage {
+	v := Vantage{Name: name}
+	if rate > 0 {
+		v.Faults = netsim.UniformFaults(rate, netsim.RegionSeed(seed, name))
+	}
+	return v
+}
 
 // WhitelistGuardPolicy exposes the whitelist-augmented policy.
 func WhitelistGuardPolicy(m *EntityMap) Policy { return guard.WhitelistPolicy(m) }

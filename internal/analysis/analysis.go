@@ -14,6 +14,7 @@ import (
 
 	"cookieguard/internal/entity"
 	"cookieguard/internal/instrument"
+	"cookieguard/internal/stats"
 	"cookieguard/internal/urlutil"
 )
 
@@ -77,6 +78,21 @@ type runState struct {
 	tpScriptTotal, tpCookieTotal, fpCookieTotal int
 	trackerOcc, tpOcc                           int
 	indirectTrackers                            int
+
+	// vant accumulates per-vantage visit/failure counts and load-event
+	// latency samples; the key "" is the implicit default vantage.
+	vant map[string]*vantageAgg
+
+	// encMemo memoizes EncodedForms per identifier: crawls repeat the
+	// same identifiers across reads, sites, and vantages, and the
+	// md5/sha1/base64 derivations were a measurable allocation cost.
+	encMemo map[string][]string
+}
+
+// vantageAgg is the in-progress per-vantage rollup.
+type vantageAgg struct {
+	visits, complete, failed int
+	loadMs                   []float64
 }
 
 // New returns an Analyzer with the default entity map.
@@ -97,6 +113,30 @@ type Results struct {
 	// Failures is the crawl-failure rollup across every observed log —
 	// including incomplete ones, which is where most failures live.
 	Failures FailureStats
+
+	// Vantages is the per-vantage rollup: visit/failure counts and the
+	// load-event latency tail, keyed by VisitLog.Vantage ("" is the
+	// implicit default vantage). A multi-vantage run feeds every
+	// vantage's stream through one analyzer and compares the tails here
+	// (VantageTable — the Figure 6 comparison across regions).
+	Vantages map[string]VantageStats
+}
+
+// VantageStats summarizes one vantage point's crawl: how many visits it
+// performed, kept, and lost, and the latency tail of its load-event
+// milestones over complete visits. Quantiles are order-independent, so
+// equal log multisets produce equal VantageStats at any worker count.
+type VantageStats struct {
+	Visits   int `json:"visits"`
+	Complete int `json:"complete"`
+	Failed   int `json:"failed"` // fatal landing failures (incl. circuit-open sheds)
+
+	// Load-event latency tail over complete visits, in virtual ms.
+	LoadMeanMs float64 `json:"load_mean_ms"`
+	LoadP50Ms  float64 `json:"load_p50_ms"`
+	LoadP90Ms  float64 `json:"load_p90_ms"`
+	LoadP99Ms  float64 `json:"load_p99_ms"`
+	LoadMaxMs  float64 `json:"load_max_ms"`
 }
 
 // FailureStats aggregates the failure taxonomy of a crawl: how many
@@ -222,9 +262,20 @@ func (a *Analyzer) Observe(v instrument.VisitLog) {
 	// The failure rollup sees every log — incomplete visits are exactly
 	// the ones the failure table is about — before the retention skip.
 	st.res.Failures.observe(&v)
+	va := st.vant[v.Vantage]
+	if va == nil {
+		va = &vantageAgg{}
+		st.vant[v.Vantage] = va
+	}
+	va.visits++
+	if !v.OK {
+		va.failed++
+	}
 	if !v.Complete() {
 		return
 	}
+	va.complete++
+	va.loadMs = append(va.loadMs, v.Timing.LoadEvent)
 	st.res.Summary.SitesComplete++
 	a.analyzeSite(&v, st)
 }
@@ -252,6 +303,18 @@ func (a *Analyzer) Finalize() *Results {
 	}
 	s.UniquePairsDocument = res.PairsByAPI[instrument.APIDocument] + res.PairsByAPI[instrument.APIHTTP]
 	s.UniquePairsCookieStore = res.PairsByAPI[instrument.APICookieStore]
+	for name, va := range st.vant {
+		vs := VantageStats{Visits: va.visits, Complete: va.complete, Failed: va.failed}
+		if len(va.loadMs) > 0 {
+			sort.Float64s(va.loadMs)
+			vs.LoadMeanMs = stats.Mean(va.loadMs)
+			vs.LoadP50Ms = stats.Quantile(va.loadMs, 0.50)
+			vs.LoadP90Ms = stats.Quantile(va.loadMs, 0.90)
+			vs.LoadP99Ms = stats.Quantile(va.loadMs, 0.99)
+			vs.LoadMaxMs = va.loadMs[len(va.loadMs)-1]
+		}
+		res.Vantages[name] = vs
+	}
 	return res
 }
 
@@ -265,15 +328,20 @@ func (a *Analyzer) state() *runState {
 		if a.Entities == nil {
 			a.Entities = entity.Default()
 		}
-		a.st = &runState{res: &Results{
-			Pairs:       map[CookieKey]*PairInfo{},
-			PairsByAPI:  map[instrument.API]int{},
-			SiteActions: map[string]map[actionAPIKey]bool{},
-			Failures: FailureStats{
-				VisitFailures:   map[string]int{},
-				RequestFailures: map[string]int{},
+		a.st = &runState{
+			res: &Results{
+				Pairs:       map[CookieKey]*PairInfo{},
+				PairsByAPI:  map[instrument.API]int{},
+				SiteActions: map[string]map[actionAPIKey]bool{},
+				Vantages:    map[string]VantageStats{},
+				Failures: FailureStats{
+					VisitFailures:   map[string]int{},
+					RequestFailures: map[string]int{},
+				},
 			},
-		}}
+			vant:    map[string]*vantageAgg{},
+			encMemo: map[string][]string{},
+		}
 	}
 	return a.st
 }
@@ -439,7 +507,7 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, st *runState) {
 	}
 
 	// --- Exfiltration (§4.4) ---
-	a.detectExfiltration(v, site, state, res, siteActs)
+	a.detectExfiltration(v, site, state, st, siteActs)
 
 	// --- Cross-domain DOM modification (§8 pilot) ---
 	for _, m := range v.Mutations {
@@ -467,7 +535,8 @@ func (a *Analyzer) actorDomain(ev instrument.CookieEvent, site string) string {
 // derive raw/Base64/MD5/SHA1 forms, and match them against the query
 // strings of outbound requests initiated by main-frame scripts.
 func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
-	state map[string]*cookieState, res *Results, siteActs map[actionAPIKey]bool) {
+	state map[string]*cookieState, st *runState, siteActs map[actionAPIKey]bool) {
+	res := st.res
 
 	// Tokens of the page URL are not identifiers: cookies often embed
 	// the page location (e.g. Marketo's _mch token), and every beacon
@@ -498,7 +567,7 @@ func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
 			if urlTokens[id] {
 				continue
 			}
-			forms = append(forms, EncodedForms(id)...)
+			forms = append(forms, a.encodedForms(st, id)...)
 		}
 		candidates = append(candidates, candidate{
 			key:   CookieKey{Name: name, Owner: cs.owner},
@@ -609,6 +678,26 @@ func ExtractIdentifiers(value string, minLen int) []string {
 		out = append(out, value[start:])
 	}
 	return out
+}
+
+// encMemoMax caps the per-run identifier-encoding memo; the distinct
+// identifier population of a crawl is far smaller (cookie values repeat
+// across reads, sites, and vantages), so the cap is purely defensive.
+const encMemoMax = 1 << 17
+
+// encodedForms is EncodedForms memoized per run: the same identifier is
+// encoded once per analysis run instead of once per observation. The
+// returned slice is shared and must not be mutated — callers only
+// append it into their own form lists.
+func (a *Analyzer) encodedForms(st *runState, id string) []string {
+	if f, ok := st.encMemo[id]; ok {
+		return f
+	}
+	f := EncodedForms(id)
+	if len(st.encMemo) < encMemoMax {
+		st.encMemo[id] = f
+	}
+	return f
 }
 
 // EncodedForms returns the matchable representations of an identifier:

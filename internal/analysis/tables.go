@@ -277,6 +277,30 @@ func (r *Results) FailureTable() []FailureRow {
 	return rows
 }
 
+// VantageRow is one row of the per-vantage comparison table: a vantage
+// point's retention and load-event latency tail (the Figure 6
+// comparison across regions).
+type VantageRow struct {
+	Vantage string
+	VantageStats
+}
+
+// VantageTable flattens the per-vantage rollup into rows sorted by
+// vantage name (the default vantage, keyed "", sorts first and renders
+// as "(default)").
+func (r *Results) VantageTable() []VantageRow {
+	names := make([]string, 0, len(r.Vantages))
+	for n := range r.Vantages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]VantageRow, 0, len(names))
+	for _, n := range names {
+		rows = append(rows, VantageRow{Vantage: n, VantageStats: r.Vantages[n]})
+	}
+	return rows
+}
+
 // SitePct returns the percentage of complete sites exhibiting an action
 // on document.cookie-visible cookies (Figure 5's bars).
 func (r *Results) SitePct(kind ActionKind) float64 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"cookieguard/internal/cookiejar"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/stats"
+	"cookieguard/internal/urlutil"
 	"cookieguard/internal/vclock"
 )
 
@@ -19,6 +21,12 @@ import (
 type Options struct {
 	// Internet is the network fabric to browse (required).
 	Internet *netsim.Internet
+	// Transport, when set, replaces the fabric as the browser's
+	// RoundTripper — typically Internet.From(vantage), so the same
+	// frozen web is fetched with a vantage point's latency and fault
+	// models. Nil (the default) browses the fabric directly, which is
+	// byte-identical to the implicit default vantage.
+	Transport http.RoundTripper
 	// Clock is the virtual time source; a fresh one is created if nil.
 	Clock *vclock.Clock
 	// CookieMiddleware wraps the direct cookie API, innermost first.
@@ -65,6 +73,21 @@ type Options struct {
 	// can exhaust the budget while its reported (parallel-model) load
 	// time stays below it; size budgets against sequential fetch cost.
 	VisitBudgetMs float64
+	// Gate, when set, vets every fetch before its first attempt: a host
+	// the gate rejects is shed with FailCircuitOpen — no attempts, no
+	// virtual time. The crawler's circuit breaker installs its per-round
+	// open-circuit snapshot here. Nil (the default) admits everything.
+	Gate FetchGate
+	// AttemptBase offsets the attempt numbers stamped on outbound
+	// requests (netsim.AttemptHeader): attempt n is stamped as
+	// AttemptBase+n, so a second crawl pass draws fresh per-attempt
+	// fault decisions instead of replaying the first pass's failures.
+	// Zero (the default) preserves historical stamping byte for byte.
+	AttemptBase int
+	// TrackHosts enables per-host fetch-outcome accounting for the
+	// crawler's circuit breaker (HostReport). Off by default — the
+	// accounting map costs a few allocations per visit.
+	TrackHosts bool
 	// Pooling recycles per-visit state — pages, DOM arenas, interpreters,
 	// the outbound request, cached network exchanges — through pools. It
 	// requires the explicit Release() lifecycle: the owner of the browser
@@ -89,6 +112,10 @@ type Browser struct {
 	retryRng *stats.Rand // backoff jitter; separate stream so retries
 	// never perturb the interaction/rand_id draws of the page itself
 	deadline time.Time // zero = no visit budget
+
+	// hostOutcomes accumulates per-host fetch accounting for the
+	// crawler's circuit breaker when Options.TrackHosts is set.
+	hostOutcomes map[string]*HostOutcome
 
 	// pages tracks every page this browser created (landing pages,
 	// navigations, frames) when pooling is on, for Release.
@@ -125,13 +152,20 @@ func New(opts Options) (*Browser, error) {
 	if opts.ParseCostPerKB <= 0 {
 		opts.ParseCostPerKB = 0.15
 	}
+	rt := http.RoundTripper(opts.Internet)
+	if opts.Transport != nil {
+		rt = opts.Transport
+	}
 	b := &Browser{
 		opts:     opts,
 		jar:      cookiejar.New(opts.Clock),
 		clock:    opts.Clock,
-		rt:       opts.Internet,
+		rt:       rt,
 		rng:      stats.NewRand(opts.Seed ^ 0xb5297a4d),
 		retryRng: stats.NewRand(opts.Seed ^ 0x27d4eb2f),
+	}
+	if opts.TrackHosts {
+		b.hostOutcomes = make(map[string]*HostOutcome, 16)
 	}
 	b.hdr = make(http.Header, 4)
 	b.req = http.Request{
@@ -201,10 +235,56 @@ func (b *Browser) fetch(url string) fetchResult {
 		res = b.fetchOnce(url, attempt)
 		res.retries = attempt - 1
 		if res.failure == FailNone || attempt >= maxAttempts || !retryable(res.failure, res.status) {
+			b.accountHost(url, res)
 			return res
 		}
 		b.clock.AdvanceMillis(b.opts.Retry.backoffMs(attempt, b.retryRng))
 	}
+}
+
+// accountHost folds a fetch's terminal outcome into the per-host
+// accounting the crawler's circuit breaker consumes (TrackHosts only).
+// A completed exchange of any status counts as contact — the host is
+// up; only transient network classes count against it. Shed fetches
+// (circuit already open) carry no new information and are skipped.
+func (b *Browser) accountHost(rawURL string, res fetchResult) {
+	if b.hostOutcomes == nil {
+		return
+	}
+	transient := res.failure.Transient()
+	ok := res.failure == FailNone || res.failure == FailHTTP
+	if !transient && !ok {
+		return
+	}
+	host := urlutil.Hostname(rawURL)
+	if host == "" {
+		return
+	}
+	o := b.hostOutcomes[host]
+	if o == nil {
+		o = &HostOutcome{Host: host}
+		b.hostOutcomes[host] = o
+	}
+	if transient {
+		o.Transient++
+	} else {
+		o.OK++
+	}
+}
+
+// HostReport returns the visit's per-host fetch accounting in host
+// order (deterministic for the breaker's fold), nil unless
+// Options.TrackHosts was set.
+func (b *Browser) HostReport() []HostOutcome {
+	if len(b.hostOutcomes) == 0 {
+		return nil
+	}
+	out := make([]HostOutcome, 0, len(b.hostOutcomes))
+	for _, o := range b.hostOutcomes {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
 }
 
 // fetchOnce performs a single attempt, stamping the attempt number and
@@ -231,6 +311,12 @@ func (b *Browser) fetchOnce(rawURL string, attempt int) fetchResult {
 	if err != nil {
 		return fetchResult{failure: FailInternal, err: err}
 	}
+	if b.opts.Gate != nil && !b.opts.Gate.Allow(u.Hostname()) {
+		// Shed: the host's circuit is open. No attempt is made and no
+		// virtual time is charged — shedding is what makes the breaker
+		// cheaper than burning the retry budget against a downed host.
+		return fetchResult{failure: FailCircuitOpen, err: ErrCircuitOpen}
+	}
 	var req *http.Request
 	if b.opts.Pooling {
 		req = &b.req
@@ -241,7 +327,7 @@ func (b *Browser) fetchOnce(rawURL string, attempt int) fetchResult {
 		} else {
 			delete(b.hdr, "Cookie")
 		}
-		b.attemptVal[0] = strconv.Itoa(attempt)
+		b.attemptVal[0] = strconv.Itoa(b.opts.AttemptBase + attempt)
 		b.hdr[netsim.AttemptHeader] = b.attemptVal[:]
 		b.vclockVal[0] = strconv.FormatInt(b.clock.UnixMillis(), 10)
 		b.hdr[netsim.VClockHeader] = b.vclockVal[:]
@@ -257,7 +343,7 @@ func (b *Browser) fetchOnce(rawURL string, attempt int) fetchResult {
 		if hdr := b.jar.CookieHeader(rawURL); hdr != "" {
 			req.Header.Set("Cookie", hdr)
 		}
-		req.Header.Set(netsim.AttemptHeader, strconv.Itoa(attempt))
+		req.Header.Set(netsim.AttemptHeader, strconv.Itoa(b.opts.AttemptBase+attempt))
 		req.Header.Set(netsim.VClockHeader, strconv.FormatInt(b.clock.UnixMillis(), 10))
 	}
 	resp, err := b.rt.RoundTrip(req)

@@ -24,15 +24,30 @@ type FailureClass string
 
 // Failure classes.
 const (
-	FailNone      FailureClass = ""           // success
-	FailDNS       FailureClass = "dns"        // host not resolvable (NXDOMAIN)
-	FailConnReset FailureClass = "conn-reset" // connection reset mid-exchange
-	FailTimeout   FailureClass = "timeout"    // connection or host-flap timeout
-	FailHTTP      FailureClass = "http"       // final response status >= 400
-	FailTruncated FailureClass = "truncated"  // body cut short mid-transfer
-	FailDeadline  FailureClass = "deadline"   // visit budget exhausted
-	FailInternal  FailureClass = "internal"   // request construction etc.
+	FailNone        FailureClass = ""             // success
+	FailDNS         FailureClass = "dns"          // host not resolvable (NXDOMAIN)
+	FailConnReset   FailureClass = "conn-reset"   // connection reset mid-exchange
+	FailTimeout     FailureClass = "timeout"      // connection or host-flap timeout
+	FailHTTP        FailureClass = "http"         // final response status >= 400
+	FailTruncated   FailureClass = "truncated"    // body cut short mid-transfer
+	FailDeadline    FailureClass = "deadline"     // visit budget exhausted
+	FailCircuitOpen FailureClass = "circuit-open" // fetch shed: the host's circuit is open
+	FailInternal    FailureClass = "internal"     // request construction etc.
 )
+
+// Transient reports whether the class is a transient network failure —
+// the kind a retry, a later re-crawl pass, or a circuit-breaker probe
+// can plausibly rescue. Deliberately narrower than retryable: 5xx
+// responses retry within a fetch but are completed exchanges (the host
+// is up), so they neither open circuits nor qualify a visit for the
+// crawler's second pass.
+func (f FailureClass) Transient() bool {
+	switch f {
+	case FailConnReset, FailTimeout, FailTruncated:
+		return true
+	}
+	return false
+}
 
 // RetryPolicy bounds transient-fault retries per fetch. The zero value
 // disables retrying (single attempt); DefaultRetryPolicy is a sane
@@ -94,6 +109,31 @@ func (rp RetryPolicy) backoffMs(attempt int, rng *stats.Rand) float64 {
 // VisitBudgetMs) is exhausted before a fetch can start.
 var ErrVisitDeadline = errors.New("browser: visit deadline exceeded")
 
+// ErrCircuitOpen is returned when Options.Gate sheds a fetch because the
+// target host's circuit is open. Shed fetches burn no attempts and no
+// virtual time — that is the point of the breaker.
+var ErrCircuitOpen = errors.New("browser: circuit open")
+
+// FetchGate vets outbound fetches before any attempt is made. The
+// crawler's circuit breaker installs one per visit: a host whose circuit
+// is open is shed with FailCircuitOpen instead of burning the retry
+// budget against a downed host. Implementations must be safe for
+// concurrent use (one gate snapshot is shared by every browser of a
+// scheduling round) and deterministic for the visit's lifetime.
+type FetchGate interface {
+	// Allow reports whether host may be fetched.
+	Allow(host string) bool
+}
+
+// HostOutcome is one visit's fetch accounting for one host: how many
+// fetches terminally failed on a transient class and how many completed
+// an exchange. It feeds the crawler's per-host circuit breaker.
+type HostOutcome struct {
+	Host      string
+	Transient int // terminal conn-reset/timeout/truncated fetches
+	OK        int // completed exchanges (any status — the host is up)
+}
+
 // LoadError is a fatal page-load failure: the document itself could not
 // be retrieved, so there is no page to degrade into. Its Class feeds the
 // visit-level failure taxonomy.
@@ -144,6 +184,9 @@ func classifyFetchError(err error) FailureClass {
 	}
 	if errors.Is(err, ErrVisitDeadline) {
 		return FailDeadline
+	}
+	if errors.Is(err, ErrCircuitOpen) {
+		return FailCircuitOpen
 	}
 	return FailInternal
 }

@@ -1,0 +1,297 @@
+package crawler
+
+// Consul-style per-host circuit breaking for the crawl scheduler. Every
+// fetch outcome feeds per-host failure accounting; a host that keeps
+// failing on transient classes has its circuit opened, and while the
+// circuit is open every fetch to it — and every whole visit whose
+// landing document lives on it — is shed with FailureClass
+// "circuit-open" instead of burning the retry budget against a host
+// that is down anyway. Open circuits expire on the crawl's virtual
+// clock: after OpenForMs of accumulated virtual time the circuit turns
+// half-open and the next round's fetches act as probes — a successful
+// contact closes the circuit, another transient failure re-opens it.
+//
+// Determinism is the hard constraint, and it is why the breaker is
+// round-synchronous: visits complete in wall-clock order, which varies
+// with the worker count, so folding outcomes as they arrive would make
+// shed decisions — and with them the emitted records — depend on
+// scheduling. Instead the dispatcher runs the crawl in rounds of
+// RoundVisits: it dispatches a round against a frozen snapshot of the
+// open circuits, barriers until the round completes, sorts the round's
+// outcomes by visit index, and only then folds them into the
+// accounting. Round composition depends only on the frontier's pop
+// order and the snapshot only on prior rounds, so the same seed and
+// config produce byte-identical records at any worker count. The crawl
+// virtual clock advances per round by the round's mean visit duration
+// — a worker-count-independent proxy for elapsed crawl time (see
+// endRound).
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"cookieguard/internal/browser"
+)
+
+// Breaker configures the crawl's per-host circuit breaker. The zero
+// value is disabled; enabling it with zero thresholds applies the
+// defaults noted per field.
+type Breaker struct {
+	// Enabled turns circuit breaking on.
+	Enabled bool
+	// FailureThreshold is the per-host count of accumulated transient
+	// fetch failures (without an intervening successful contact) that
+	// opens the circuit (default 3).
+	FailureThreshold int
+	// OpenForMs is how long an opened circuit sheds, in crawl virtual
+	// milliseconds, before turning half-open and admitting probes
+	// (default 30000 — one default flap period).
+	OpenForMs float64
+	// RoundVisits is the scheduling round size — the breaker's
+	// accounting quantum (default 32). Smaller rounds react faster but
+	// barrier more often.
+	RoundVisits int
+}
+
+func (b Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 3
+}
+
+func (b Breaker) openFor() float64 {
+	if b.OpenForMs > 0 {
+		return b.OpenForMs
+	}
+	return 30000
+}
+
+func (b Breaker) roundSize() int {
+	if b.RoundVisits > 0 {
+		return b.RoundVisits
+	}
+	return 32
+}
+
+// circuitState is a host circuit's position in the breaker state machine.
+type circuitState uint8
+
+const (
+	circuitClosed circuitState = iota
+	circuitOpen
+	circuitHalfOpen
+)
+
+// circuit is one host's failure accounting.
+type circuit struct {
+	state    circuitState
+	failures int     // transient failures since the last successful contact
+	openedMs float64 // crawl virtual time the circuit last opened
+}
+
+// breakerState is the crawl-lifetime accounting, owned by the dispatch
+// goroutine; only the per-round snapshots it publishes are shared.
+type breakerState struct {
+	cfg    Breaker
+	hosts  map[string]*circuit
+	vnowMs float64 // crawl virtual clock: sum of per-round mean visit durations
+	stats  *SchedStats
+}
+
+func newBreakerState(cfg Breaker, stats *SchedStats) *breakerState {
+	return &breakerState{cfg: cfg, hosts: map[string]*circuit{}, stats: stats}
+}
+
+// beginRound expires open circuits whose cooldown has passed (they turn
+// half-open: the coming round's fetches are their probes) and returns
+// the round's gate snapshot — nil when no circuit is open, so the
+// default path stays gate-free.
+func (b *breakerState) beginRound() *gateSnapshot {
+	var open map[string]struct{}
+	for host, c := range b.hosts {
+		if c.state == circuitOpen && b.vnowMs >= c.openedMs+b.cfg.openFor() {
+			c.state = circuitHalfOpen
+			b.stats.Probes.Add(1)
+		}
+		if c.state == circuitOpen {
+			if open == nil {
+				open = map[string]struct{}{}
+			}
+			open[host] = struct{}{}
+		}
+	}
+	if open == nil {
+		return nil
+	}
+	return &gateSnapshot{open: open, stats: b.stats}
+}
+
+// endRound folds one completed round: outcomes are sorted by (pass,
+// idx) — arrival order varies with the worker count, fold order must
+// not — and per-host aggregates drive the state machine. The crawl
+// virtual clock advances first, by the round's mean visit duration —
+// deliberately NOT a function of the worker count (a divisor of real
+// parallelism would make circuit timing, and with it the emitted
+// records, depend on how many workers ran), so the same seed and
+// config tick the breaker's clock identically at any worker count. A
+// circuit opened by this round's failures is stamped with the
+// post-advance time, keeping it open for a full OpenForMs of crawl
+// time afterwards.
+func (b *breakerState) endRound(outcomes []visitOutcome) {
+	sort.Slice(outcomes, func(i, j int) bool {
+		if outcomes[i].pass != outcomes[j].pass {
+			return outcomes[i].pass < outcomes[j].pass
+		}
+		return outcomes[i].idx < outcomes[j].idx
+	})
+	if len(outcomes) > 0 {
+		var sumMs float64
+		for _, o := range outcomes {
+			sumMs += o.virtualMs
+		}
+		b.vnowMs += sumMs / float64(len(outcomes))
+	}
+	for _, o := range outcomes {
+		for _, h := range o.hosts {
+			b.observe(h)
+		}
+	}
+}
+
+// observe folds one visit's accounting for one host.
+func (b *breakerState) observe(h browser.HostOutcome) {
+	c := b.hosts[h.Host]
+	if c == nil {
+		c = &circuit{}
+		b.hosts[h.Host] = c
+	}
+	switch {
+	case h.Transient > 0:
+		// Failures dominate a mixed report: a host that both served and
+		// reset within one visit is flapping, which is exactly what the
+		// breaker is for.
+		c.failures += h.Transient
+		switch c.state {
+		case circuitClosed:
+			if c.failures >= b.cfg.threshold() {
+				c.state = circuitOpen
+				c.openedMs = b.vnowMs
+				b.stats.Opened.Add(1)
+			}
+		case circuitHalfOpen:
+			// Failed probe: back to open for another cooldown.
+			c.state = circuitOpen
+			c.openedMs = b.vnowMs
+			b.stats.Reopened.Add(1)
+		}
+	case h.OK > 0:
+		if c.state == circuitHalfOpen {
+			b.stats.Reclosed.Add(1)
+		}
+		c.state = circuitClosed
+		c.failures = 0
+	}
+}
+
+// blocked reports whether a host's circuit is open right now (dispatch-
+// time visit shedding; the per-round gate snapshot answers for fetches).
+func (b *breakerState) blocked(host string) bool {
+	c := b.hosts[host]
+	return c != nil && c.state == circuitOpen
+}
+
+// gateSnapshot is the immutable per-round set of open circuits, shared
+// read-only by every browser of the round as its browser.FetchGate.
+type gateSnapshot struct {
+	open   map[string]struct{}
+	stats  *SchedStats
+	except string // the visit's own document host (second-pass probes)
+}
+
+// Allow implements browser.FetchGate.
+func (g *gateSnapshot) Allow(host string) bool {
+	if host == g.except {
+		return true
+	}
+	if _, bad := g.open[host]; bad {
+		g.stats.ShedFetches.Add(1)
+		return false
+	}
+	return true
+}
+
+// withException returns a view of the snapshot that admits one host —
+// the document host of a second-pass visit, whose re-crawl doubles as
+// the half-open probe for a circuit its own landing failure opened.
+func (g *gateSnapshot) withException(host string) *gateSnapshot {
+	if g == nil {
+		return nil
+	}
+	if _, bad := g.open[host]; !bad {
+		return g
+	}
+	gc := *g
+	gc.except = host
+	return &gc
+}
+
+// SchedStats accumulates scheduler counters over a crawl (or, when the
+// same struct is passed to several crawls, over all of them): total
+// virtual time burned by visits, circuit-breaker shed/probe activity,
+// and second-pass volume. All fields are atomic so workers update them
+// without coordination; they never influence records.
+type SchedStats struct {
+	// VirtualMs is the summed virtual duration of every performed visit
+	// (shed visits contribute nothing — that is the saving).
+	VirtualMs atomic.Int64
+	// Visits counts performed visits (browser constructed), including
+	// first-pass attempts later superseded by the second pass.
+	Visits atomic.Int64
+	// ShedVisits counts whole visits shed at dispatch because the
+	// landing host's circuit was open.
+	ShedVisits atomic.Int64
+	// ShedFetches counts individual fetches shed by the per-round gate.
+	ShedFetches atomic.Int64
+	// Opened / Reopened / Reclosed / Probes count circuit transitions;
+	// Probes is the number of open→half-open expirations.
+	Opened   atomic.Int64
+	Reopened atomic.Int64
+	Reclosed atomic.Int64
+	Probes   atomic.Int64
+	// Requeued counts visits admitted to the second pass; SecondPassKept
+	// counts those whose re-crawl landed successfully.
+	Requeued       atomic.Int64
+	SecondPassKept atomic.Int64
+}
+
+// SchedSnapshot is a plain-value copy of SchedStats for reporting and
+// bench JSON.
+type SchedSnapshot struct {
+	VirtualMs      int64 `json:"virtual_ms"`
+	Visits         int64 `json:"visits"`
+	ShedVisits     int64 `json:"shed_visits"`
+	ShedFetches    int64 `json:"shed_fetches"`
+	Opened         int64 `json:"circuits_opened"`
+	Reopened       int64 `json:"circuits_reopened"`
+	Reclosed       int64 `json:"circuits_reclosed"`
+	Probes         int64 `json:"circuit_probes"`
+	Requeued       int64 `json:"second_pass_requeued"`
+	SecondPassKept int64 `json:"second_pass_kept"`
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *SchedStats) Snapshot() SchedSnapshot {
+	return SchedSnapshot{
+		VirtualMs:      s.VirtualMs.Load(),
+		Visits:         s.Visits.Load(),
+		ShedVisits:     s.ShedVisits.Load(),
+		ShedFetches:    s.ShedFetches.Load(),
+		Opened:         s.Opened.Load(),
+		Reopened:       s.Reopened.Load(),
+		Reclosed:       s.Reclosed.Load(),
+		Probes:         s.Probes.Load(),
+		Requeued:       s.Requeued.Load(),
+		SecondPassKept: s.SecondPassKept.Load(),
+	}
+}

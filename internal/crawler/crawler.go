@@ -16,18 +16,31 @@
 // that instrument.VisitLog records and analysis rolls up. All of it is
 // deterministic: a fixed seed and fault config reproduce the same
 // per-site records at any worker count.
+//
+// Scheduling is pluggable: a Frontier decides visit order (FIFO by
+// default), a consul-style per-host circuit Breaker sheds fetches and
+// visits to hosts that keep failing ("circuit-open" instead of burning
+// the retry budget), a fault-aware SecondPass re-crawls the transient
+// failure set once the primary frontier drains, and a netsim.Vantage
+// crawls the web from a named region's latency and fault models. The
+// default configuration — FIFO, breaker off, second pass off, implicit
+// vantage — emits records byte-identical to the fixed worker-pool loop
+// it replaced.
 package crawler
 
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"sync"
+	"time"
 
 	"cookieguard/internal/artifact"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/instrument"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/urlutil"
+	"cookieguard/internal/vclock"
 )
 
 // Options configures a crawl.
@@ -93,6 +106,33 @@ type Options struct {
 	// serialized (after Progress, under the same lock) and arrive on
 	// crawl worker goroutines; a slow callback backpressures the crawl.
 	ProgressStats func(ProgressStats)
+	// Scheduler constructs the crawl's Frontier — the queue deciding
+	// visit order and holding the second pass's requeues. Nil uses
+	// NewFIFOFrontier, which visits sites in input order and is
+	// output-identical to the historical fixed dispatch loop.
+	Scheduler func() Frontier
+	// Breaker configures per-host circuit breaking: hosts that keep
+	// failing on transient classes are shed with FailureClass
+	// "circuit-open" instead of burning the retry budget, and half-open
+	// probes re-admit them once OpenForMs of crawl virtual time has
+	// passed. The zero value (off) changes nothing.
+	Breaker Breaker
+	// SecondPass configures the fault-aware second pass: visits whose
+	// landing failed on a transient class are re-crawled once the
+	// primary frontier drains, and only the re-crawl's record is
+	// emitted. The zero value (off) changes nothing.
+	SecondPass SecondPass
+	// Vantage, when set and not the default, crawls through
+	// Internet.From(*Vantage): the vantage's latency and fault models,
+	// with every emitted VisitLog tagged Vantage.Name. Nil or the
+	// zero Vantage crawls the fabric directly, byte-identical to before
+	// vantages existed.
+	Vantage *netsim.Vantage
+	// Stats, when set, accumulates scheduler counters (visit virtual
+	// time, breaker sheds/probes, second-pass volume) across the crawl.
+	// Pass one struct to several crawls to aggregate. Never affects
+	// records.
+	Stats *SchedStats
 }
 
 // ProgressStats is the live-counter payload delivered to
@@ -111,6 +151,9 @@ type ProgressStats struct {
 	// Pool is the per-visit object pools' reuse snapshot (zero deltas
 	// when the crawl runs unpooled).
 	Pool browser.PoolStats `json:"pool"`
+	// Sched is the scheduler-counter snapshot (zero unless the crawl
+	// was given Options.Stats).
+	Sched SchedSnapshot `json:"sched"`
 }
 
 // Result is the outcome of a crawl.
@@ -130,12 +173,90 @@ type indexedLog struct {
 	log instrument.VisitLog
 }
 
-// stream is the shared streaming core: it visits every URL on a bounded
-// worker pool and delivers indexed logs in completion order on a channel
-// with capacity equal to the worker count, so at most O(workers) logs are
-// resident (in flight or buffered) at any time. Cancelling the context
-// stops dispatch, unblocks workers mid-stream, and closes both channels
-// after the pool drains; the error channel then carries ctx.Err().
+// visitJob is one unit of dispatched work: which site, which crawl
+// pass, and the round's open-circuit gate (nil when no circuit is open).
+type visitJob struct {
+	idx  int
+	pass int
+	gate *gateSnapshot
+}
+
+// visitOutcome is a worker's terminal report to the dispatcher: whether
+// the visit qualifies for the second pass, how much virtual time it
+// burned, and the per-host fetch accounting the breaker folds.
+type visitOutcome struct {
+	idx       int
+	pass      int
+	requeue   bool
+	virtualMs float64
+	hosts     []browser.HostOutcome
+}
+
+// delivery owns the shared result path: the bounded indexed stream plus
+// the serialized progress accounting. Both crawl workers and the
+// dispatcher (shed visits) deliver through it.
+type delivery struct {
+	ctx   context.Context
+	out   chan indexedLog
+	opts  *Options
+	total int
+
+	mu   sync.Mutex
+	done int
+}
+
+// deliver hands a finished log downstream, preferring delivery: a
+// completed visit is only dropped when the context is cancelled AND the
+// stream is full — never by the select's random choice while space
+// remains, so a draining consumer (Crawl) retains every finished log.
+// Delivered or not, the visit is accounted: a drop without the final
+// serialized Progress flush would leave done silently undercounting the
+// visits that actually ran (and burned fabric requests). Returns false
+// when the log was dropped (the crawl is cancelled).
+func (d *delivery) deliver(idx int, l instrument.VisitLog) bool {
+	delivered := true
+	select {
+	case d.out <- indexedLog{idx: idx, log: l}:
+	default:
+		select {
+		case d.out <- indexedLog{idx: idx, log: l}:
+		case <-d.ctx.Done():
+			delivered = false
+		}
+	}
+	d.mu.Lock()
+	d.done++
+	if d.opts.Progress != nil {
+		d.opts.Progress(d.done, d.total)
+	}
+	if d.opts.ProgressStats != nil {
+		ps := ProgressStats{
+			Done:     d.done,
+			Total:    d.total,
+			Requests: d.opts.Internet.Requests(),
+			Faults:   d.opts.Internet.Faults(),
+			Pool:     browser.CollectPoolStats(),
+		}
+		if d.opts.Artifacts != nil {
+			ps.Cache = d.opts.Artifacts.Stats()
+		}
+		if d.opts.Stats != nil {
+			ps.Sched = d.opts.Stats.Snapshot()
+		}
+		d.opts.ProgressStats(ps)
+	}
+	d.mu.Unlock()
+	return delivered
+}
+
+// stream is the shared streaming core: a dispatcher drives the Frontier
+// (and, when enabled, the circuit breaker and second pass) while a
+// bounded worker pool performs visits and delivers indexed logs in
+// completion order on a channel with capacity equal to the worker
+// count, so at most O(workers) logs are resident (in flight or
+// buffered) at any time. Cancelling the context stops dispatch,
+// unblocks workers mid-stream, and closes both channels after the pool
+// drains; the error channel then carries ctx.Err().
 func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLog, <-chan error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -163,55 +284,55 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		return out, errc
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var done int
-	var progressMu sync.Mutex
+	// Scheduler feedback is only needed when a stateful policy consumes
+	// it; the default configuration runs the historical zero-feedback
+	// path and emits byte-identical records. Stateful policies count on
+	// Stats unconditionally (requeue/shed accounting), so give them one
+	// when the caller didn't.
+	needFeedback := opts.Breaker.Enabled || opts.SecondPass.Enabled
+	if needFeedback && opts.Stats == nil {
+		opts.Stats = &SchedStats{}
+	}
 
+	// Resolve the vantage once: the default vantage crawls the fabric
+	// directly (transport nil ⇒ the browser uses Options.Internet).
+	var transport http.RoundTripper
+	if opts.Vantage != nil && !opts.Vantage.Default() {
+		transport = opts.Internet.From(*opts.Vantage)
+	}
+
+	jobs := make(chan visitJob)
+	var feedback chan visitOutcome
+	if needFeedback {
+		feedback = make(chan visitOutcome, workers*2)
+	}
+	d := &delivery{ctx: ctx, out: out, opts: &opts, total: len(sites)}
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
-				l := visit(sites[idx], opts, maxClicks, uint64(idx))
-				// Prefer delivery: a completed visit is only dropped when
-				// the context is cancelled AND the stream is full — never
-				// by the select's random choice while space remains, so a
-				// draining consumer (Crawl) retains every finished log.
-				delivered := true
-				select {
-				case out <- indexedLog{idx: idx, log: l}:
-				default:
+			for j := range jobs {
+				l, o := visit(sites[j.idx], opts, maxClicks, j, transport)
+				if feedback != nil {
+					o.requeue = j.pass == 1 && opts.SecondPass.Enabled &&
+						!l.OK && requeueable(l.Failure)
+					if opts.Stats != nil && j.pass > 1 && l.OK {
+						opts.Stats.SecondPassKept.Add(1)
+					}
 					select {
-					case out <- indexedLog{idx: idx, log: l}:
+					case feedback <- o:
 					case <-ctx.Done():
-						delivered = false
+						return
+					}
+					if o.requeue {
+						// The second pass supersedes this record: neither
+						// delivery nor progress — the re-crawl accounts it.
+						continue
 					}
 				}
-				// Every completed visit is accounted, delivered or not:
-				// a drop without this final serialized Progress flush
-				// would leave done silently undercounting the visits
-				// that actually ran (and burned fabric requests).
-				progressMu.Lock()
-				done++
-				if opts.Progress != nil {
-					opts.Progress(done, len(sites))
-				}
-				if opts.ProgressStats != nil {
-					ps := ProgressStats{
-						Done:     done,
-						Total:    len(sites),
-						Requests: opts.Internet.Requests(),
-						Faults:   opts.Internet.Faults(),
-						Pool:     browser.CollectPoolStats(),
-					}
-					if opts.Artifacts != nil {
-						ps.Cache = opts.Artifacts.Stats()
-					}
-					opts.ProgressStats(ps)
-				}
-				progressMu.Unlock()
-				if !delivered {
+				if !d.deliver(j.idx, l) {
 					return
 				}
 			}
@@ -219,14 +340,7 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	}
 
 	go func() {
-	loop:
-		for i := range sites {
-			select {
-			case <-ctx.Done():
-				break loop
-			case jobs <- i:
-			}
-		}
+		dispatch(ctx, sites, opts, jobs, feedback, d)
 		close(jobs)
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
@@ -236,6 +350,234 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		close(errc)
 	}()
 	return out, errc
+}
+
+// requeueable reports whether a fatal visit failure class qualifies for
+// the second pass: the transient network classes plus circuit-open
+// sheds (the second pass doubles as the shed host's probe).
+func requeueable(class string) bool {
+	c := browser.FailureClass(class)
+	return c.Transient() || c == browser.FailCircuitOpen
+}
+
+// dispatch runs the scheduler: it seeds the Frontier, pops visits into
+// the worker pool, folds outcome feedback (second-pass requeues and,
+// with the breaker enabled, round-synchronous per-host failure
+// accounting), and sheds visits to open-circuit hosts at dispatch time.
+// It returns when every visit has a terminal outcome or the context is
+// cancelled.
+func dispatch(ctx context.Context, sites []string, opts Options, jobs chan<- visitJob, feedback chan visitOutcome, d *delivery) {
+	newFrontier := opts.Scheduler
+	if newFrontier == nil {
+		newFrontier = NewFIFOFrontier
+	}
+	front := newFrontier()
+	for i := range sites {
+		front.Push(i)
+	}
+
+	if feedback == nil {
+		// Zero-feedback fast path: the historical dispatch loop, with
+		// the pop order delegated to the frontier.
+		for {
+			idx, ok := front.Pop()
+			if !ok {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case jobs <- visitJob{idx: idx, pass: 1}:
+			}
+		}
+	}
+
+	s := &dispatcher{
+		ctx: ctx, sites: sites, opts: &opts,
+		jobs: jobs, feedback: feedback, d: d,
+		front: front, passOf: map[int]int{},
+	}
+	if opts.Breaker.Enabled {
+		s.brk = newBreakerState(opts.Breaker, opts.Stats)
+		s.runRounds()
+		return
+	}
+	s.runContinuous()
+}
+
+// dispatcher is the scheduling state machine driven by the dispatch
+// goroutine.
+type dispatcher struct {
+	ctx      context.Context
+	sites    []string
+	opts     *Options
+	jobs     chan<- visitJob
+	feedback chan visitOutcome
+	d        *delivery
+
+	front   Frontier
+	brk     *breakerState
+	passOf  map[int]int // idx → pass; absent = 1
+	pending int
+	round   []visitOutcome
+}
+
+// pass returns the crawl pass the next dispatch of idx belongs to.
+func (s *dispatcher) pass(idx int) int {
+	if p := s.passOf[idx]; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// collect folds one feedback message. Without the breaker, requeues hit
+// the frontier immediately — order cannot influence records, since each
+// visit's bytes depend only on (url, seed, pass, vantage). With the
+// breaker, requeues are deferred to the round barrier (flushRound),
+// where they apply in sorted order: frontier state must never depend on
+// completion timing once shed decisions read it.
+func (s *dispatcher) collect(o visitOutcome) {
+	s.pending--
+	if s.brk != nil {
+		s.round = append(s.round, o)
+		return
+	}
+	s.resolve(o)
+}
+
+// resolve applies a visit outcome to the frontier.
+func (s *dispatcher) resolve(o visitOutcome) {
+	if o.requeue {
+		s.opts.Stats.Requeued.Add(1)
+		s.passOf[o.idx] = o.pass + 1
+		s.front.Requeue(o.idx)
+		return
+	}
+	s.front.Complete(o.idx)
+}
+
+// send dispatches one job, draining feedback while the pool is busy.
+// Returns false when the crawl is cancelled.
+func (s *dispatcher) send(j visitJob) bool {
+	for {
+		select {
+		case s.jobs <- j:
+			s.pending++
+			return true
+		case o := <-s.feedback:
+			s.collect(o)
+		case <-s.ctx.Done():
+			return false
+		}
+	}
+}
+
+// shed handles a visit whose landing host's circuit is open at dispatch
+// time: with the second pass available it is requeued (the re-crawl
+// doubles as the host's probe); otherwise a terminal circuit-open
+// record is emitted without constructing a browser. Returns false when
+// the crawl is cancelled.
+func (s *dispatcher) shed(idx, pass int) bool {
+	s.opts.Stats.ShedVisits.Add(1)
+	if pass == 1 && s.opts.SecondPass.Enabled {
+		s.opts.Stats.Requeued.Add(1)
+		s.passOf[idx] = pass + 1
+		s.front.Requeue(idx)
+		return true
+	}
+	s.front.Complete(idx)
+	url := s.sites[idx]
+	l := instrument.VisitLog{
+		Site:    urlutil.RegistrableDomain(url),
+		URL:     url,
+		Error:   "crawler: circuit open: " + urlutil.Hostname(url),
+		Failure: string(browser.FailCircuitOpen),
+	}
+	if s.opts.Vantage != nil {
+		l.Vantage = s.opts.Vantage.Name
+	}
+	return s.d.deliver(idx, l)
+}
+
+// runContinuous drives the second pass without circuit breaking: pops
+// dispatch as fast as the pool accepts them, and the frontier holds
+// requeues back until the primary set has drained.
+func (s *dispatcher) runContinuous() {
+	for {
+		idx, ok := s.front.Pop()
+		if !ok {
+			if s.pending == 0 {
+				return // drained: every visit and every requeue is terminal
+			}
+			// Nothing to dispatch until an outcome lands (it may refill
+			// the frontier with a second-pass requeue).
+			select {
+			case o := <-s.feedback:
+				s.collect(o)
+			case <-s.ctx.Done():
+				return
+			}
+			continue
+		}
+		if !s.send(visitJob{idx: idx, pass: s.pass(idx)}) {
+			return
+		}
+	}
+}
+
+// runRounds drives the circuit breaker: the crawl proceeds in rounds of
+// Breaker.RoundVisits dispatched against a frozen open-circuit
+// snapshot, with a barrier and a sorted fold between rounds, so every
+// shed decision — and with it every emitted record — is independent of
+// worker count and completion timing.
+func (s *dispatcher) runRounds() {
+	for {
+		gate := s.brk.beginRound()
+		dispatched, popped := 0, false
+		for dispatched < s.opts.Breaker.roundSize() {
+			idx, ok := s.front.Pop()
+			if !ok {
+				break
+			}
+			popped = true
+			pass := s.pass(idx)
+			if pass == 1 && s.brk.blocked(urlutil.Hostname(s.sites[idx])) {
+				if !s.shed(idx, pass) {
+					return
+				}
+				continue
+			}
+			g := gate
+			if pass > 1 && g != nil {
+				// The re-crawl is the half-open probe for a circuit the
+				// visit's own landing failure opened.
+				g = g.withException(urlutil.Hostname(s.sites[idx]))
+			}
+			if !s.send(visitJob{idx: idx, pass: pass, gate: g}) {
+				return
+			}
+			dispatched++
+		}
+		if !popped && s.pending == 0 {
+			return // frontier drained and no outcome can refill it
+		}
+		// Round barrier.
+		for s.pending > 0 {
+			select {
+			case o := <-s.feedback:
+				s.collect(o)
+			case <-s.ctx.Done():
+				return
+			}
+		}
+		// Fold the round: endRound sorts by (pass, idx); requeues and
+		// completions apply in that same order.
+		s.brk.endRound(s.round)
+		for _, o := range s.round {
+			s.resolve(o)
+		}
+		s.round = s.round[:0]
+	}
 }
 
 // Stream visits every URL in sites and delivers the logs incrementally,
@@ -282,10 +624,63 @@ func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
 	return &Result{Logs: logs}, nil
 }
 
-// visit performs one instrumented site visit.
-func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLog {
+// passSeedSalt differentiates browser randomness across crawl passes,
+// the same way the index salt differentiates it across sites.
+const passSeedSalt = 0xda942042e4dd58b5
+
+// visit performs one instrumented site visit for one dispatched job.
+// The returned outcome carries the scheduler's feedback: virtual time
+// burned and per-host fetch accounting (breaker runs only).
+func visit(url string, opts Options, maxClicks int, j visitJob, transport http.RoundTripper) (l instrument.VisitLog, out visitOutcome) {
+	n := uint64(j.idx)
+	out = visitOutcome{idx: j.idx, pass: j.pass}
 	site := urlutil.RegistrableDomain(url)
 	rec := instrument.NewRecorder()
+
+	seed := opts.Seed ^ (n * 0x9e3779b97f4a7c15)
+	var clock *vclock.Clock
+	startAt := vclock.Epoch
+	if j.pass > 1 {
+		// A later pass is a later crawl: its browser's clock starts
+		// offset (host flap schedules can have moved on), its attempt
+		// numbers continue past the first pass's budget (per-attempt
+		// fault decisions draw fresh), and its randomness is re-salted.
+		seed ^= uint64(j.pass-1) * passSeedSalt
+		startAt = startAt.Add(time.Duration(float64(j.pass-1) * opts.SecondPass.offsetMs() * float64(time.Millisecond)))
+		clock = vclock.NewAt(startAt)
+	}
+	attemptBase := 0
+	if j.pass > 1 {
+		perPass := opts.Retry.MaxAttempts
+		if perPass < 1 {
+			perPass = 1
+		}
+		attemptBase = (j.pass - 1) * perPass
+	}
+	var gate browser.FetchGate
+	if j.gate != nil {
+		gate = j.gate
+	}
+
+	// finish stamps the scheduler's marks on the assembled log and
+	// collects the outcome. Registered after the Release defer below, so
+	// it runs first — the browser's clock and accounting are still live.
+	finish := func(b *browser.Browser) {
+		if opts.Vantage != nil && opts.Vantage.Name != "" {
+			l.Vantage = opts.Vantage.Name
+		}
+		if j.pass > 1 {
+			for i := range l.Requests {
+				l.Requests[i].Attempt = j.pass
+			}
+		}
+		if opts.Stats != nil {
+			out.virtualMs = float64(b.Clock().Now().Sub(startAt)) / float64(time.Millisecond)
+			opts.Stats.Visits.Add(1)
+			opts.Stats.VirtualMs.Add(int64(out.virtualMs))
+		}
+		out.hosts = b.HostReport()
+	}
 
 	// The recorder installs innermost — between the jar and any guard —
 	// so it logs the operations that actually take effect. A guard
@@ -302,15 +697,21 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 
 	b, err := browser.New(browser.Options{
 		Internet:         opts.Internet,
+		Transport:        transport,
+		Clock:            clock,
 		CookieMiddleware: mw,
-		Seed:             opts.Seed ^ (n * 0x9e3779b97f4a7c15),
+		Seed:             seed,
 		Artifacts:        opts.Artifacts,
 		Retry:            opts.Retry,
 		VisitBudgetMs:    opts.VisitBudgetMs,
 		Pooling:          !opts.DisablePooling,
+		Gate:             gate,
+		AttemptBase:      attemptBase,
+		TrackHosts:       opts.Breaker.Enabled,
 	})
 	if err != nil {
-		return instrument.VisitLog{Site: site, URL: url, Error: err.Error()}
+		l = instrument.VisitLog{Site: site, URL: url, Error: err.Error()}
+		return l, out
 	}
 	if attach != nil {
 		attach(b)
@@ -319,8 +720,10 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 	// The worker owns the pooling lifecycle: BuildVisitLog copies out
 	// everything the log keeps, after which the visit's pages, arenas,
 	// and interpreters go back to the pools. Nothing of the visit is
-	// touched after Release.
+	// touched after Release. finish registers second, so it runs before
+	// Release (defers are LIFO) while the browser is still live.
 	defer b.Release()
+	defer func() { finish(b) }()
 
 	var pages []*browser.Page
 	landing, err := b.Visit(url)
@@ -328,7 +731,8 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 		// The partial page keeps the failed visit's trace — the document
 		// request, its retries, its failure class — in the log, so the
 		// failure taxonomy sees what the visit burned before dying.
-		return rec.BuildVisitLog(site, []*browser.Page{landing}, err)
+		l = rec.BuildVisitLog(site, []*browser.Page{landing}, err)
+		return l, out
 	}
 	pages = append(pages, landing)
 
@@ -361,7 +765,8 @@ func visit(url string, opts Options, maxClicks int, n uint64) instrument.VisitLo
 			current.Scroll()
 		}
 	}
-	return rec.BuildVisitLog(site, pages, nil)
+	l = rec.BuildVisitLog(site, pages, nil)
+	return l, out
 }
 
 // SiteURLs extracts the URL list for a crawl from ranked site domains.

@@ -1,0 +1,457 @@
+package crawler
+
+// Tests for the scheduler subsystem: frontier pop order, circuit-breaker
+// state transitions on the crawl virtual clock, second-pass
+// byte-stability across worker counts, dispatch-time visit shedding,
+// and the breaker's retained-visits-per-virtual-second win under a
+// flapping-host fault schedule.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cookieguard/internal/browser"
+	"cookieguard/internal/netsim"
+	"cookieguard/internal/webgen"
+)
+
+// drainFrontier pops until empty.
+func drainFrontier(f Frontier) []int {
+	var out []int
+	for {
+		idx, ok := f.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, idx)
+	}
+}
+
+// TestFIFOFrontierPopOrder: pops follow push order, and requeues pop
+// only after every pushed visit has popped.
+func TestFIFOFrontierPopOrder(t *testing.T) {
+	f := NewFIFOFrontier()
+	for i := 0; i < 5; i++ {
+		f.Push(i)
+	}
+	first, ok := f.Pop()
+	if !ok || first != 0 {
+		t.Fatalf("first pop = %d,%v, want 0,true", first, ok)
+	}
+	f.Requeue(first) // requeued immediately: must still pop last
+	rest := drainFrontier(f)
+	want := []int{1, 2, 3, 4, 0}
+	if !reflect.DeepEqual(rest, want) {
+		t.Fatalf("pop order = %v, want %v", rest, want)
+	}
+}
+
+// TestShuffleFrontierDeterministicUnderSeed: the same seed yields the
+// same permutation, different seeds differ, requeues stay behind the
+// primary set, and every index pops exactly once.
+func TestShuffleFrontierDeterministicUnderSeed(t *testing.T) {
+	perm := func(seed uint64) []int {
+		f := NewShuffleFrontier(seed)
+		for i := 0; i < 30; i++ {
+			f.Push(i)
+		}
+		return drainFrontier(f)
+	}
+	a, b := perm(7), perm(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different pop order:\n%v\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, perm(8)) {
+		t.Fatal("different seeds produced the same permutation")
+	}
+	seen := map[int]bool{}
+	for _, idx := range a {
+		if seen[idx] {
+			t.Fatalf("index %d popped twice", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 30 {
+		t.Fatalf("popped %d distinct indices, want 30", len(seen))
+	}
+
+	f := NewShuffleFrontier(7)
+	for i := 0; i < 4; i++ {
+		f.Push(i)
+	}
+	f.Requeue(99)
+	order := drainFrontier(f)
+	if order[len(order)-1] != 99 {
+		t.Fatalf("requeue popped before the primary set drained: %v", order)
+	}
+}
+
+// TestBreakerTransitions walks the circuit state machine on the crawl
+// virtual clock: accumulated transient failures open, the cooldown
+// half-opens, a failed probe re-opens, a successful probe closes.
+func TestBreakerTransitions(t *testing.T) {
+	stats := &SchedStats{}
+	b := newBreakerState(Breaker{Enabled: true, FailureThreshold: 2, OpenForMs: 10000}, stats)
+
+	fail := func(n int, ms float64) []visitOutcome {
+		return []visitOutcome{{idx: 0, pass: 1, virtualMs: ms,
+			hosts: []browser.HostOutcome{{Host: "h", Transient: n}}}}
+	}
+	okv := func(ms float64) []visitOutcome {
+		return []visitOutcome{{idx: 0, pass: 1, virtualMs: ms,
+			hosts: []browser.HostOutcome{{Host: "h", OK: 1}}}}
+	}
+
+	if b.blocked("h") {
+		t.Fatal("fresh host blocked")
+	}
+	b.endRound(fail(1, 1000)) // below threshold
+	if b.blocked("h") {
+		t.Fatal("opened below FailureThreshold")
+	}
+	b.endRound(fail(1, 1000)) // cumulative 2 ≥ threshold: open
+	if !b.blocked("h") || stats.Opened.Load() != 1 {
+		t.Fatalf("circuit did not open (opened=%d)", stats.Opened.Load())
+	}
+	gate := b.beginRound()
+	if gate == nil || gate.Allow("h") || !gate.Allow("elsewhere") {
+		t.Fatal("gate snapshot does not shed the open host only")
+	}
+	if stats.ShedFetches.Load() == 0 {
+		t.Fatal("gate shed was not counted")
+	}
+
+	// Cooldown: vnow is 2000; advance past openedMs+10000 → half-open,
+	// gate empty, probes admitted.
+	b.endRound([]visitOutcome{{idx: 1, pass: 1, virtualMs: 12000}})
+	if g := b.beginRound(); g != nil {
+		t.Fatal("half-open host still gated")
+	}
+	if stats.Probes.Load() != 1 {
+		t.Fatalf("probes = %d, want 1", stats.Probes.Load())
+	}
+	if b.blocked("h") {
+		t.Fatal("half-open host blocked at dispatch")
+	}
+
+	// Failed probe → open again.
+	b.endRound(fail(1, 1000))
+	if !b.blocked("h") || stats.Reopened.Load() != 1 {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+
+	// Expire again, then a successful probe closes for good.
+	b.endRound([]visitOutcome{{idx: 2, pass: 1, virtualMs: 12000}})
+	b.beginRound()
+	b.endRound(okv(1000))
+	if b.blocked("h") || stats.Reclosed.Load() != 1 {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	b.endRound(fail(1, 1000))
+	if b.blocked("h") {
+		t.Fatal("failure count was not reset by the successful contact")
+	}
+}
+
+// schedCrawlJSON crawls a flap-heavy faulted web and returns per-site
+// marshalled records plus the sched stats.
+func schedCrawlJSON(t *testing.T, w *webgen.Web, sites []string, workers int, opts Options) (map[string]string, SchedSnapshot) {
+	t.Helper()
+	in := w.BuildInternet()
+	in.SetFaultModel(netsim.SeededFaults(netsim.UniformFaults(0.2, 99)))
+	opts.Internet = in
+	opts.Workers = workers
+	if opts.Stats == nil {
+		opts.Stats = &SchedStats{}
+	}
+	res, err := Crawl(context.Background(), sites, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(res.Logs))
+	for _, v := range res.Logs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v.Site] = string(b)
+	}
+	return out, opts.Stats.Snapshot()
+}
+
+// TestSecondPassByteStableAcrossWorkers: with faults, retries, second
+// pass, and the breaker all enabled, per-site records are byte-identical
+// across worker counts, and the second pass demonstrably ran (pass-2
+// attempt markers in the records, requeue counters non-zero).
+func TestSecondPassByteStableAcrossWorkers(t *testing.T) {
+	w, sites := buildSites(t, 60)
+	opts := Options{
+		Interact:   true,
+		Seed:       5,
+		Retry:      browser.RetryPolicy{MaxAttempts: 2},
+		SecondPass: SecondPass{Enabled: true},
+		Breaker:    Breaker{Enabled: true, RoundVisits: 8},
+	}
+	a, sa := schedCrawlJSON(t, w, sites, 7, opts)
+	opts.Stats = nil
+	b, sb := schedCrawlJSON(t, w, sites, 2, opts)
+
+	if len(a) != len(b) {
+		t.Fatalf("site counts differ: %d vs %d", len(a), len(b))
+	}
+	for site, rec := range a {
+		if b[site] != rec {
+			t.Fatalf("site %s records differ across worker counts:\n7w: %s\n2w: %s", site, rec, b[site])
+		}
+	}
+	if sa.Requeued == 0 {
+		t.Fatal("no visit was requeued; the second pass was not exercised")
+	}
+	if sa.Requeued != sb.Requeued || sa.ShedFetches != sb.ShedFetches || sa.Opened != sb.Opened {
+		t.Fatalf("scheduler decisions differ across worker counts: %+v vs %+v", sa, sb)
+	}
+	pass2 := false
+	for _, rec := range a {
+		if strings.Contains(rec, `"attempt":2`) {
+			pass2 = true
+			break
+		}
+	}
+	if !pass2 {
+		t.Fatal("no record carries the pass-2 attempt marker")
+	}
+}
+
+// TestSecondPassWithoutStats: the public API allows SecondPass (or the
+// breaker) without handing in a SchedStats; the crawl must allocate its
+// own instead of dereferencing nil on the first requeue.
+func TestSecondPassWithoutStats(t *testing.T) {
+	w, sites := buildSites(t, 30)
+	in := w.BuildInternet()
+	in.SetFaultModel(netsim.SeededFaults(netsim.UniformFaults(0.2, 99)))
+	res, err := Crawl(context.Background(), sites, Options{
+		Internet:   in,
+		Workers:    4,
+		Seed:       5,
+		SecondPass: SecondPass{Enabled: true},
+		// Stats deliberately nil.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 30 {
+		t.Fatalf("delivered %d logs, want 30", len(res.Logs))
+	}
+}
+
+// TestDefaultSchedulerConfigEquivalence is the PR-4 output-equivalence
+// guard at the crawler level: the default configuration (no scheduler
+// set) and an explicitly configured FIFO frontier emit byte-identical
+// per-site records, and a shuffle frontier — different pop order, same
+// per-visit inputs — does too.
+func TestDefaultSchedulerConfigEquivalence(t *testing.T) {
+	w, sites := buildSites(t, 40)
+	crawl := func(opts Options) map[string]string {
+		t.Helper()
+		opts.Internet = w.BuildInternet()
+		opts.Workers = 5
+		opts.Interact = true
+		opts.Seed = 5
+		res, err := Crawl(context.Background(), sites, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(res.Logs))
+		for _, v := range res.Logs {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[v.Site] = string(b)
+		}
+		return out
+	}
+	def := crawl(Options{})
+	fifo := crawl(Options{Scheduler: NewFIFOFrontier})
+	shuf := crawl(Options{Scheduler: func() Frontier { return NewShuffleFrontier(3) }})
+	if !reflect.DeepEqual(def, fifo) {
+		t.Fatal("explicit FIFO frontier diverges from the default configuration")
+	}
+	if !reflect.DeepEqual(def, shuf) {
+		t.Fatal("shuffle frontier changed per-site records (visit bytes must not depend on pop order)")
+	}
+}
+
+// TestBreakerRetainsMoreVisitsPerVirtualSecond is the acceptance check
+// for the breaker: under a flapping-host fault schedule, the
+// breaker-enabled crawl retains strictly more visits per virtual-clock
+// second than the baseline, because fetches to downed hosts are shed
+// instead of burning timeout × retry budget.
+func TestBreakerRetainsMoreVisitsPerVirtualSecond(t *testing.T) {
+	w, sites := buildSites(t, 80)
+	flappy := netsim.FaultConfig{
+		Seed:         99,
+		PHostFlap:    0.5,
+		FlapPeriodMs: 240000,
+		FlapDownFrac: 0.5,
+	}
+	run := func(brk Breaker) (retained int, virtualSec float64) {
+		in := w.BuildInternet()
+		in.SetFaultModel(netsim.SeededFaults(flappy))
+		stats := &SchedStats{}
+		res, err := Crawl(context.Background(), sites, Options{
+			Internet: in,
+			Workers:  6,
+			Interact: true,
+			Seed:     5,
+			Retry:    browser.RetryPolicy{MaxAttempts: 3},
+			Breaker:  brk,
+			Stats:    stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Logs {
+			if v.OK {
+				retained++
+			}
+		}
+		return retained, float64(stats.VirtualMs.Load()) / 1000
+	}
+	baseRetained, baseSec := run(Breaker{})
+	// OpenForMs spans the whole crawl: the flap windows are longer than
+	// the crawl itself, so probing early would only re-burn timeouts.
+	brkRetained, brkSec := run(Breaker{Enabled: true, RoundVisits: 8, OpenForMs: 1e7})
+	if baseSec == 0 || brkSec == 0 {
+		t.Fatal("virtual time was not accounted")
+	}
+	baseRate := float64(baseRetained) / baseSec
+	brkRate := float64(brkRetained) / brkSec
+	t.Logf("baseline: %d retained / %.1f vsec = %.3f; breaker: %d / %.1f = %.3f",
+		baseRetained, baseSec, baseRate, brkRetained, brkSec, brkRate)
+	if brkRate <= baseRate {
+		t.Fatalf("breaker rate %.3f not strictly above baseline %.3f", brkRate, baseRate)
+	}
+}
+
+// TestCircuitOpenShedsVisits: a URL list with many pages on one dead
+// host (the real-crawl shape the dispatch-time shed exists for) loses
+// only the first visits to the retry budget; once the circuit opens,
+// the rest are shed as "circuit-open" without burning browser attempts.
+func TestCircuitOpenShedsVisits(t *testing.T) {
+	in := netsim.New()
+	for i := 0; i < 4; i++ {
+		host := fmt.Sprintf("www.good%02d.com", i)
+		in.RegisterFunc(host, func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "<html><body><script>set_cookie(\"sid\", \"abcdefgh12345678\");</script><img src=\"/px.gif\"></body></html>")
+		})
+	}
+	in.RegisterFunc("www.dead.com", func(w http.ResponseWriter, r *http.Request) {})
+	in.Freeze()
+	// The dead host times out every attempt, forever.
+	in.SetFaultModel(func(req *http.Request) netsim.FaultDecision {
+		if req.URL.Hostname() == "www.dead.com" {
+			return netsim.FaultDecision{Kind: netsim.FaultTimeout, LatencyMs: 1000}
+		}
+		return netsim.FaultDecision{}
+	})
+
+	var sites []string
+	for i := 0; i < 10; i++ {
+		sites = append(sites, fmt.Sprintf("https://www.dead.com/p%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		sites = append(sites, fmt.Sprintf("https://www.good%02d.com/", i))
+	}
+	stats := &SchedStats{}
+	res, err := Crawl(context.Background(), sites, Options{
+		Internet: in,
+		Workers:  3,
+		Seed:     5,
+		Retry:    browser.RetryPolicy{MaxAttempts: 3},
+		Breaker:  Breaker{Enabled: true, FailureThreshold: 3, RoundVisits: 2},
+		Stats:    stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed, timedOut, good int
+	for _, v := range res.Logs {
+		switch v.Failure {
+		case "circuit-open":
+			shed++
+			if len(v.Requests) != 0 {
+				t.Fatalf("shed visit performed requests: %+v", v.Requests)
+			}
+		case "timeout":
+			timedOut++
+		default:
+			if v.OK {
+				good++
+			}
+		}
+	}
+	if shed == 0 || stats.ShedVisits.Load() == 0 {
+		t.Fatalf("no visit was shed (shed=%d, stats=%d)", shed, stats.ShedVisits.Load())
+	}
+	if timedOut == 0 {
+		t.Fatal("expected the pre-open visits to time out")
+	}
+	if good != 4 {
+		t.Fatalf("good sites retained = %d, want 4", good)
+	}
+	if stats.Opened.Load() == 0 {
+		t.Fatal("circuit never opened")
+	}
+}
+
+// TestVantageCrawlTagsRecords: two vantage crawls over one frozen web
+// tag every record with their names and observe different latency
+// (region-derived models), while the site sets stay identical.
+func TestVantageCrawlTagsRecords(t *testing.T) {
+	w, sites := buildSites(t, 20)
+	in := w.BuildInternet()
+	crawl := func(name string) map[string]float64 {
+		t.Helper()
+		v := netsim.Vantage{Name: name}
+		res, err := Crawl(context.Background(), sites, Options{
+			Internet: in,
+			Workers:  4,
+			Seed:     5,
+			Vantage:  &v,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := map[string]float64{}
+		for _, l := range res.Logs {
+			if l.Vantage != name {
+				t.Fatalf("record for %s tagged %q, want %q", l.Site, l.Vantage, name)
+			}
+			if l.OK {
+				loads[l.Site] = l.Timing.LoadEvent
+			}
+		}
+		return loads
+	}
+	eu := crawl("eu-west")
+	us := crawl("us-east")
+	if len(eu) != len(us) || len(eu) == 0 {
+		t.Fatalf("vantage site sets differ: %d vs %d", len(eu), len(us))
+	}
+	differs := false
+	for site, l := range eu {
+		if us[site] != l {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("both vantages observed identical load times; region latency not applied")
+	}
+}

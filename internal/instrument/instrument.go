@@ -68,9 +68,12 @@ type CookieEvent struct {
 
 // RequestEvent is one recorded outbound request. Failure carries the
 // browser's failure-taxonomy class when the request failed (see
-// browser.FailureClass) and Retries the attempts beyond the first; both
-// are zero-valued — and absent from the JSON — on the fault-free path,
-// so records from fault-free crawls are unchanged.
+// browser.FailureClass) and Retries the attempts beyond the first;
+// Attempt is the crawl-pass marker — 2 for requests issued by the
+// scheduler's fault-aware second pass (re-crawl of the transient
+// failure set). All are zero-valued — and absent from the JSON — on the
+// fault-free single-pass path, so records from such crawls are
+// unchanged.
 type RequestEvent struct {
 	URL             string `json:"url"`
 	Kind            string `json:"kind"`
@@ -79,6 +82,7 @@ type RequestEvent struct {
 	Failed          bool   `json:"failed,omitempty"`
 	Failure         string `json:"failure,omitempty"`
 	Retries         int    `json:"retries,omitempty"`
+	Attempt         int    `json:"attempt,omitempty"`
 	MainFrame       bool   `json:"main_frame"`
 }
 
@@ -111,10 +115,14 @@ type VisitLog struct {
 	Error string `json:"error,omitempty"`
 	// Failure classifies the visit in the crawl failure taxonomy. With
 	// OK false it is the fatal class of the landing-load failure (dns,
-	// conn-reset, timeout, http, truncated, deadline, internal); with OK
-	// true it is either empty or "deadline" — the visit budget expired
-	// mid-visit and the partial data was retained.
+	// conn-reset, timeout, http, truncated, deadline, circuit-open,
+	// internal); with OK true it is either empty or "deadline" — the
+	// visit budget expired mid-visit and the partial data was retained.
 	Failure string `json:"failure,omitempty"`
+	// Vantage names the vantage point the visit was crawled from, empty
+	// for the implicit default vantage — so single-vantage records are
+	// byte-identical to records from before vantages existed.
+	Vantage string `json:"vantage,omitempty"`
 
 	Cookies   []CookieEvent    `json:"cookies,omitempty"`
 	Requests  []RequestEvent   `json:"requests,omitempty"`

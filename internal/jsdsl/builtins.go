@@ -154,7 +154,7 @@ func init() {
 		},
 		"get_all_cookies": func(in *Interp, args []Value) (Value, error) {
 			names, vals := in.parsedDocCookie(in.Host.DocCookie())
-			m := NewMap()
+			m := in.newMap()
 			for _, n := range names {
 				m.Entries[n] = Str(vals[n])
 			}
@@ -186,7 +186,7 @@ func init() {
 				return Value{}, errArity("parse_cookies")
 			}
 			names, vals := ParseCookieString(s)
-			m := NewMap()
+			m := in.newMap()
 			for _, n := range names {
 				m.Entries[n] = Str(vals[n])
 			}
@@ -203,13 +203,13 @@ func init() {
 			if !found {
 				return Value{}, nil
 			}
-			return MapVal(cookieRecordToMap(rec)), nil
+			return MapVal(cookieRecordToMap(in, rec)), nil
 		},
 		"cookiestore_get_all": func(in *Interp, args []Value) (Value, error) {
 			recs := in.Host.CookieStoreGetAll()
 			l := &List{}
 			for _, rec := range recs {
-				l.Elems = append(l.Elems, MapVal(cookieRecordToMap(rec)))
+				l.Elems = append(l.Elems, MapVal(cookieRecordToMap(in, rec)))
 			}
 			return ListVal(l), nil
 		},
@@ -624,8 +624,8 @@ func clampIndex(i, n int) int {
 	return i
 }
 
-func cookieRecordToMap(rec CookieRecord) *Map {
-	m := NewMap()
+func cookieRecordToMap(in *Interp, rec CookieRecord) *Map {
+	m := in.newMap()
 	m.Entries["name"] = Str(rec.Name)
 	m.Entries["value"] = Str(rec.Value)
 	m.Entries["domain"] = Str(rec.Domain)

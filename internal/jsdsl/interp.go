@@ -53,6 +53,15 @@ type Interp struct {
 	// reuse one growing buffer instead of allocating a slice per call.
 	argStack []Value
 
+	// maps is the per-interp freelist for script Map values: maps[:mapNext]
+	// are live (handed to the current run), maps[mapNext:] are free. Maps
+	// have no scoped death — a script can stash one anywhere — but none
+	// can outlive the interpreter's run lifetime (the Host bridge traffics
+	// only in strings and CookieRecords, and closures that captured one
+	// may not run after Release), so Release clears and reclaims them all.
+	maps    []*Map
+	mapNext int
+
 	// Single-slot memo for parsing the document.cookie string: scripts
 	// poll get_cookie far more often than the string changes, and
 	// ParseCookieString is pure, so an identical input reuses the parsed
@@ -106,9 +115,16 @@ func AcquireInterp(host Host) *Interp {
 	return in
 }
 
+// interpMapsMax bounds the Map freelist an interpreter retains across
+// releases; a pathological page that built thousands of maps should not
+// pin them in the pool forever.
+const interpMapsMax = 256
+
 // Release resets the interpreter (fresh global scope, zero step count;
 // the cookie memo survives — it is keyed on the exact input string) and
-// returns it to the pool.
+// returns it to the pool. Script Maps created during the run are
+// cleared and reclaimed into the per-interp freelist: nothing can reach
+// them afterwards (see the maps field).
 func (in *Interp) Release() {
 	in.Host = nil
 	in.steps = 0
@@ -121,7 +137,30 @@ func (in *Interp) Release() {
 	} else {
 		clear(g.vars)
 	}
+	for _, m := range in.maps[:in.mapNext] {
+		clear(m.Entries)
+	}
+	if len(in.maps) > interpMapsMax {
+		in.maps = in.maps[:interpMapsMax]
+	}
+	in.mapNext = 0
 	interpPool.Put(in)
+}
+
+// newMap returns a cleared Map from the per-interp freelist, growing it
+// on first use. The map stays owned by the interpreter and is reclaimed
+// at Release, so repeated runs reuse both the Map headers and their
+// bucket storage.
+func (in *Interp) newMap() *Map {
+	if in.mapNext < len(in.maps) {
+		m := in.maps[in.mapNext]
+		in.mapNext++
+		return m
+	}
+	m := NewMap()
+	in.maps = append(in.maps, m)
+	in.mapNext++
+	return m
 }
 
 // InterpPoolStats reports how many interpreters were ever allocated and
@@ -453,7 +492,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 		return ListVal(l), nil
 
 	case *MapLit:
-		m := NewMap()
+		m := in.newMap()
 		for i := range x.Keys {
 			kv, err := in.eval(x.Keys[i], env)
 			if err != nil {

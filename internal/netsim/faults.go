@@ -254,7 +254,14 @@ func requestVClockMs(req *http.Request) float64 {
 }
 
 // hash01 maps (seed, salt, key, attempt) to a uniform value in [0,1)
-// via FNV-1a, the same mixing primitive as the latency model.
+// via FNV-1a, the same mixing primitive as the latency model. The
+// attempt is spread across the word before the final mix: xoring the
+// small integer in directly only perturbed the hash's low bits, so
+// consecutive attempts drew values within ~4e-4 of each other and a
+// retried request nearly always replayed its first attempt's fault —
+// despite the documented contract that each attempt draws
+// independently. Attempt 0 (the flap-schedule draws, which must not
+// vary per attempt) hashes exactly as before.
 func hash01(seed uint64, salt, key string, attempt int) float64 {
 	h := uint64(14695981039346656037)
 	mix := func(s string) {
@@ -270,7 +277,7 @@ func hash01(seed uint64, salt, key string, attempt int) float64 {
 	mix(salt)
 	mix("\x00")
 	mix(key)
-	h ^= uint64(attempt)
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
 	h *= 1099511628211
 	return float64(h>>11) / (1 << 53)
 }

@@ -424,19 +424,30 @@ func (i *Internet) respond(resp *http.Response, req *http.Request, lat float64, 
 	return resp
 }
 
-// RoundTrip implements http.RoundTripper against the fabric.
+// RoundTrip implements http.RoundTripper against the fabric, observed
+// from the implicit default vantage (the installed latency and fault
+// models). Internet.From builds vantage views that route through the
+// same serving path with per-vantage models.
 func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := i.view()
+	return i.roundTrip(req, &v, v.latency, v.faults)
+}
+
+// roundTrip is the shared serving path: route, inject faults, replay or
+// run the handler. latency and faults are the effective models for this
+// request — the snapshot's own for a direct RoundTrip, a vantage's
+// overrides for a VantageView.
+func (i *Internet) roundTrip(req *http.Request, v *snapshot, latency LatencyModel, faults FaultModel) (*http.Response, error) {
 	host := strings.ToLower(req.URL.Hostname())
 	if host == "" {
 		return nil, fmt.Errorf("netsim: request %q has no host", req.URL)
 	}
-	v := i.view()
 	servedBy := canonicalIn(v.cnames, host)
 	handler, ok := v.hosts[servedBy]
 	if !ok {
 		return nil, &HostNotFoundError{Host: host}
 	}
-	lat := v.latency(req)
+	lat := latency(req)
 
 	// Fault injection: consult the model before the handler or cache.
 	// Connection-level faults return an error carrying the virtual time
@@ -445,8 +456,8 @@ func (i *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
 	// applied to the delivered copy after normal serving (below), so the
 	// response cache only ever stores intact exchanges.
 	var fd FaultDecision
-	if v.faults != nil {
-		fd = v.faults(req)
+	if faults != nil {
+		fd = faults(req)
 	}
 	switch fd.Kind {
 	case FaultConnReset:

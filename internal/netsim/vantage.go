@@ -1,0 +1,123 @@
+package netsim
+
+// Vantage points: the same frozen web, observed from different network
+// locations. The fabric's default latency model is a single per-host
+// hash — one implicit observer. A Vantage names an observer and gives it
+// its own latency model and fault rates, so a multi-region measurement
+// can crawl one registered web "from" several places and compare the
+// latency and failure tails (the Figure 6 comparison across regions)
+// without regenerating or re-registering anything.
+//
+// A Vantage never mutates the Internet: From returns a lightweight view
+// that overrides the latency/fault models per request, so any number of
+// vantage views can serve concurrently over one fabric, sharing its
+// handlers, CNAMEs, taps, response cache, and counters.
+
+import "net/http"
+
+// Vantage is a named crawl origin: a region with its own latency model
+// and fault rates. The zero value is the implicit default vantage — it
+// observes the fabric exactly as a direct RoundTrip does (the installed
+// latency and fault models), so code that threads a Vantage through
+// unconditionally stays byte-identical to code that never heard of them.
+type Vantage struct {
+	// Name identifies the vantage point (e.g. "eu-west"). A non-empty
+	// name with a nil Latency derives RegionLatency(Name); the empty
+	// name keeps the fabric's installed latency model.
+	Name string
+	// Latency overrides the latency model for requests from this
+	// vantage. Nil falls back as described on Name.
+	Latency LatencyModel
+	// Faults, when enabled, replaces the fabric's fault model for
+	// requests from this vantage (region-dependent fault rates). The
+	// zero config keeps the fabric's installed model, so a vantage can
+	// reshape latency only.
+	Faults FaultConfig
+}
+
+// Default reports whether the vantage is the implicit default: it names
+// nothing and overrides nothing, so crawling from it is exactly crawling
+// the fabric directly.
+func (v Vantage) Default() bool {
+	return v.Name == "" && v.Latency == nil && !v.Faults.Enabled()
+}
+
+// RegionLatency is the per-region analogue of DefaultLatency: a
+// deterministic per-(region, host) RTT — a region-wide floor plus a
+// region-salted per-host spread plus the per-path component — so two
+// vantages see the same host at genuinely different, reproducible
+// distances. An empty region returns DefaultLatency.
+func RegionLatency(region string) LatencyModel {
+	if region == "" {
+		return DefaultLatency
+	}
+	rh := fnv64(region)
+	floor := 4 + float64(rh%40) // region RTT floor: 4–43 ms
+	return func(req *http.Request) float64 {
+		h := rh
+		host := req.URL.Hostname()
+		for i := 0; i < len(host); i++ {
+			h ^= uint64(host[i])
+			h *= 1099511628211
+		}
+		p := fnv64(req.URL.Path)
+		return floor + float64(h%53) + float64(p%7)
+	}
+}
+
+// RegionSeed derives a per-region fault seed from a base seed, so a
+// multi-vantage run can hold the web fixed while every region draws an
+// independent fault schedule (region-dependent fault rates use the same
+// FaultConfig with this seed). The empty region returns seed unchanged.
+func RegionSeed(seed uint64, region string) uint64 {
+	if region == "" {
+		return seed
+	}
+	return seed ^ (fnv64(region) | 1)
+}
+
+// VantageView is an http.RoundTripper serving requests from one vantage
+// point over a shared Internet. Construct with Internet.From.
+type VantageView struct {
+	net     *Internet
+	vantage Vantage
+	latency LatencyModel // nil: fabric's installed model
+	faults  FaultModel   // nil: fabric's installed model
+}
+
+// From returns the fabric viewed from a vantage point. The view resolves
+// the vantage's models once — Latency, else RegionLatency(Name) for a
+// named vantage; SeededFaults(Faults) when enabled — and falls back to
+// the fabric's installed models per request otherwise, so the default
+// vantage's view is request-for-request identical to the Internet
+// itself. Routing state (hosts, CNAMEs, taps, response cache) and the
+// request/fault counters are shared with every other view.
+func (i *Internet) From(v Vantage) *VantageView {
+	vv := &VantageView{net: i, vantage: v}
+	switch {
+	case v.Latency != nil:
+		vv.latency = v.Latency
+	case v.Name != "":
+		vv.latency = RegionLatency(v.Name)
+	}
+	if v.Faults.Enabled() {
+		vv.faults = SeededFaults(v.Faults)
+	}
+	return vv
+}
+
+// Vantage returns the vantage point this view observes from.
+func (vv *VantageView) Vantage() Vantage { return vv.vantage }
+
+// RoundTrip implements http.RoundTripper from the vantage point.
+func (vv *VantageView) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := vv.net.view()
+	lat, flt := s.latency, s.faults
+	if vv.latency != nil {
+		lat = vv.latency
+	}
+	if vv.faults != nil {
+		flt = vv.faults
+	}
+	return vv.net.roundTrip(req, &s, lat, flt)
+}

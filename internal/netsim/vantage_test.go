@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"net/http"
+	"testing"
+)
+
+func vantageTestNet(t *testing.T) *Internet {
+	t.Helper()
+	in := New()
+	in.RegisterFunc("www.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello"))
+	})
+	in.Freeze()
+	return in
+}
+
+func vget(t *testing.T, rt http.RoundTripper, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rt.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDefaultVantageViewIdentical: the zero Vantage's view observes the
+// fabric exactly as a direct RoundTrip — same status, body, and charged
+// latency — so threading a Vantage through unconditionally changes
+// nothing.
+func TestDefaultVantageViewIdentical(t *testing.T) {
+	in := vantageTestNet(t)
+	v := Vantage{}
+	if !v.Default() {
+		t.Fatal("zero Vantage must report Default()")
+	}
+	view := in.From(v)
+
+	direct := vget(t, in, "https://www.example.com/a/b")
+	viaView := vget(t, view, "https://www.example.com/a/b")
+	if direct.StatusCode != viaView.StatusCode {
+		t.Fatalf("status: direct=%d view=%d", direct.StatusCode, viaView.StatusCode)
+	}
+	db, _ := ReadBody(direct)
+	vb, _ := ReadBody(viaView)
+	if db != vb {
+		t.Fatalf("body: direct=%q view=%q", db, vb)
+	}
+	if dl, vl := Latency(direct), Latency(viaView); dl != vl {
+		t.Fatalf("latency: direct=%v view=%v", dl, vl)
+	}
+}
+
+// TestRegionLatencyDeterministicAndDistinct: the same (region, URL)
+// always charges the same latency, and different regions see the same
+// host at genuinely different distances.
+func TestRegionLatencyDeterministicAndDistinct(t *testing.T) {
+	req, _ := http.NewRequest(http.MethodGet, "https://www.example.com/x", nil)
+	eu := RegionLatency("eu-west")
+	us := RegionLatency("us-east")
+	if eu(req) != eu(req) {
+		t.Fatal("RegionLatency is not deterministic")
+	}
+	// One host could collide; across several hosts the regions must
+	// separate somewhere.
+	distinct := false
+	for _, u := range []string{
+		"https://a.example/", "https://b.example/", "https://c.example/",
+		"https://d.example/", "https://e.example/",
+	} {
+		r, _ := http.NewRequest(http.MethodGet, u, nil)
+		if eu(r) != us(r) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("eu-west and us-east latency models are identical across hosts")
+	}
+	if RegionLatency("") == nil {
+		t.Fatal("empty region must fall back to DefaultLatency")
+	}
+}
+
+// TestVantageLatencyOnFabric: a named vantage's view charges its
+// region's latency while the fabric's direct path keeps the default
+// model — the same frozen web, observed from two distances at once.
+func TestVantageLatencyOnFabric(t *testing.T) {
+	in := vantageTestNet(t)
+	url := "https://www.example.com/p"
+	directLat := Latency(vget(t, in, url))
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	euWant := RegionLatency("eu-west")(req)
+	euGot := Latency(vget(t, in.From(Vantage{Name: "eu-west"}), url))
+	if euGot != euWant {
+		t.Fatalf("eu-west view charged %v, model says %v", euGot, euWant)
+	}
+	if directLat != Latency(vget(t, in, url)) {
+		t.Fatal("direct latency changed after vantage use")
+	}
+}
+
+// TestVantageFaultsOverride: a vantage with its own fault config draws
+// its own schedule, while the fabric's direct path stays fault-free —
+// region-dependent fault rates over one registered web.
+func TestVantageFaultsOverride(t *testing.T) {
+	in := vantageTestNet(t)
+	cfg := FaultConfig{Seed: RegionSeed(7, "flaky-region"), PConnReset: 1}
+	view := in.From(Vantage{Name: "flaky-region", Faults: cfg})
+	req, _ := http.NewRequest(http.MethodGet, "https://www.example.com/q", nil)
+	if _, err := view.RoundTrip(req); err == nil {
+		t.Fatal("vantage with PConnReset=1 served a request")
+	}
+	if _, err := in.RoundTrip(req); err != nil {
+		t.Fatalf("fabric's direct path inherited the vantage's faults: %v", err)
+	}
+	if in.Faults() == 0 {
+		t.Fatal("vantage fault was not counted on the shared fabric counters")
+	}
+}
+
+// TestRegionSeed: stable per region, distinct across regions, identity
+// for the empty region.
+func TestRegionSeed(t *testing.T) {
+	if RegionSeed(42, "") != 42 {
+		t.Fatal("empty region must keep the seed")
+	}
+	if RegionSeed(42, "eu") != RegionSeed(42, "eu") {
+		t.Fatal("RegionSeed not deterministic")
+	}
+	if RegionSeed(42, "eu") == RegionSeed(42, "us") {
+		t.Fatal("regions share a fault seed")
+	}
+}

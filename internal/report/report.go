@@ -115,6 +115,33 @@ func Failures(w io.Writer, s analysis.FailureStats, rows []analysis.FailureRow) 
 	Table(w, []string{"scope", "class", "count"}, out)
 }
 
+// Vantages renders the per-vantage comparison table: retention and the
+// load-event latency tail of each vantage point over one frozen web
+// (the Figure 6 comparison across regions).
+func Vantages(w io.Writer, rows []analysis.VantageRow) {
+	fmt.Fprintln(w, "Per-vantage retention and load-event latency tail")
+	var out [][]string
+	for _, r := range rows {
+		name := r.Vantage
+		if name == "" {
+			name = "(default)"
+		}
+		out = append(out, []string{
+			name,
+			fmt.Sprintf("%d", r.Visits),
+			fmt.Sprintf("%d", r.Complete),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%.0f", r.LoadMeanMs),
+			fmt.Sprintf("%.0f", r.LoadP50Ms),
+			fmt.Sprintf("%.0f", r.LoadP90Ms),
+			fmt.Sprintf("%.0f", r.LoadP99Ms),
+			fmt.Sprintf("%.0f", r.LoadMaxMs),
+		})
+	}
+	Table(w, []string{"vantage", "visits", "complete", "failed",
+		"load mean", "p50", "p90", "p99", "max"}, out)
+}
+
 // Table2 renders Table 2.
 func Table2(w io.Writer, rows []analysis.Table2Row) {
 	var out [][]string

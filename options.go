@@ -25,6 +25,10 @@ type config struct {
 	faults        *FaultConfig
 	retry         RetryPolicy
 	visitBudget   float64
+	scheduler     func() Frontier
+	secondPass    bool
+	breaker       Breaker
+	vantages      []Vantage
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -130,6 +134,57 @@ func WithProgressStats(fn func(ProgressStats)) Option {
 // must not share pooled state.
 func WithPooling(on bool) Option {
 	return func(c *config) { c.noPooling = !on }
+}
+
+// WithScheduler replaces the crawl's Frontier — the scheduler queue
+// deciding visit order and holding the second pass's requeues. The
+// factory is invoked once per crawl (frontiers are stateful). The
+// default is NewFIFOFrontier, which visits sites in input order and is
+// output-identical to the pre-scheduler crawl loop; NewShuffleFrontier
+// visits them in a seeded random permutation. Custom implementations
+// must satisfy the Frontier determinism contract or seeded crawls lose
+// their byte-stability.
+func WithScheduler(factory func() Frontier) Option {
+	return func(c *config) { c.scheduler = factory }
+}
+
+// WithSecondPass enables the fault-aware second pass: visits whose
+// landing failed on a transient class (conn-reset, timeout, truncated —
+// plus circuit-open sheds) are re-crawled once the primary frontier
+// drains, and only the re-crawl's record is emitted — the way real
+// measurement crawls re-run their failure set. The re-crawl's browser
+// starts its virtual clock 45 s later (flap schedules can have moved
+// on) and continues its attempt numbering (per-attempt fault decisions
+// draw fresh); its request records carry the pass marker in
+// RequestEvent.Attempt. Off (the default) changes nothing.
+func WithSecondPass(on bool) Option {
+	return func(c *config) { c.secondPass = on }
+}
+
+// WithBreaker configures consul-style per-host circuit breaking: a host
+// that keeps failing on transient classes has its circuit opened, and
+// open circuits shed fetches — and whole visits whose landing document
+// lives on the host — with FailureClass "circuit-open" instead of
+// burning the retry budget; after the cooldown (on the crawl's virtual
+// clock) half-open probes re-admit recovered hosts. Accounting is
+// round-synchronous, so breaker-enabled crawls stay byte-identical
+// across runs and worker counts. The zero config (and not calling this
+// option) changes nothing.
+func WithBreaker(cfg Breaker) Option {
+	return func(c *config) { c.breaker = cfg }
+}
+
+// WithVantages crawls the pipeline's web from the given vantage points
+// — per-region latency models and fault rates over one frozen web and
+// one shared artifact cache. Stream/Crawl/Run visit every site once per
+// vantage (in the given order), each record tagged with its
+// VisitLog.Vantage, and Results.Vantages / Results.VantageTable()
+// compare the per-vantage failure counts and load-event latency tails
+// (the Figure 6 comparison across regions). No vantages (the default)
+// crawls the fabric directly — byte-identical to before vantages
+// existed; a single default vantage is equivalent.
+func WithVantages(vs ...Vantage) Option {
+	return func(c *config) { c.vantages = append(c.vantages, vs...) }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's
