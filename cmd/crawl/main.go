@@ -13,6 +13,15 @@
 //	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
 //	      [-retries N] [-second-pass] [-breaker] [-vantages eu-west,us-east]
 //	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
+//	      [-serve :8089] [-snap-every K]
+//
+// -serve additionally runs the live analysis alongside the crawl and
+// exposes it at the given address (cookieguard.Server: /v1/results,
+// /v1/tables/retention, ..., with ?index=N&wait=30s blocking queries —
+// `curl 'localhost:8089/v1/tables/retention?index=0'` streams table
+// updates while the crawl runs). A fresh snapshot publishes every
+// -snap-every visits (default 64) and once at the end; after the crawl
+// the process keeps serving the final results until interrupted.
 //
 // -v prints live counters (progress, fabric faults, cache and pool hit
 // rates) to stderr every 100 visits. -pooling=false disables per-visit
@@ -66,6 +75,10 @@ func main() {
 		"recycle per-visit state (pages, DOM arenas, interpreters) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	verbose := flag.Bool("v", false,
 		"print live crawl counters to stderr (progress, fabric faults, cache and pool hit rates)")
+	serveAddr := flag.String("serve", "",
+		"serve live analysis over HTTP at this address (e.g. :8089) while crawling, and keep serving the final results after the crawl until interrupted")
+	snapEvery := flag.Int("snap-every", 0,
+		"publish an analysis snapshot every K visits on the served endpoints (0 = default 64); only meaningful with -serve")
 	flag.Parse()
 
 	opts := []cookieguard.Option{
@@ -119,6 +132,26 @@ func main() {
 	}
 	p := cookieguard.New(opts...)
 
+	// -serve: analysis rides along with the crawl. The stream loop below
+	// is the single consumer, so one shard suffices; snapshots publish at
+	// the requested cadence and blocked /v1 pollers wake on each.
+	var (
+		sh        *cookieguard.ShardedAnalyzer
+		store     *cookieguard.ResultStore
+		snapCycle = *snapEvery
+	)
+	if *serveAddr != "" {
+		bound, err := p.StartServer(*serveAddr)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "crawl: serving live analysis on http://%s/v1/\n", bound)
+		store = p.ResultStore()
+		sh = p.NewShardedAnalyzer(1)
+		if snapCycle <= 0 {
+			snapCycle = 64
+		}
+	}
+	total := *sites * len(p.Vantages())
+
 	if *listPath != "" {
 		f, err := os.Create(*listPath)
 		fatal(err)
@@ -149,6 +182,12 @@ func main() {
 		if l.Complete() {
 			complete++
 		}
+		if sh != nil {
+			sh.Observe(0, l)
+			if visited%snapCycle == 0 {
+				store.Publish(cookieguard.ResultProgress{Done: visited, Total: total}, sh.Snapshot())
+			}
+		}
 		if *sortOut {
 			b, err := json.Marshal(l)
 			fatal(err)
@@ -158,6 +197,9 @@ func main() {
 		fatal(enc.Encode(l))
 	}
 	fatal(<-errs)
+	if sh != nil {
+		store.Publish(cookieguard.ResultProgress{Done: visited, Total: total, Final: true}, sh.Finalize())
+	}
 	if *sortOut {
 		// (site, vantage) is unique per crawl, so the sort order is
 		// total and the emitted file is byte-stable for a fixed seed.
@@ -168,6 +210,11 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", visited, complete)
+	if *serveAddr != "" {
+		w.Flush()
+		fmt.Fprintln(os.Stderr, "crawl: serving final results; interrupt to exit")
+		select {}
+	}
 }
 
 func rate(hits, misses uint64) float64 {

@@ -8,7 +8,16 @@
 //	            [-artifact-cache=BOOL] [-pooling=BOOL] [-bench-json FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-faults RATE] [-retries N] [-second-pass] [-breaker]
-//	            [-vantages eu-west,us-east]
+//	            [-vantages eu-west,us-east] [-serve :8089] [-serve-bench]
+//
+// Live serving: -serve exposes the measurement crawl's analysis over
+// HTTP while it runs (cookieguard.Server — versioned snapshots with
+// blocking queries; see the Server doc). -serve-bench runs the HTTP
+// read-path smoke bench after the crawl: it hammers a versioned
+// endpoint at a fixed index (the cached-encoding path every dashboard
+// poller hits) and records cached-poll requests/s in the -bench-json
+// snapshot (BENCH_6.json by convention); it brings up a loopback server
+// on its own when -serve isn't given.
 //
 // Scheduling and vantage points: -second-pass re-crawls the transient
 // failure set once the primary frontier drains, -breaker enables
@@ -57,10 +66,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"cookieguard"
@@ -92,6 +104,10 @@ func main() {
 		"comma-separated vantage-point names; crawls every site once per region and prints the per-vantage latency-tail table")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters, cached exchanges) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
+	serve := flag.String("serve", "",
+		"serve live analysis over HTTP at this address (e.g. :8089) while the measurement crawl runs")
+	serveBench := flag.Bool("serve-bench", false,
+		"run the HTTP read-path smoke bench after the crawl (cached-poll requests/s, recorded in -bench-json); starts a loopback server if -serve is not set")
 	crawlOnly := flag.Bool("crawl-only", false,
 		"exit after the measurement crawl and its -bench-json snapshot (skips the guard/breakage/performance experiments); the perf-harness mode CI's bench gate runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement crawl to this file")
@@ -118,6 +134,10 @@ func main() {
 		benchJSON: *benchJSON, memProfile: *memProfile,
 		faultRate: *faults, retries: *retries,
 		secondPass: *secondPass, breaker: *breaker,
+		serveAddr: *serve, serveBench: *serveBench,
+	}
+	if cfg.serveBench && cfg.serveAddr == "" {
+		cfg.serveAddr = "127.0.0.1:0"
 	}
 	if *vantages != "" {
 		for _, name := range strings.Split(*vantages, ",") {
@@ -144,6 +164,8 @@ type runConfig struct {
 	retries                int
 	secondPass, breaker    bool
 	vantages               []cookieguard.Vantage
+	serveAddr              string
+	serveBench             bool
 }
 
 // benchSnapshot is the schema of the -bench-json throughput record.
@@ -179,6 +201,21 @@ type benchSnapshot struct {
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
+	// ServeBench records the HTTP read-path smoke bench: cached-poll
+	// throughput against a versioned endpoint at a fixed index (absent
+	// unless -serve-bench).
+	ServeBench *serveBenchResult `json:"serve_bench,omitempty"`
+}
+
+// serveBenchResult is the -serve-bench record: every request hits the
+// per-index cached encoding (no re-marshal), so requests/s measures the
+// O(1) read path dashboards poll.
+type serveBenchResult struct {
+	Endpoint       string  `json:"endpoint"`
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
 }
 
 // vantageBench is one vantage point's row in the bench snapshot.
@@ -216,6 +253,9 @@ func run(cfg runConfig) error {
 	if len(cfg.vantages) > 0 {
 		resilience = append(resilience, cookieguard.WithVantages(cfg.vantages...))
 	}
+	if cfg.serveAddr != "" {
+		resilience = append(resilience, cookieguard.WithServer(cfg.serveAddr))
+	}
 	study := cookieguard.New(append([]cookieguard.Option{
 		cookieguard.WithSites(sites),
 		cookieguard.WithWorkers(workers),
@@ -225,6 +265,14 @@ func run(cfg runConfig) error {
 		cookieguard.WithPooling(pooling),
 	}, resilience...)...)
 	ctx := context.Background()
+
+	if cfg.serveAddr != "" {
+		bound, err := study.StartServer(cfg.serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving live analysis on http://%s/v1/\n\n", bound)
+	}
 
 	// ---------- Measurement crawl (no guard), single streaming pass ----------
 	fmt.Fprintln(out, "--- measurement crawl (§4) ---")
@@ -239,19 +287,31 @@ func run(cfg runConfig) error {
 	var res *cookieguard.Results
 	vantSecs := map[string]float64{}
 	if vs := study.Vantages(); len(cfg.vantages) > 0 {
-		an := study.NewAnalyzer()
+		// This loop bypasses Run (per-vantage timing), so it feeds the
+		// result store itself when serving: same sharded analyzer and
+		// cadence, so the served snapshots are identical in kind.
+		sh := study.NewShardedAnalyzer(1)
+		store := study.ResultStore()
+		serving := cfg.serveAddr != ""
+		observed, total := 0, sites*len(vs)
 		for _, v := range vs {
 			vStart := time.Now()
 			logs, errs := study.StreamVantage(ctx, v)
 			for l := range logs {
-				an.Observe(l)
+				sh.Observe(0, l)
+				if observed++; serving && observed%64 == 0 {
+					store.Publish(cookieguard.ResultProgress{Done: observed, Total: total}, sh.Snapshot())
+				}
 			}
 			if err := <-errs; err != nil {
 				return err
 			}
 			vantSecs[v.Name] = time.Since(vStart).Seconds()
 		}
-		res = an.Finalize()
+		res = sh.Finalize()
+		if serving {
+			store.Publish(cookieguard.ResultProgress{Done: observed, Total: total, Final: true}, res)
+		}
 	} else {
 		var err error
 		res, err = study.Run(ctx)
@@ -301,6 +361,19 @@ func run(cfg runConfig) error {
 		fmt.Fprintf(out, "allocation profile written to %s\n\n", memProfile)
 	}
 
+	var sb *serveBenchResult
+	if cfg.serveBench {
+		bound, err := study.StartServer(cfg.serveAddr)
+		if err != nil {
+			return err
+		}
+		if sb, err = runServeBench("http://" + bound); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serve bench: %d cached polls from %d clients in %.2fs -> %.0f requests/s (%s)\n\n",
+			sb.Requests, sb.Clients, sb.Seconds, sb.RequestsPerSec, sb.Endpoint)
+	}
+
 	if benchJSON != "" {
 		snap := benchSnapshot{
 			Benchmark:     "StreamingPipeline",
@@ -321,6 +394,7 @@ func run(cfg runConfig) error {
 			PoolStats:     study.PoolStats(),
 			Sched:         study.SchedStats(),
 			Failures:      res.Failures,
+			ServeBench:    sb,
 		}
 		for _, row := range res.VantageTable() {
 			if row.Vantage == "" && len(cfg.vantages) == 0 {
@@ -443,6 +517,66 @@ func run(cfg runConfig) error {
 	}
 
 	return nil
+}
+
+// runServeBench measures the cached read path of cookieguard.Server:
+// concurrent clients polling one versioned endpoint with a stale index,
+// so every request resolves immediately from the per-index cached
+// encoding (the request mix a dashboard fleet generates between
+// snapshot publishes). Returns aggregate requests/s over real HTTP.
+func runServeBench(base string) (*serveBenchResult, error) {
+	const (
+		clients   = 8
+		perClient = 1000
+		endpoint  = "/v1/tables/retention?index=0"
+	)
+	url := base + endpoint
+
+	// Warm the encoding cache and sanity-check the endpoint.
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("serve-bench warm-up: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve-bench warm-up: status %d", resp.StatusCode)
+	}
+
+	errs := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("serve-bench: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	total := clients * perClient
+	return &serveBenchResult{
+		Endpoint: endpoint, Clients: clients, Requests: total,
+		Seconds: secs, RequestsPerSec: float64(total) / secs,
+	}, nil
 }
 
 // fig5 prints the with/without comparison and reduction percentages.

@@ -1,0 +1,90 @@
+// Command serve runs the full measurement pipeline — crawl plus live
+// analysis — and serves the versioned results over HTTP
+// (cookieguard.Server). While the crawl runs, snapshots publish every
+// -snap-every visits and pollers can follow along with blocking
+// queries; after finalize the process stays up serving the complete
+// analysis until interrupted.
+//
+// Usage:
+//
+//	serve [-sites N] [-workers N] [-seed S] [-addr :8089] [-snap-every K]
+//	      [-faults RATE] [-retries N] [-vantages eu-west,us-east]
+//
+// Endpoints (see the cookieguard.Server doc for the full protocol):
+//
+//	curl localhost:8089/v1/summary
+//	curl 'localhost:8089/v1/tables/retention?index=0'        # immediate
+//	curl 'localhost:8089/v1/tables/retention?index=7&wait=30s' # blocks
+//	curl localhost:8089/v1/stats                              # live counters
+//
+// Every versioned response carries X-Result-Index and an ETag ("cg-N");
+// re-poll with ?index=N (and optionally If-None-Match) to long-poll for
+// the next snapshot at O(1) server cost.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cookieguard"
+)
+
+func main() {
+	sites := flag.Int("sites", 1000, "sites to generate and crawl")
+	workers := flag.Int("workers", 16, "concurrent visits")
+	seed := flag.Uint64("seed", 0, "override the default deterministic seed")
+	addr := flag.String("addr", ":8089", "HTTP listen address for the result server")
+	snapEvery := flag.Int("snap-every", 0, "publish an analysis snapshot every K visits (0 = default 64)")
+	faults := flag.Float64("faults", 0, "overall per-attempt fault rate injected by the fabric")
+	retries := flag.Int("retries", 1, "attempt budget per fetch under faults (1 = no retries)")
+	vantages := flag.String("vantages", "",
+		"comma-separated vantage-point names; crawls every site once per region")
+	flag.Parse()
+
+	opts := []cookieguard.Option{
+		cookieguard.WithSites(*sites),
+		cookieguard.WithWorkers(*workers),
+		cookieguard.WithSeed(*seed),
+		cookieguard.WithInteract(true),
+		cookieguard.WithServer(*addr),
+		cookieguard.WithSnapshotEvery(*snapEvery),
+	}
+	if *faults > 0 {
+		opts = append(opts, cookieguard.WithFaults(cookieguard.UniformFaults(*faults, *seed)))
+	}
+	if *retries > 1 {
+		rp := cookieguard.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		opts = append(opts, cookieguard.WithRetryPolicy(rp))
+	}
+	if *vantages != "" {
+		var vs []cookieguard.Vantage
+		for _, name := range strings.Split(*vantages, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				vs = append(vs, cookieguard.RegionVantage(name, *faults, *seed))
+			}
+		}
+		opts = append(opts, cookieguard.WithVantages(vs...))
+	}
+
+	p := cookieguard.New(opts...)
+	bound, err := p.StartServer(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serve: live analysis on http://%s/v1/ — crawling %d sites\n", bound, *sites)
+
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"serve: crawl done (%d/%d sites complete, %d events); serving final results at index %d — interrupt to exit\n",
+		res.Summary.SitesComplete, res.Summary.SitesTotal, len(res.Events), p.ResultStore().Index())
+	select {}
+}

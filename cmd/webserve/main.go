@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	webserve [-sites N] [-addr :8080]
+//	webserve [-sites N] [-seed S] [-addr :8080]
+//
+// -seed fixes the web-generation seed (the same flag cmd/crawl and
+// cmd/experiments take), so a served web is reproducible: the seed in
+// the startup banner regenerates the exact same sites elsewhere.
 package main
 
 import (
@@ -14,15 +18,22 @@ import (
 	"os"
 
 	"cookieguard"
+	"cookieguard/internal/webgen"
 )
 
 func main() {
 	sites := flag.Int("sites", 50, "sites to generate")
+	seed := flag.Uint64("seed", 0, "override the default deterministic web-generation seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
-	study := cookieguard.New(cookieguard.WithSites(*sites))
-	fmt.Printf("serving %d synthetic sites on %s (route by Host header)\n", *sites, *addr)
+	study := cookieguard.New(cookieguard.WithSites(*sites), cookieguard.WithSeed(*seed))
+	effective := *seed
+	if effective == 0 {
+		effective = webgen.DefaultConfig(*sites).Seed
+	}
+	fmt.Printf("serving %d synthetic sites on %s, seed %d (route by Host header)\n",
+		*sites, *addr, effective)
 	for i, e := range study.SiteList() {
 		if i >= 10 {
 			fmt.Println("  ...")

@@ -30,6 +30,10 @@ package cookieguard
 
 import (
 	"context"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"cookieguard/internal/analysis"
 	"cookieguard/internal/artifact"
@@ -42,6 +46,7 @@ import (
 	"cookieguard/internal/instrument"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/perf"
+	"cookieguard/internal/resultstore"
 	"cookieguard/internal/trancolist"
 	"cookieguard/internal/webgen"
 )
@@ -64,6 +69,16 @@ type (
 	CookieMiddleware = browser.CookieMiddleware
 	// Analyzer is the incremental analysis engine (Observe/Finalize).
 	Analyzer = analysis.Analyzer
+	// ShardedAnalyzer fans analysis out over contention-free per-worker
+	// shards with a deterministic merge (Pipeline.NewShardedAnalyzer).
+	ShardedAnalyzer = analysis.Sharded
+	// ResultStore is the versioned snapshot store behind
+	// cookieguard.Server (Pipeline.ResultStore).
+	ResultStore = resultstore.Store
+	// ResultSnapshot is one published analysis version.
+	ResultSnapshot = resultstore.Snapshot
+	// ResultProgress is the crawl-progress stamp on a published snapshot.
+	ResultProgress = resultstore.Progress
 	// CacheStats is a snapshot of the artifact cache's per-tier hit/miss
 	// counters (see Pipeline.CacheStats).
 	CacheStats = artifact.Stats
@@ -126,6 +141,18 @@ type Pipeline struct {
 	// sched accumulates scheduler counters across every crawl this
 	// pipeline runs (all vantages share it, like the artifact cache).
 	sched *crawler.SchedStats
+
+	// store holds the versioned analysis snapshots cookieguard.Server
+	// reads; built lazily by ResultStore (one per pipeline lifetime).
+	store     *resultstore.Store
+	storeOnce sync.Once
+
+	// serve tracks the WithServer listener: bound once per pipeline, it
+	// serves for the remainder of the process so results stay queryable
+	// after Run returns.
+	serveOnce sync.Once
+	serveErr  error
+	servedOn  string
 }
 
 // New generates a synthetic web and returns the pipeline over it,
@@ -162,6 +189,13 @@ func New(opts ...Option) *Pipeline {
 // hit/miss counters (all zero when the cache is disabled). A long crawl
 // should show hit rates approaching 1 on every tier; persistent misses
 // mean the workload has little cross-visit redundancy.
+//
+// Safe to call at any time, including concurrently with a running
+// crawl: the counters are atomics and the snapshot is a consistent-
+// enough point-in-time read for live dashboards (individual tiers are
+// loaded independently, so a snapshot taken mid-visit may be a few
+// lookups apart across tiers, never torn within one). cookieguard.Server
+// reads it live on /v1/stats.
 func (p *Pipeline) CacheStats() CacheStats {
 	if p.artifacts == nil {
 		return CacheStats{}
@@ -248,6 +282,11 @@ func (p *Pipeline) Vantages() []Vantage {
 // circuit-breaker shed/probe activity, and second-pass volume. All
 // zero unless WithBreaker/WithSecondPass (or a breaker-enabled crawl)
 // produced any.
+//
+// Safe to call at any time, including concurrently with a running
+// crawl: every counter is an atomic and the snapshot is a plain-value
+// copy, so mid-run reads observe monotonically advancing totals (as on
+// cookieguard.Server's /v1/stats), not just the end-of-run state.
 func (p *Pipeline) SchedStats() SchedSnapshot { return p.sched.Snapshot() }
 
 // StreamVantage runs the measurement crawl from one vantage point and
@@ -321,7 +360,24 @@ func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
 // a single streaming pass: every visit log is folded into the analyzer
 // as soon as its visit finishes and is dropped afterwards, so at most
 // O(workers) logs are resident regardless of the site count.
+//
+// With WithServer or WithSnapshotEvery configured, Run additionally
+// publishes versioned snapshots into ResultStore() as the crawl
+// advances (analysis then fans out over contention-free shards — one
+// per worker — merged deterministically, so the returned Results are
+// byte-identical to an unserved run) and, under WithServer, binds the
+// HTTP server before crawling; a bind failure fails the run. The final
+// snapshot published at finalize is the exact Results value Run
+// returns.
 func (p *Pipeline) Run(ctx context.Context) (*Results, error) {
+	if p.cfg.serveAddr != "" {
+		if _, err := p.StartServer(p.cfg.serveAddr); err != nil {
+			return nil, err
+		}
+	}
+	if p.serving() {
+		return p.runServed(ctx)
+	}
 	an := p.NewAnalyzer()
 	logs, errs := p.Stream(ctx)
 	for v := range logs {
@@ -333,12 +389,118 @@ func (p *Pipeline) Run(ctx context.Context) (*Results, error) {
 	return an.Finalize(), nil
 }
 
+// serving reports whether Run should publish snapshots (and therefore
+// analyze on the sharded path).
+func (p *Pipeline) serving() bool {
+	return p.cfg.serveAddr != "" || p.cfg.snapEvery > 0
+}
+
+// defaultSnapshotEvery is the publish cadence (in observed visits) when
+// WithSnapshotEvery is unset.
+const defaultSnapshotEvery = 64
+
+// runServed is Run's publishing variant: visit logs fan out to one
+// analyzer shard per observer goroutine (Observe never contends across
+// shards), and every K observed visits one observer folds a copy of the
+// shards into an immutable Results snapshot and publishes it — blocked
+// /v1 pollers wake on each publish. The finalize-time publish is the
+// exact Results returned, marked Progress.Final.
+func (p *Pipeline) runServed(ctx context.Context) (*Results, error) {
+	store := p.ResultStore()
+	every := p.cfg.snapEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	shards := p.cfg.workers
+	if shards < 1 {
+		shards = 1
+	}
+	sh := p.NewShardedAnalyzer(shards)
+	total := len(p.Web.Sites) * len(p.Vantages())
+
+	logs, errs := p.Stream(ctx)
+	var (
+		observed atomic.Int64
+		pubMu    sync.Mutex // snapshots are merged one at a time
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for v := range logs {
+				sh.Observe(shard, v)
+				if n := observed.Add(1); n%int64(every) == 0 {
+					pubMu.Lock()
+					snap := sh.Snapshot()
+					store.Publish(resultstore.Progress{Done: int(n), Total: total}, snap)
+					pubMu.Unlock()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	res := sh.Finalize()
+	store.Publish(resultstore.Progress{
+		Done: int(observed.Load()), Total: total, Final: true,
+	}, res)
+	return res, nil
+}
+
+// ResultStore returns the pipeline's versioned snapshot store (created
+// on first use). Run feeds it when serving is enabled; embedded
+// consumers may also Publish into it directly — cookieguard.Server
+// serves whatever the store holds.
+func (p *Pipeline) ResultStore() *resultstore.Store {
+	p.storeOnce.Do(func() { p.store = resultstore.New() })
+	return p.store
+}
+
+// StartServer binds addr and serves this pipeline's result store (see
+// the Server doc) for the remainder of the process. It returns the
+// bound address (useful with ":0") and is idempotent: the first call
+// binds, later calls return the first outcome. Run calls it with the
+// WithServer address; call it directly to serve without Run or on a
+// second address.
+func (p *Pipeline) StartServer(addr string) (string, error) {
+	p.serveOnce.Do(func() {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			p.serveErr = err
+			return
+		}
+		p.servedOn = ln.Addr().String()
+		srv := p.NewServer()
+		go http.Serve(ln, srv)
+	})
+	return p.servedOn, p.serveErr
+}
+
 // NewAnalyzer returns an incremental analyzer wired to this pipeline's
 // entity map and tracker classifier. Feed it with Observe per visit log
 // and collect the aggregate with Finalize.
 func (p *Pipeline) NewAnalyzer() *Analyzer {
-	clf := filterlist.DefaultClassifier()
 	an := analysis.New()
+	p.configureAnalyzer(an)
+	return an
+}
+
+// NewShardedAnalyzer returns an n-shard analyzer wired like NewAnalyzer
+// (each shard gets its own tracker classifier, so shards share no
+// mutable state). Feed shard i with Observe(i, log) from worker i and
+// collect the merged aggregate with Finalize — byte-identical to a
+// single analyzer over the same logs.
+func (p *Pipeline) NewShardedAnalyzer(n int) *ShardedAnalyzer {
+	return analysis.NewSharded(n, p.configureAnalyzer)
+}
+
+// configureAnalyzer wires one analyzer (or analyzer shard) to the
+// pipeline's entity map and a fresh tracker classifier.
+func (p *Pipeline) configureAnalyzer(an *Analyzer) {
+	clf := filterlist.DefaultClassifier()
 	an.Entities = p.Web.Entities
 	an.IsTracker = func(scriptURL, siteDomain string) bool {
 		ok, _ := clf.IsTracker(filterlist.Request{
@@ -346,7 +508,6 @@ func (p *Pipeline) NewAnalyzer() *Analyzer {
 		})
 		return ok
 	}
-	return an
 }
 
 // Analyze runs the §4.4 analysis framework over already-materialized

@@ -37,20 +37,21 @@ const (
 	ActDeleting     ActionKind = "deleting"
 )
 
-// Event is one detected cross-domain action.
+// Event is one detected cross-domain action. The JSON shape is stable:
+// it is served verbatim by cookieguard.Server's per-site endpoints.
 type Event struct {
-	Site        string
-	Kind        ActionKind
-	Cookie      CookieKey
-	ActorScript string // script URL performing the action
-	ActorDomain string
-	API         instrument.API
-	Destination string // exfiltration destination domain
+	Site        string         `json:"site"`
+	Kind        ActionKind     `json:"kind"`
+	Cookie      CookieKey      `json:"cookie"`
+	ActorScript string         `json:"actor_script,omitempty"` // script URL performing the action
+	ActorDomain string         `json:"actor_domain,omitempty"`
+	API         instrument.API `json:"api"`
+	Destination string         `json:"destination,omitempty"` // exfiltration destination domain
 	// Attribute-change flags for overwrites (§5.5).
-	ChangedValue   bool
-	ChangedExpires bool
-	ChangedDomain  bool
-	ChangedPath    bool
+	ChangedValue   bool `json:"changed_value,omitempty"`
+	ChangedExpires bool `json:"changed_expires,omitempty"`
+	ChangedDomain  bool `json:"changed_domain,omitempty"`
+	ChangedPath    bool `json:"changed_path,omitempty"`
 }
 
 // Analyzer holds configuration for a run. It consumes visit logs either
@@ -87,6 +88,129 @@ type runState struct {
 	// same identifiers across reads, sites, and vantages, and the
 	// md5/sha1/base64 derivations were a measurable allocation cost.
 	encMemo map[string][]string
+
+	// groups records one entry per analyzed observation — the slice of
+	// res.Events it appended, keyed by (site, vantage). Finalize sorts
+	// the groups and rebuilds Events in that order, so the finalized
+	// event sequence depends only on the observed log multiset, never on
+	// observation order — the property that lets shard-merged and
+	// completion-order-fed runs produce identical Results.
+	groups []evGroup
+	// obsSeq counts observations; it tie-breaks duplicate (site,
+	// vantage) groups, which a real crawl never produces.
+	obsSeq int
+
+	// pairFirst records, per cookie pair, the canonically-first ensure
+	// (smallest (site, vantage, observation, in-observation sequence)) —
+	// the ensure whose API the finalized PairInfo carries. Tracking it
+	// explicitly, instead of relying on map-creation order, is what
+	// keeps pair attribution observation-order-independent.
+	pairFirst map[CookieKey]pairClaim
+
+	// Per-observation scratch (valid between beginObservation and
+	// endObservation).
+	curSite, curVantage string
+	curStart            int // len(res.Events) at observation start
+	curEnsures          int // ensure-call sequence within the observation
+	curClaims           map[CookieKey]pairClaim
+}
+
+// evGroup is one observation's event range, in canonical-sort terms.
+type evGroup struct {
+	site, vantage string
+	seq           int // observation sequence (tie-break only)
+	start, end    int // indices into res.Events before canonicalization
+}
+
+// pairClaim is one candidate attribution of a cookie pair's API: where
+// (and in what order) an ensure of the pair happened.
+type pairClaim struct {
+	site, vantage string
+	obs           int // observation sequence
+	seq           int // ensure sequence within the observation
+	api           instrument.API
+}
+
+// before reports whether claim a canonically precedes claim b: sorted by
+// (site, vantage) like the scheduler's index-sorted fold, then by
+// observation and in-observation ensure order.
+func (a pairClaim) before(b pairClaim) bool {
+	if a.site != b.site {
+		return a.site < b.site
+	}
+	if a.vantage != b.vantage {
+		return a.vantage < b.vantage
+	}
+	if a.obs != b.obs {
+		return a.obs < b.obs
+	}
+	return a.seq < b.seq
+}
+
+// newRunState returns an empty accumulation state.
+func newRunState() *runState {
+	return &runState{
+		res: &Results{
+			Pairs:       map[CookieKey]*PairInfo{},
+			PairsByAPI:  map[instrument.API]int{},
+			SiteActions: map[string]map[actionAPIKey]bool{},
+			Vantages:    map[string]VantageStats{},
+			Failures: FailureStats{
+				VisitFailures:   map[string]int{},
+				RequestFailures: map[string]int{},
+			},
+		},
+		vant:      map[string]*vantageAgg{},
+		encMemo:   map[string][]string{},
+		pairFirst: map[CookieKey]pairClaim{},
+		curClaims: map[CookieKey]pairClaim{},
+	}
+}
+
+// beginObservation opens the per-observation scratch for one complete
+// visit log.
+func (st *runState) beginObservation(site, vantage string) {
+	st.curSite, st.curVantage = site, vantage
+	st.curStart = len(st.res.Events)
+	st.curEnsures = 0
+}
+
+// endObservation folds the observation's scratch into the run: its event
+// range becomes a canonical-sort group and its pair claims compete for
+// canonically-first attribution.
+func (st *runState) endObservation() {
+	if end := len(st.res.Events); end > st.curStart {
+		st.groups = append(st.groups, evGroup{
+			site: st.curSite, vantage: st.curVantage,
+			seq: st.obsSeq, start: st.curStart, end: end,
+		})
+	}
+	for key, c := range st.curClaims {
+		if best, ok := st.pairFirst[key]; !ok || c.before(best) {
+			st.pairFirst[key] = c
+		}
+	}
+	clear(st.curClaims)
+	st.obsSeq++
+}
+
+// ensurePair returns (creating if needed) the pair's accumulator and
+// records the ensure as an attribution claim. Every pair-map touch of
+// the replay goes through here, so pairFirst sees every candidate.
+func (st *runState) ensurePair(key CookieKey, api instrument.API) *PairInfo {
+	st.curEnsures++
+	if _, ok := st.curClaims[key]; !ok {
+		st.curClaims[key] = pairClaim{
+			site: st.curSite, vantage: st.curVantage,
+			obs: st.obsSeq, seq: st.curEnsures, api: api,
+		}
+	}
+	p := st.res.Pairs[key]
+	if p == nil {
+		p = newPairInfo(key, api)
+		st.res.Pairs[key] = p
+	}
+	return p
 }
 
 // vantageAgg is the in-progress per-vantage rollup.
@@ -218,27 +342,28 @@ func newPairInfo(key CookieKey, api instrument.API) *PairInfo {
 	}
 }
 
-// Summary carries the §5.1/5.2/5.6/§8 headline statistics.
+// Summary carries the §5.1/5.2/5.6/§8 headline statistics. The JSON
+// shape is stable: cookieguard.Server serves it on /v1/summary.
 type Summary struct {
-	SitesTotal    int
-	SitesComplete int
+	SitesTotal    int `json:"sites_total"`
+	SitesComplete int `json:"sites_complete"`
 
-	SitesWithThirdParty   int
-	MeanTPScriptsPerSite  float64
-	TrackerScriptShare    float64 // of third-party script occurrences
-	MeanTPCookiesPerSite  float64
-	MeanFPCookiesPerSite  float64
-	SitesUsingDocCookie   int
-	SitesUsingCookieStore int
+	SitesWithThirdParty   int     `json:"sites_with_third_party"`
+	MeanTPScriptsPerSite  float64 `json:"mean_tp_scripts_per_site"`
+	TrackerScriptShare    float64 `json:"tracker_script_share"` // of third-party script occurrences
+	MeanTPCookiesPerSite  float64 `json:"mean_tp_cookies_per_site"`
+	MeanFPCookiesPerSite  float64 `json:"mean_fp_cookies_per_site"`
+	SitesUsingDocCookie   int     `json:"sites_using_doc_cookie"`
+	SitesUsingCookieStore int     `json:"sites_using_cookie_store"`
 
-	UniquePairsDocument    int
-	UniquePairsCookieStore int
+	UniquePairsDocument    int `json:"unique_pairs_document"`
+	UniquePairsCookieStore int `json:"unique_pairs_cookie_store"`
 
-	DirectScripts        int
-	IndirectScripts      int
-	IndirectTrackerShare float64
+	DirectScripts        int     `json:"direct_scripts"`
+	IndirectScripts      int     `json:"indirect_scripts"`
+	IndirectTrackerShare float64 `json:"indirect_tracker_share"`
 
-	SitesWithCrossDomainDOM int
+	SitesWithCrossDomainDOM int `json:"sites_with_cross_domain_dom"`
 }
 
 // Run analyzes the retained visit logs in one batch. It is implemented
@@ -277,15 +402,70 @@ func (a *Analyzer) Observe(v instrument.VisitLog) {
 	va.complete++
 	va.loadMs = append(va.loadMs, v.Timing.LoadEvent)
 	st.res.Summary.SitesComplete++
+	st.beginObservation(v.Site, v.Vantage)
 	a.analyzeSite(&v, st)
+	st.endObservation()
 }
 
 // Finalize computes the aggregate statistics over everything Observed so
 // far and returns the Results, resetting the Analyzer for a fresh run.
+//
+// The finalized Results are canonical: events are ordered by (site,
+// vantage) group — not by observation order — and each pair's API
+// attribution comes from the canonically-first ensure, so any feed order
+// of the same log multiset (streaming completion order, sorted batches,
+// shard-merged fan-out) finalizes to identical Results.
 func (a *Analyzer) Finalize() *Results {
 	st := a.state()
 	a.st = nil
+	return finalizeState(st)
+}
+
+// Snapshot computes the aggregate Results over everything Observed so
+// far without consuming the run: the Analyzer keeps accumulating and a
+// later Observe/Finalize continues where it left off. The returned
+// Results share nothing with the in-progress state, so callers may
+// publish them to concurrent readers while observation continues.
+func (a *Analyzer) Snapshot() *Results {
+	dst := newRunState()
+	if a.st != nil {
+		foldState(dst, a.st)
+	}
+	return finalizeState(dst)
+}
+
+// finalizeState canonicalizes and aggregates an owned run state into its
+// final Results. The state must not be used afterwards.
+func finalizeState(st *runState) *Results {
 	res := st.res
+	// Canonical event order: groups sorted by (site, vantage) — the same
+	// total order cmd/crawl -sort emits — with the observation sequence
+	// as a tie-break for duplicate keys (which a real crawl, visiting
+	// each site once per vantage, never produces).
+	if len(st.groups) > 0 {
+		sort.Slice(st.groups, func(i, j int) bool {
+			gi, gj := &st.groups[i], &st.groups[j]
+			if gi.site != gj.site {
+				return gi.site < gj.site
+			}
+			if gi.vantage != gj.vantage {
+				return gi.vantage < gj.vantage
+			}
+			return gi.seq < gj.seq
+		})
+		rebuilt := make([]Event, 0, len(res.Events))
+		for _, g := range st.groups {
+			rebuilt = append(rebuilt, res.Events[g.start:g.end]...)
+		}
+		res.Events = rebuilt
+	}
+	// Canonical pair attribution: the API of the canonically-first
+	// ensure, independent of the order observations arrived in.
+	for key, c := range st.pairFirst {
+		if p := res.Pairs[key]; p != nil {
+			p.API = c.api
+		}
+	}
 	s := &res.Summary
 	if s.SitesComplete > 0 {
 		s.MeanTPScriptsPerSite = float64(st.tpScriptTotal) / float64(s.SitesComplete)
@@ -328,20 +508,7 @@ func (a *Analyzer) state() *runState {
 		if a.Entities == nil {
 			a.Entities = entity.Default()
 		}
-		a.st = &runState{
-			res: &Results{
-				Pairs:       map[CookieKey]*PairInfo{},
-				PairsByAPI:  map[instrument.API]int{},
-				SiteActions: map[string]map[actionAPIKey]bool{},
-				Vantages:    map[string]VantageStats{},
-				Failures: FailureStats{
-					VisitFailures:   map[string]int{},
-					RequestFailures: map[string]int{},
-				},
-			},
-			vant:    map[string]*vantageAgg{},
-			encMemo: map[string][]string{},
-		}
+		a.st = newRunState()
 	}
 	return a.st
 }
@@ -402,14 +569,7 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, st *runState) {
 
 	// --- Cookie replay: ownership, manipulation ---
 	state := map[string]*cookieState{}
-	ensurePair := func(key CookieKey, api instrument.API) *PairInfo {
-		p := res.Pairs[key]
-		if p == nil {
-			p = newPairInfo(key, api)
-			res.Pairs[key] = p
-		}
-		return p
-	}
+	ensurePair := st.ensurePair
 
 	for _, ev := range v.Cookies {
 		if !ev.MainFrame {
@@ -633,11 +793,7 @@ func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
 			if !hit {
 				continue
 			}
-			p := res.Pairs[c.key]
-			if p == nil {
-				p = newPairInfo(c.key, c.api)
-				res.Pairs[c.key] = p
-			}
+			p := st.ensurePair(c.key, c.api)
 			res.Events = append(res.Events, Event{
 				Site: site, Kind: ActExfiltration, Cookie: c.key,
 				ActorScript: req.InitiatorScript, ActorDomain: actorDomain,

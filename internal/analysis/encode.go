@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+
+	"cookieguard/internal/instrument"
+)
+
+// This file defines the stable JSON shapes cookieguard.Server serves.
+// Results itself holds maps with struct keys (not JSON-marshalable) and
+// set-maps whose natural encoding is noisy; the row types here flatten
+// them into deterministic, sorted encodings — the same log multiset
+// always produces the same bytes, which is what lets the server cache
+// one encoding per snapshot index and lets tests compare whole Results
+// by byte equality.
+
+// PairRow is one cookie pair's aggregate, with every set flattened to a
+// sorted list.
+type PairRow struct {
+	Name  string         `json:"name"`
+	Owner string         `json:"owner"`
+	API   instrument.API `json:"api"`
+
+	ExfilEntities     []string `json:"exfil_entities,omitempty"`
+	DestEntities      []string `json:"dest_entities,omitempty"`
+	OverwriterEnt     []string `json:"overwriter_entities,omitempty"`
+	DeleterEnt        []string `json:"deleter_entities,omitempty"`
+	ExfilDomains      []string `json:"exfil_domains,omitempty"`
+	OverwriterDomains []string `json:"overwriter_domains,omitempty"`
+	DeleterDomains    []string `json:"deleter_domains,omitempty"`
+}
+
+// PairRows flattens Pairs into rows sorted by (name, owner).
+func (r *Results) PairRows() []PairRow {
+	rows := make([]PairRow, 0, len(r.Pairs))
+	for key, p := range r.Pairs {
+		rows = append(rows, PairRow{
+			Name: key.Name, Owner: key.Owner, API: p.API,
+			ExfilEntities:     sortedKeys(p.ExfilEntities),
+			DestEntities:      sortedKeys(p.DestEntities),
+			OverwriterEnt:     sortedKeys(p.OverwriterEnt),
+			DeleterEnt:        sortedKeys(p.DeleterEnt),
+			ExfilDomains:      sortedKeys(p.ExfilDomains),
+			OverwriterDomains: sortedKeys(p.OverwriterDomains),
+			DeleterDomains:    sortedKeys(p.DeleterDomains),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].Owner < rows[j].Owner
+	})
+	return rows
+}
+
+// SiteAction is one (action, API) the site exhibited.
+type SiteAction struct {
+	Action ActionKind     `json:"action"`
+	API    instrument.API `json:"api"`
+}
+
+// SiteRow is one site's cross-domain action record: which (action, API)
+// combinations it exhibited and its detected events, in canonical order.
+type SiteRow struct {
+	Site    string       `json:"site"`
+	Actions []SiteAction `json:"actions,omitempty"`
+	Events  []Event      `json:"events,omitempty"`
+}
+
+// SiteRows flattens SiteActions plus the canonical event sequence into
+// per-site rows sorted by site. Finalized Events are grouped by site
+// already, so each row's Events slice preserves canonical order.
+func (r *Results) SiteRows() []SiteRow {
+	bySite := make(map[string]*SiteRow, len(r.SiteActions))
+	rowFor := func(site string) *SiteRow {
+		row := bySite[site]
+		if row == nil {
+			row = &SiteRow{Site: site}
+			bySite[site] = row
+		}
+		return row
+	}
+	for site, acts := range r.SiteActions {
+		row := rowFor(site)
+		for k := range acts {
+			row.Actions = append(row.Actions, SiteAction{Action: k.Kind, API: k.API})
+		}
+		sort.Slice(row.Actions, func(i, j int) bool {
+			if row.Actions[i].Action != row.Actions[j].Action {
+				return row.Actions[i].Action < row.Actions[j].Action
+			}
+			return row.Actions[i].API < row.Actions[j].API
+		})
+	}
+	for _, e := range r.Events {
+		row := rowFor(e.Site)
+		row.Events = append(row.Events, e)
+	}
+	rows := make([]SiteRow, 0, len(bySite))
+	for _, row := range bySite {
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Site < rows[j].Site })
+	return rows
+}
+
+// RetentionTable is the crawl-retention rollup cookieguard.Server serves
+// on /v1/tables/retention: how much of the crawl survived, per vantage.
+type RetentionTable struct {
+	SitesTotal     int          `json:"sites_total"`
+	SitesComplete  int          `json:"sites_complete"`
+	VisitsFailed   int          `json:"visits_failed"`
+	VisitsDegraded int          `json:"visits_degraded"`
+	Vantages       []VantageRow `json:"vantages"`
+}
+
+// Retention assembles the retention table.
+func (r *Results) Retention() RetentionTable {
+	return RetentionTable{
+		SitesTotal:     r.Summary.SitesTotal,
+		SitesComplete:  r.Summary.SitesComplete,
+		VisitsFailed:   r.Failures.VisitsFailed,
+		VisitsDegraded: r.Failures.VisitsDegraded,
+		Vantages:       r.VantageTable(),
+	}
+}
+
+// stableResults is the canonical whole-Results encoding.
+type stableResults struct {
+	Summary    Summary        `json:"summary"`
+	Pairs      []PairRow      `json:"pairs"`
+	PairsByAPI map[string]int `json:"pairs_by_api"`
+	Sites      []SiteRow      `json:"sites"`
+	Events     []Event        `json:"events"`
+	Failures   FailureStats   `json:"failures"`
+	Vantages   []VantageRow   `json:"vantages"`
+}
+
+// StableJSON encodes the finalized Results deterministically: equal
+// Results (same observed log multiset) produce equal bytes, independent
+// of observation order, shard count, or worker count. It is the byte
+// representation behind /v1/results and the shard-merge equivalence
+// contract.
+func (r *Results) StableJSON() ([]byte, error) {
+	byAPI := make(map[string]int, len(r.PairsByAPI))
+	for api, n := range r.PairsByAPI {
+		byAPI[string(api)] = n
+	}
+	return json.Marshal(stableResults{
+		Summary:    r.Summary,
+		Pairs:      r.PairRows(),
+		PairsByAPI: byAPI, // string-keyed maps marshal with sorted keys
+		Sites:      r.SiteRows(),
+		Events:     r.Events,
+		Failures:   r.Failures,
+		Vantages:   r.VantageTable(),
+	})
+}
+
+// sortedKeys flattens a set to its sorted element list (nil when empty,
+// so omitempty drops it).
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"sync"
+
+	"cookieguard/internal/instrument"
+)
+
+// foldState accumulates src into dst by value: counters sum, sets union,
+// event groups and attribution claims carry over with their observation
+// sequences offset past dst's. Nothing of src is retained by reference
+// beyond immutable strings, so dst stays independent of later src
+// mutation. Every fold operation is commutative across distinct (site,
+// vantage) keys, and finalizeState canonicalizes the one order-sensitive
+// structure (Events), so folding shards in any fixed order produces the
+// same finalized Results.
+func foldState(dst, src *runState) {
+	obsBase := dst.obsSeq
+	evBase := len(dst.res.Events)
+	dst.res.Events = append(dst.res.Events, src.res.Events...)
+	for _, g := range src.groups {
+		g.seq += obsBase
+		g.start += evBase
+		g.end += evBase
+		dst.groups = append(dst.groups, g)
+	}
+	dst.obsSeq += src.obsSeq
+
+	for key, c := range src.pairFirst {
+		c.obs += obsBase
+		if best, ok := dst.pairFirst[key]; !ok || c.before(best) {
+			dst.pairFirst[key] = c
+		}
+	}
+
+	ds, ss := &dst.res.Summary, &src.res.Summary
+	ds.SitesTotal += ss.SitesTotal
+	ds.SitesComplete += ss.SitesComplete
+	ds.SitesWithThirdParty += ss.SitesWithThirdParty
+	ds.SitesUsingDocCookie += ss.SitesUsingDocCookie
+	ds.SitesUsingCookieStore += ss.SitesUsingCookieStore
+	ds.DirectScripts += ss.DirectScripts
+	ds.IndirectScripts += ss.IndirectScripts
+	ds.SitesWithCrossDomainDOM += ss.SitesWithCrossDomainDOM
+	dst.tpScriptTotal += src.tpScriptTotal
+	dst.tpCookieTotal += src.tpCookieTotal
+	dst.fpCookieTotal += src.fpCookieTotal
+	dst.trackerOcc += src.trackerOcc
+	dst.tpOcc += src.tpOcc
+	dst.indirectTrackers += src.indirectTrackers
+
+	for key, sp := range src.res.Pairs {
+		dp := dst.res.Pairs[key]
+		if dp == nil {
+			dp = newPairInfo(key, sp.API)
+			dst.res.Pairs[key] = dp
+		}
+		unionInto(dp.ExfilEntities, sp.ExfilEntities)
+		unionInto(dp.DestEntities, sp.DestEntities)
+		unionInto(dp.OverwriterEnt, sp.OverwriterEnt)
+		unionInto(dp.DeleterEnt, sp.DeleterEnt)
+		unionInto(dp.ExfilDomains, sp.ExfilDomains)
+		unionInto(dp.OverwriterDomains, sp.OverwriterDomains)
+		unionInto(dp.DeleterDomains, sp.DeleterDomains)
+	}
+
+	for site, acts := range src.res.SiteActions {
+		da := dst.res.SiteActions[site]
+		if da == nil {
+			da = make(map[actionAPIKey]bool, len(acts))
+			dst.res.SiteActions[site] = da
+		}
+		for k := range acts {
+			da[k] = true
+		}
+	}
+
+	df, sf := &dst.res.Failures, &src.res.Failures
+	df.VisitsFailed += sf.VisitsFailed
+	df.VisitsDegraded += sf.VisitsDegraded
+	df.RequestsFailed += sf.RequestsFailed
+	df.Retries += sf.Retries
+	for class, n := range sf.VisitFailures {
+		df.VisitFailures[class] += n
+	}
+	for class, n := range sf.RequestFailures {
+		df.RequestFailures[class] += n
+	}
+
+	for name, sva := range src.vant {
+		dva := dst.vant[name]
+		if dva == nil {
+			dva = &vantageAgg{}
+			dst.vant[name] = dva
+		}
+		dva.visits += sva.visits
+		dva.complete += sva.complete
+		dva.failed += sva.failed
+		dva.loadMs = append(dva.loadMs, sva.loadMs...)
+	}
+}
+
+func unionInto(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// Merge folds independently accumulated Analyzers into one finalized
+// Results, equivalent byte for byte to a single Analyzer that Observed
+// the union of their logs (in any order — the canonical finalize sorts
+// event groups by (site, vantage) the way the scheduler's index-sorted
+// fold orders outcomes). Merge reads the shards without consuming them;
+// it must not run concurrently with Observe calls on them (Sharded
+// provides the locked variant).
+func Merge(shards ...*Analyzer) *Results {
+	dst := newRunState()
+	for _, a := range shards {
+		if a == nil || a.st == nil {
+			continue
+		}
+		foldState(dst, a.st)
+	}
+	return finalizeState(dst)
+}
+
+// Sharded fans the incremental analysis out over n independent Analyzer
+// shards so concurrent Observe calls never contend: each worker owns a
+// shard index and feeds it without touching the others. A deterministic
+// merge (Merge semantics) folds the shards into Results that are
+// byte-identical to a single Analyzer over the same logs, at any shard
+// or worker count, clean and under faults.
+type Sharded struct {
+	shards []*Analyzer
+	// mus serializes each shard between its owning worker and the
+	// snapshotter; distinct shards never share a lock, so Observe calls
+	// on distinct shards proceed in parallel uncontended.
+	mus []sync.Mutex
+}
+
+// NewSharded returns a Sharded analyzer of n shards (minimum 1), each
+// configured by the supplied hook (nil for defaults) — the hook runs
+// once per shard, so per-shard state like a tracker classifier is not
+// shared across workers.
+func NewSharded(n int, configure func(*Analyzer)) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]*Analyzer, n), mus: make([]sync.Mutex, n)}
+	for i := range s.shards {
+		an := New()
+		if configure != nil {
+			configure(an)
+		}
+		s.shards[i] = an
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Observe folds one visit log into shard i (mod the shard count). Calls
+// on distinct shards are safe concurrently and contention-free; calls on
+// the same shard serialize on that shard's lock only.
+func (s *Sharded) Observe(i int, v instrument.VisitLog) {
+	i %= len(s.shards)
+	s.mus[i].Lock()
+	s.shards[i].Observe(v)
+	s.mus[i].Unlock()
+}
+
+// Snapshot merges the shards into finalized Results without consuming
+// them: observation continues afterwards. Each shard is locked only for
+// the duration of its own copy-fold, so concurrent Observe calls on
+// other shards proceed; the returned Results share no state with the
+// shards and may be published to concurrent readers.
+func (s *Sharded) Snapshot() *Results {
+	dst := newRunState()
+	for i, a := range s.shards {
+		s.mus[i].Lock()
+		if a.st != nil {
+			foldState(dst, a.st)
+		}
+		s.mus[i].Unlock()
+	}
+	return finalizeState(dst)
+}
+
+// Finalize merges the shards into finalized Results and resets every
+// shard for a fresh run, like Analyzer.Finalize. It must not run
+// concurrently with Observe.
+func (s *Sharded) Finalize() *Results {
+	res := Merge(s.shards...)
+	for _, a := range s.shards {
+		a.st = nil
+	}
+	return res
+}

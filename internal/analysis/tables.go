@@ -8,13 +8,14 @@ import (
 )
 
 // Table1Row is one row of Table 1: the prevalence of a cross-domain
-// action for one cookie API.
+// action for one cookie API. The JSON shape is stable: served by
+// cookieguard.Server on /v1/tables/actions.
 type Table1Row struct {
-	API           instrument.API
-	Action        ActionKind
-	PctOfWebsites float64
-	PctOfCookies  float64
-	CookieCount   int
+	API           instrument.API `json:"api"`
+	Action        ActionKind     `json:"action"`
+	PctOfWebsites float64        `json:"pct_of_websites"`
+	PctOfCookies  float64        `json:"pct_of_cookies"`
+	CookieCount   int            `json:"cookie_count"`
 }
 
 // Table1 computes the prevalence of cross-domain cookie actions across
@@ -252,9 +253,9 @@ func (r *Results) OverwriteAttrs() OverwriteAttrStats {
 // one scope ("visit" = fatal landing failures, "request" = degraded
 // subresource/script/frame/beacon fetches).
 type FailureRow struct {
-	Scope string
-	Class string
-	Count int
+	Scope string `json:"scope"`
+	Class string `json:"class"`
+	Count int    `json:"count"`
 }
 
 // FailureTable flattens the failure rollup into deterministic rows:
@@ -281,7 +282,7 @@ func (r *Results) FailureTable() []FailureRow {
 // point's retention and load-event latency tail (the Figure 6
 // comparison across regions).
 type VantageRow struct {
-	Vantage string
+	Vantage string `json:"vantage"`
 	VantageStats
 }
 

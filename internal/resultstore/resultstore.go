@@ -1,0 +1,115 @@
+// Package resultstore holds immutable analysis snapshots behind a
+// monotonic index and lets readers block until the index advances —
+// the Consul-style blocking-query core of cookieguard.Server.
+//
+// The pipeline publishes a fresh *analysis.Results every K observed
+// visits and once at finalize; each publish bumps the index by one and
+// wakes every waiting reader by closing the previous version's
+// broadcast channel. Readers never block writers: Latest is a single
+// atomic pointer load, published snapshots are never mutated, and Wait
+// parks on a channel instead of spawning watcher goroutines — a reader
+// that gives up (context cancellation, wait timeout) simply returns, so
+// abandoned queries cannot leak.
+package resultstore
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cookieguard/internal/analysis"
+)
+
+// Progress describes how far the crawl feeding the store has advanced.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Final marks the finalize-time publish: the Results are the crawl's
+	// complete analysis and the index will not advance again for this
+	// run.
+	Final bool `json:"final"`
+}
+
+// Snapshot is one published analysis version. Index 0 is the empty
+// pre-publish state (nil Results); the first publish has index 1.
+// Snapshots are immutable: the Results pointer must not be written to
+// after Publish.
+type Snapshot struct {
+	Index    uint64
+	Progress Progress
+	Results  *analysis.Results
+}
+
+// published pairs a snapshot with the broadcast channel that closes
+// when the NEXT snapshot lands. Waiters select on the channel of the
+// version they saw; close wakes all of them at once.
+type published struct {
+	snap    Snapshot
+	advance chan struct{}
+}
+
+// Store is a versioned snapshot store. The zero value is not usable;
+// call New.
+type Store struct {
+	mu  sync.Mutex // serializes publishers
+	cur atomic.Pointer[published]
+}
+
+// New returns a Store at index 0 with no Results.
+func New() *Store {
+	s := &Store{}
+	s.cur.Store(&published{advance: make(chan struct{})})
+	return s
+}
+
+// Publish installs a new snapshot at the next index and wakes every
+// blocked Wait. The caller hands over res: it must not be mutated after
+// publishing. Returns the published snapshot.
+func (s *Store) Publish(p Progress, res *analysis.Results) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	next := &published{
+		snap:    Snapshot{Index: old.snap.Index + 1, Progress: p, Results: res},
+		advance: make(chan struct{}),
+	}
+	s.cur.Store(next)
+	close(old.advance) // broadcast: index advanced past old.snap.Index
+	return next.snap
+}
+
+// Latest returns the current snapshot without blocking.
+func (s *Store) Latest() Snapshot { return s.cur.Load().snap }
+
+// Index returns the current index without blocking.
+func (s *Store) Index() uint64 { return s.cur.Load().snap.Index }
+
+// Wait implements the blocking query: it returns the current snapshot
+// immediately if its index already exceeds index (the client is stale),
+// otherwise it blocks until a publish advances past index, maxWait
+// elapses, or ctx is cancelled — returning the then-current snapshot in
+// every case, so a timed-out poll reports the unchanged index and the
+// client simply re-polls. No goroutines are created on behalf of the
+// waiter.
+func (s *Store) Wait(ctx context.Context, index uint64, maxWait time.Duration) Snapshot {
+	cur := s.cur.Load()
+	if cur.snap.Index > index {
+		return cur.snap
+	}
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-cur.advance:
+			// Re-load: several publishes may have landed while parked.
+			if cur = s.cur.Load(); cur.snap.Index > index {
+				return cur.snap
+			}
+		case <-timer.C:
+			return s.cur.Load().snap
+		case <-ctx.Done():
+			return s.cur.Load().snap
+		}
+	}
+}

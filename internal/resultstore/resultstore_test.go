@@ -1,0 +1,147 @@
+package resultstore
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cookieguard/internal/analysis"
+)
+
+func TestStaleIndexReturnsImmediately(t *testing.T) {
+	s := New()
+	res := analysis.New().Finalize()
+	s.Publish(Progress{Done: 1, Total: 2}, res)
+
+	start := time.Now()
+	snap := s.Wait(context.Background(), 0, 30*time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stale-index Wait blocked %v", elapsed)
+	}
+	if snap.Index != 1 || snap.Results != res {
+		t.Fatalf("got index %d, want 1 with published results", snap.Index)
+	}
+}
+
+func TestUpToDateIndexBlocksUntilPublish(t *testing.T) {
+	s := New()
+	s.Publish(Progress{}, nil) // index 1
+
+	released := make(chan Snapshot, 1)
+	go func() {
+		released <- s.Wait(context.Background(), 1, 30*time.Second)
+	}()
+
+	select {
+	case snap := <-released:
+		t.Fatalf("Wait returned before publish: index %d", snap.Index)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	s.Publish(Progress{Done: 5}, nil) // index 2 → wakes the waiter
+	select {
+	case snap := <-released:
+		if snap.Index != 2 {
+			t.Fatalf("woken waiter saw index %d, want 2", snap.Index)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait not woken by publish")
+	}
+}
+
+func TestWaitTimeoutReturnsUnchangedIndex(t *testing.T) {
+	s := New()
+	s.Publish(Progress{}, nil)
+
+	start := time.Now()
+	snap := s.Wait(context.Background(), 1, 30*time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("timeout Wait took %v, want ~30ms", elapsed)
+	}
+	if snap.Index != 1 {
+		t.Fatalf("timed-out Wait returned index %d, want unchanged 1", snap.Index)
+	}
+}
+
+func TestCancelledWaiterLeaksNoGoroutine(t *testing.T) {
+	s := New()
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Wait(ctx, 0, time.Minute)
+		}()
+		cancel()
+	}
+	wg.Wait()
+
+	// Give the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after cancelled waits", before, runtime.NumGoroutine())
+}
+
+// TestConcurrentPublishersAndWaiters hammers the store from both sides
+// under -race: indexes must be strictly monotonic from any reader's
+// point of view and every waiter must eventually be released.
+func TestConcurrentPublishersAndWaiters(t *testing.T) {
+	s := New()
+	const publishes = 200
+	var wg sync.WaitGroup
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				snap := s.Wait(context.Background(), last, 5*time.Second)
+				if snap.Index < last {
+					t.Errorf("index went backwards: %d after %d", snap.Index, last)
+					return
+				}
+				last = snap.Index
+				if last >= publishes {
+					return
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < publishes/4; i++ {
+				s.Publish(Progress{Done: i}, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if idx := s.Index(); idx != publishes {
+		t.Fatalf("final index %d, want %d", idx, publishes)
+	}
+}
+
+func TestLatestNeverBlocks(t *testing.T) {
+	s := New()
+	if snap := s.Latest(); snap.Index != 0 || snap.Results != nil {
+		t.Fatalf("fresh store Latest = %+v, want empty index 0", snap)
+	}
+	s.Publish(Progress{Final: true}, nil)
+	if snap := s.Latest(); snap.Index != 1 || !snap.Progress.Final {
+		t.Fatalf("Latest after publish = %+v", snap)
+	}
+}

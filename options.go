@@ -29,6 +29,8 @@ type config struct {
 	secondPass    bool
 	breaker       Breaker
 	vantages      []Vantage
+	serveAddr     string
+	snapEvery     int
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -185,6 +187,35 @@ func WithBreaker(cfg Breaker) Option {
 // existed; a single default vantage is equivalent.
 func WithVantages(vs ...Vantage) Option {
 	return func(c *config) { c.vantages = append(c.vantages, vs...) }
+}
+
+// WithServer serves live analysis over HTTP at addr (e.g. ":8089") for
+// the duration of the process: Pipeline.Run binds the address before
+// crawling (a bind failure fails the run), runs the crawl through the
+// sharded analyzer, and publishes snapshots into the result store that
+// cookieguard.Server exposes — per-site records, the retention /
+// failure / vantage / action tables, progress, and live scheduler and
+// cache counters, each with Consul-style `?index=N&wait=30s` blocking
+// queries and ETag/304 caching (see the Server doc in server.go for the
+// endpoint list and index protocol). The served run produces Results
+// byte-identical to an unserved run with the same options. Publish
+// cadence defaults to every 64 observed visits; tune with
+// WithSnapshotEvery.
+func WithServer(addr string) Option {
+	return func(c *config) { c.serveAddr = addr }
+}
+
+// WithSnapshotEvery sets the snapshot-publish cadence of a served run: a
+// fresh immutable Results snapshot is published (and blocked pollers
+// woken) every k observed visits, plus always once at finalize. Smaller
+// k means fresher dashboards and more merge work; k only matters when
+// serving is on (WithServer) or the ResultStore is consumed directly —
+// it also enables the publishing run path on its own, so
+// WithSnapshotEvery without WithServer still feeds ResultStore() for
+// embedded consumers. Zero (the default) keeps the default cadence of
+// 64.
+func WithSnapshotEvery(k int) Option {
+	return func(c *config) { c.snapEvery = k }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's

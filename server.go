@@ -1,0 +1,277 @@
+package cookieguard
+
+// cookieguard.Server: the HTTP face of the versioned result store. A
+// running crawl publishes immutable analysis snapshots into an
+// internal/resultstore.Store (every K observed visits and once at
+// finalize — see WithSnapshotEvery); the server exposes them as JSON
+// with Consul-style blocking queries:
+//
+//	GET /v1/results                  full canonical analysis (StableJSON)
+//	GET /v1/summary                  Results.Summary
+//	GET /v1/sites                    per-site records, sorted by site
+//	GET /v1/sites/{site}             one site's record
+//	GET /v1/tables/retention         crawl-retention rollup, per vantage
+//	GET /v1/tables/failures          failure-taxonomy table
+//	GET /v1/tables/vantages          per-vantage latency/retention rows
+//	GET /v1/tables/actions           Table 1 (cross-domain action rates)
+//	GET /v1/progress                 crawl progress {done, total, final}
+//	GET /v1/stats                    live scheduler/cache/pool/fabric counters
+//
+// Every versioned endpoint (all but /v1/stats, which reads live atomic
+// counters and is never cached) implements the index protocol:
+//
+//   - The response carries `X-Result-Index: N` and `ETag: "cg-N"`, the
+//     monotonic snapshot index the body was built from.
+//   - `?index=N` turns the request into a blocking query: if the store
+//     has advanced past N the current snapshot returns immediately;
+//     otherwise the request parks — no goroutine per waiter — until the
+//     next publish or the `?wait=30s` timeout (default 30s, capped at
+//     2m), a timeout returning the unchanged index so the client just
+//     re-polls with it.
+//   - `If-None-Match` with the current ETag short-circuits to 304.
+//
+// Each endpoint caches one encoding per snapshot index, so any number
+// of pollers at the current index cost zero marshalling and never touch
+// the analyzer (enforced by an allocation-counting test).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cookieguard/internal/analysis"
+	"cookieguard/internal/resultstore"
+)
+
+const (
+	// defaultWait is the blocking-query park time when ?index is given
+	// without ?wait; maxWait caps client-supplied waits.
+	defaultWait = 30 * time.Second
+	maxWait     = 2 * time.Minute
+)
+
+// LiveStats is the /v1/stats payload: point-in-time counters that change
+// with every visit, read from atomics rather than snapshots (hence
+// unversioned and uncached).
+type LiveStats struct {
+	Sched    SchedSnapshot `json:"sched"`
+	Cache    CacheStats    `json:"cache"`
+	Pool     PoolStats     `json:"pool"`
+	Requests int64         `json:"requests"`
+	Faults   int64         `json:"faults"`
+}
+
+// Server serves a Pipeline's versioned analysis snapshots over HTTP. It
+// implements http.Handler; construct with Pipeline.NewServer and mount
+// anywhere (Pipeline.Run auto-mounts it on the WithServer address).
+type Server struct {
+	pipe  *Pipeline
+	store *resultstore.Store
+	mux   *http.ServeMux
+	// empty stands in for index 0's nil Results so endpoint builders
+	// always see a valid (zero) analysis.
+	empty *analysis.Results
+}
+
+// NewServer returns the HTTP server over this pipeline's result store.
+// The store starts at index 0 (empty) and is fed by Pipeline.Run when
+// serving is enabled (WithServer / WithSnapshotEvery), or by direct
+// ResultStore().Publish calls for custom pipelines.
+func (p *Pipeline) NewServer() *Server {
+	s := &Server{
+		pipe:  p,
+		store: p.ResultStore(),
+		mux:   http.NewServeMux(),
+		empty: analysis.New().Finalize(),
+	}
+	s.versioned("GET /v1/results", func(res *analysis.Results, _ resultstore.Snapshot) ([]byte, error) {
+		return res.StableJSON()
+	})
+	s.versioned("GET /v1/summary", marshal(func(res *analysis.Results) any { return res.Summary }))
+	s.versioned("GET /v1/sites", marshal(func(res *analysis.Results) any { return res.SiteRows() }))
+	s.versioned("GET /v1/tables/retention", marshal(func(res *analysis.Results) any { return res.Retention() }))
+	s.versioned("GET /v1/tables/failures", marshal(func(res *analysis.Results) any { return res.FailureTable() }))
+	s.versioned("GET /v1/tables/vantages", marshal(func(res *analysis.Results) any { return res.VantageTable() }))
+	s.versioned("GET /v1/tables/actions", marshal(func(res *analysis.Results) any { return res.Table1() }))
+	s.versioned("GET /v1/progress", func(_ *analysis.Results, snap resultstore.Snapshot) ([]byte, error) {
+		return json.Marshal(struct {
+			Index uint64 `json:"index"`
+			resultstore.Progress
+		}{snap.Index, snap.Progress})
+	})
+	s.mux.HandleFunc("GET /v1/sites/{site}", s.handleSite)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// marshal adapts a plain view function to the versioned builder shape.
+func marshal(view func(*analysis.Results) any) func(*analysis.Results, resultstore.Snapshot) ([]byte, error) {
+	return func(res *analysis.Results, _ resultstore.Snapshot) ([]byte, error) {
+		return json.Marshal(view(res))
+	}
+}
+
+// encCache memoizes one endpoint's encoding of one snapshot index.
+// Published snapshots are immutable, so index equality is encoding
+// validity; a new index simply overwrites (pollers only ever want the
+// newest version).
+type encCache struct {
+	mu    sync.Mutex
+	index uint64
+	body  []byte
+	valid bool
+}
+
+func (c *encCache) get(snap resultstore.Snapshot, build func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.valid && c.index == snap.Index {
+		return c.body, nil
+	}
+	body, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.index, c.body, c.valid = snap.Index, body, true
+	return body, nil
+}
+
+// versioned mounts one blocking-query endpoint: resolve the snapshot
+// (waiting if the client is up to date), handle ETag/304, serve the
+// per-index cached encoding.
+func (s *Server) versioned(pattern string, build func(*analysis.Results, resultstore.Snapshot) ([]byte, error)) {
+	cache := &encCache{}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := s.resolve(w, r)
+		if !ok {
+			return
+		}
+		etag := setVersionHeaders(w, snap.Index)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		body, err := cache.get(snap, func() ([]byte, error) {
+			return build(s.results(snap), snap)
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+}
+
+// resolve implements the query half of the index protocol: no ?index →
+// current snapshot immediately; ?index=N → block until the store
+// advances past N, the wait expires, or the client goes away.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (resultstore.Snapshot, bool) {
+	q := r.URL.Query()
+	idxStr := q.Get("index")
+	if idxStr == "" {
+		return s.store.Latest(), true
+	}
+	index, err := strconv.ParseUint(idxStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad index: "+err.Error(), http.StatusBadRequest)
+		return resultstore.Snapshot{}, false
+	}
+	wait := defaultWait
+	if ws := q.Get("wait"); ws != "" {
+		if wait, err = time.ParseDuration(ws); err != nil {
+			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+			return resultstore.Snapshot{}, false
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+	}
+	return s.store.Wait(r.Context(), index, wait), true
+}
+
+func setVersionHeaders(w http.ResponseWriter, index uint64) (etag string) {
+	etag = fmt.Sprintf("%q", "cg-"+strconv.FormatUint(index, 10))
+	h := w.Header()
+	h.Set("X-Result-Index", strconv.FormatUint(index, 10))
+	h.Set("ETag", etag)
+	return etag
+}
+
+func (s *Server) results(snap resultstore.Snapshot) *analysis.Results {
+	if snap.Results == nil {
+		return s.empty
+	}
+	return snap.Results
+}
+
+// handleSite serves one site's record. Versioned like the table
+// endpoints but marshalled per request (the per-site fan-out is too wide
+// to cache every encoding; a dashboard polls tables, not single sites).
+func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	etag := setVersionHeaders(w, snap.Index)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	site := r.PathValue("site")
+	res := s.results(snap)
+	row, found := siteRow(res, site)
+	if !found {
+		http.Error(w, "unknown site: "+site, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(row)
+}
+
+// siteRow extracts one site's record from finalized Results.
+func siteRow(res *analysis.Results, site string) (analysis.SiteRow, bool) {
+	row := analysis.SiteRow{Site: site}
+	found := false
+	if acts, ok := res.SiteActions[site]; ok {
+		found = true
+		for k := range acts {
+			row.Actions = append(row.Actions, analysis.SiteAction{Action: k.Kind, API: k.API})
+		}
+		sort.Slice(row.Actions, func(i, j int) bool {
+			if row.Actions[i].Action != row.Actions[j].Action {
+				return row.Actions[i].Action < row.Actions[j].Action
+			}
+			return row.Actions[i].API < row.Actions[j].API
+		})
+	}
+	for _, e := range res.Events {
+		if e.Site == site {
+			row.Events = append(row.Events, e)
+			found = true
+		}
+	}
+	return row, found
+}
+
+// handleStats serves the live counters. Unversioned: the values come
+// from atomic counters that advance with every visit, so there is no
+// meaningful index to block on — poll /v1/progress for versioned
+// advancement and this for instantaneous rates.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(LiveStats{
+		Sched:    s.pipe.SchedStats(),
+		Cache:    s.pipe.CacheStats(),
+		Pool:     s.pipe.PoolStats(),
+		Requests: s.pipe.Net.Requests(),
+		Faults:   s.pipe.Net.Faults(),
+	})
+}

@@ -1,0 +1,373 @@
+package cookieguard
+
+// Tests for cookieguard.Server and the served run path: served-vs-
+// unserved Results equality, the index/ETag blocking-query protocol
+// over real HTTP, and the allocation bound on the cached read path.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"cookieguard/internal/resultstore"
+)
+
+func stableJSON(t *testing.T, r *Results) string {
+	t.Helper()
+	b, err := r.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServedRunMatchesUnserved is the pipeline-level shard equivalence
+// contract: the sharded, snapshot-publishing run must return Results
+// byte-identical to the plain single-analyzer run, clean and under
+// faults, across worker counts.
+func TestServedRunMatchesUnserved(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"clean-2w", []Option{WithSites(50), WithWorkers(2)}},
+		{"clean-8w", []Option{WithSites(50), WithWorkers(8)}},
+		{"faults-8w", []Option{WithSites(50), WithWorkers(8),
+			WithFaults(UniformFaults(0.1, 7)), WithRetryPolicy(DefaultRetryPolicy())}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, err := New(tc.opts...).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			served := New(append([]Option{WithSnapshotEvery(7)}, tc.opts...)...)
+			got, err := served.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stableJSON(t, got) != stableJSON(t, plain) {
+				t.Fatal("served run Results diverge from unserved run")
+			}
+			if got.Summary.SitesComplete == 0 {
+				t.Fatal("no complete sites; equality check is vacuous")
+			}
+			// The finalize-time publish is the exact returned value.
+			snap := served.ResultStore().Latest()
+			if !snap.Progress.Final {
+				t.Fatal("final snapshot not marked Final")
+			}
+			if snap.Results != got {
+				t.Fatal("final published Results is not the value Run returned")
+			}
+		})
+	}
+}
+
+// TestServedRunPublishesMidCrawl: with a small cadence the store index
+// advances during the crawl, not just at finalize.
+func TestServedRunPublishesMidCrawl(t *testing.T) {
+	p := New(WithSites(40), WithWorkers(4), WithSnapshotEvery(5))
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if idx := p.ResultStore().Index(); idx < 3 {
+		t.Fatalf("store index %d after 40 visits at cadence 5; want several mid-crawl publishes", idx)
+	}
+}
+
+// serveTestPipeline runs a small served crawl to completion and returns
+// the pipeline with a populated store plus an httptest server over it.
+func serveTestPipeline(t *testing.T) (*Pipeline, *httptest.Server) {
+	t.Helper()
+	p := New(WithSites(30), WithWorkers(4), WithSnapshotEvery(8))
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.NewServer())
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestServerEndpoints smoke-tests every endpoint over real HTTP and
+// checks the version headers.
+func TestServerEndpoints(t *testing.T) {
+	p, ts := serveTestPipeline(t)
+	idx := strconv.FormatUint(p.ResultStore().Index(), 10)
+
+	paths := []string{
+		"/v1/results", "/v1/summary", "/v1/sites",
+		"/v1/tables/retention", "/v1/tables/failures",
+		"/v1/tables/vantages", "/v1/tables/actions",
+		"/v1/progress", "/v1/stats",
+	}
+	for _, path := range paths {
+		resp, body := get(t, ts.URL+path, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !json.Valid(body) {
+			t.Fatalf("%s: invalid JSON: %.120s", path, body)
+		}
+		if path == "/v1/stats" {
+			continue // live endpoint, unversioned
+		}
+		if got := resp.Header.Get("X-Result-Index"); got != idx {
+			t.Fatalf("%s: X-Result-Index %q, want %q", path, got, idx)
+		}
+		if got := resp.Header.Get("ETag"); got != `"cg-`+idx+`"` {
+			t.Fatalf("%s: ETag %q", path, got)
+		}
+	}
+
+	// /v1/results matches StableJSON of the final analysis.
+	_, body := get(t, ts.URL+"/v1/results", nil)
+	if string(body) != stableJSON(t, p.ResultStore().Latest().Results) {
+		t.Fatal("/v1/results body diverges from StableJSON of the final snapshot")
+	}
+
+	// Per-site detail: first site from /v1/sites resolves, unknown 404s.
+	var sites []struct {
+		Site string `json:"site"`
+	}
+	_, body = get(t, ts.URL+"/v1/sites", nil)
+	if err := json.Unmarshal(body, &sites); err != nil || len(sites) == 0 {
+		t.Fatalf("no site rows: %v %.120s", err, body)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/sites/"+sites[0].Site, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("site detail: status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/sites/nosuch.example", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown site: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerBlockingQuery exercises the index protocol over HTTP: stale
+// index answers immediately, current index blocks until publish, wait
+// timeout returns the unchanged index, If-None-Match yields 304.
+func TestServerBlockingQuery(t *testing.T) {
+	p, ts := serveTestPipeline(t)
+	store := p.ResultStore()
+	cur := store.Index()
+	curStr := strconv.FormatUint(cur, 10)
+
+	// Stale index: immediate.
+	start := time.Now()
+	resp, _ := get(t, ts.URL+"/v1/tables/retention?index=0&wait=30s", nil)
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stale-index query blocked")
+	}
+	if got := resp.Header.Get("X-Result-Index"); got != curStr {
+		t.Fatalf("stale query index %q, want %q", got, curStr)
+	}
+
+	// Current index with short wait: blocks, then returns unchanged.
+	start = time.Now()
+	resp, _ = get(t, ts.URL+"/v1/tables/retention?index="+curStr+"&wait=200ms", nil)
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("up-to-date query returned in %v, want ~200ms block", elapsed)
+	}
+	if got := resp.Header.Get("X-Result-Index"); got != curStr {
+		t.Fatalf("timed-out query index %q, want unchanged %q", got, curStr)
+	}
+
+	// Current index released by a publish.
+	released := make(chan string, 1)
+	go func() {
+		resp, _ := get(t, ts.URL+"/v1/progress?index="+curStr+"&wait=30s", nil)
+		released <- resp.Header.Get("X-Result-Index")
+	}()
+	time.Sleep(100 * time.Millisecond)
+	store.Publish(resultstore.Progress{Done: 1, Total: 1}, store.Latest().Results)
+	select {
+	case got := <-released:
+		want := strconv.FormatUint(cur+1, 10)
+		if got != want {
+			t.Fatalf("released query index %q, want %q", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked query not released by publish")
+	}
+
+	// Conditional request on the (new) current ETag: 304, empty body.
+	idx := strconv.FormatUint(store.Index(), 10)
+	resp, body := get(t, ts.URL+"/v1/summary", map[string]string{"If-None-Match": `"cg-` + idx + `"`})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional request: status %d, body %d bytes; want 304 empty", resp.StatusCode, len(body))
+	}
+}
+
+// TestCachedReadPathAllocs is the acceptance bound on the cached read
+// path: repeat requests at an unchanged index must serve the cached
+// encoding — no re-marshal of the analysis. Handler invocations through
+// the mux on a warmed cache must stay under a small constant allocation
+// budget regardless of result size.
+func TestCachedReadPathAllocs(t *testing.T) {
+	p, _ := serveTestPipeline(t)
+	srv := p.NewServer()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/results", nil)
+	// Warm the encoding cache, then measure steady-state polls with a
+	// reused discarding writer.
+	w := &nopResponseWriter{h: make(http.Header)}
+	srv.ServeHTTP(w, req)
+	warmBody := w.n
+	if warmBody == 0 {
+		t.Fatal("warm-up request wrote no body")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		w.reset()
+		srv.ServeHTTP(w, req)
+	})
+	// A re-marshal of full Results allocates thousands of times; the
+	// cached path only parses the query and copies headers.
+	if allocs > 60 {
+		t.Fatalf("cached read path allocates %.0f/op; want cached encoding (≤60)", allocs)
+	}
+
+	// Index must not have advanced, and the bytes must be the cache's.
+	w.reset()
+	srv.ServeHTTP(w, req)
+	if w.n != warmBody {
+		t.Fatalf("cached poll wrote %d bytes, warm-up wrote %d", w.n, warmBody)
+	}
+}
+
+// nopResponseWriter discards the body (counting bytes) and reuses its
+// header map, keeping the measurement focused on the handler's own
+// allocations.
+type nopResponseWriter struct {
+	h http.Header
+	n int
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+func (w *nopResponseWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *nopResponseWriter) reset() {
+	w.n = 0
+	clear(w.h)
+}
+
+// TestStartServerIdempotent: the first bind wins; later calls return the
+// same address, and a bad address surfaces as an error from Run.
+func TestStartServerIdempotent(t *testing.T) {
+	p := New(WithSites(5))
+	addr1, err := p.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := p.StartServer("127.0.0.1:0")
+	if err != nil || addr2 != addr1 {
+		t.Fatalf("second StartServer = (%q, %v), want (%q, nil)", addr2, err, addr1)
+	}
+
+	bad := New(WithSites(5), WithWorkers(2), WithServer("256.256.256.256:1"))
+	if _, err := bad.Run(context.Background()); err == nil {
+		t.Fatal("Run with unbindable WithServer address did not fail")
+	}
+}
+
+// TestServeWhileCrawling is the live-streaming acceptance path: a
+// client polling /v1/tables/retention with blocking queries observes at
+// least one mid-crawl snapshot before the final one, and the final
+// served results equal Run's return value byte for byte.
+func TestServeWhileCrawling(t *testing.T) {
+	// Throttle visits slightly so the crawl outlives several poll
+	// round-trips (the real-time crawl is otherwise near-instant).
+	p := New(WithSites(80), WithWorkers(4), WithSnapshotEvery(10),
+		WithProgress(func(done, total int) { time.Sleep(2 * time.Millisecond) }))
+	addr, err := p.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type poll struct {
+		index uint64
+		final bool
+	}
+	polls := make(chan poll, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(polls)
+		base := "http://" + addr
+		var index uint64
+		for {
+			resp, body := get(t, base+"/v1/progress?index="+strconv.FormatUint(index, 10)+"&wait=2s", nil)
+			var pr struct {
+				Index uint64 `json:"index"`
+				Final bool   `json:"final"`
+			}
+			if err := json.Unmarshal(body, &pr); err != nil {
+				t.Errorf("progress body: %v", err)
+				return
+			}
+			if got := resp.Header.Get("X-Result-Index"); got != strconv.FormatUint(pr.Index, 10) {
+				t.Errorf("X-Result-Index %q != body index %d", got, pr.Index)
+				return
+			}
+			if pr.Index > index {
+				polls <- poll{pr.Index, pr.Final}
+				index = pr.Index
+			}
+			if pr.Final {
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	res, err := p.Run(context.Background())
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []poll
+	for pl := range polls {
+		seen = append(seen, pl)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("poller saw %d snapshot(s); want mid-crawl updates before the final one", len(seen))
+	}
+	if last := seen[len(seen)-1]; !last.final {
+		t.Fatal("poller never saw the final snapshot")
+	}
+
+	// Final served bytes equal Run's return value.
+	_, body := get(t, "http://"+addr+"/v1/results", nil)
+	if string(body) != stableJSON(t, res) {
+		t.Fatal("final served /v1/results diverge from Run's return value")
+	}
+}
