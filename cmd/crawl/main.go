@@ -11,7 +11,8 @@
 // Usage:
 //
 //	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
-//	      [-retries N] [-second-pass] [-breaker] [-vantages eu-west,us-east]
+//	      [-retries N] [-second-pass] [-breaker] [-autopilot]
+//	      [-vantages eu-west,us-east] [-vantage-parallel]
 //	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
 //	      [-serve :8089] [-snap-every K]
 //
@@ -32,11 +33,15 @@
 // classes once the primary frontier drains (only the re-crawl's record
 // is emitted, marked with "attempt":2 on its requests); -breaker sheds
 // fetches and visits to hosts whose circuit opened ("circuit-open"
-// failure class) instead of burning the retry budget; -vantages crawls
-// every site once per named region — region-derived latency and, with
-// -faults, region-seeded fault schedules — tagging each record with its
-// vantage. All three keep per-site records byte-identical across runs
-// and worker counts for a fixed -seed.
+// failure class) instead of burning the retry budget; -autopilot
+// replaces the breaker's fixed threshold/cooldown constants with
+// per-host values learned from observed inter-failure intervals on the
+// virtual clock; -vantages crawls every site once per named region —
+// region-derived latency and, with -faults, region-seeded fault
+// schedules — tagging each record with its vantage; -vantage-parallel
+// drives all vantages through one unified worker pool instead of
+// vantage by vantage. All of these keep per-(site, vantage) records
+// byte-identical across runs and worker counts for a fixed -seed.
 package main
 
 import (
@@ -69,8 +74,12 @@ func main() {
 		"re-crawl visits that failed on transient classes once the primary frontier drains (the failure-set second pass)")
 	breaker := flag.Bool("breaker", false,
 		"per-host circuit breaking: shed fetches/visits to hosts that keep failing instead of burning the retry budget")
+	autopilot := flag.Bool("autopilot", false,
+		"self-tuning breaker thresholds: learn each host's failure threshold and cooldown from its observed inter-failure intervals (implies -breaker)")
 	vantages := flag.String("vantages", "",
 		"comma-separated vantage-point names; crawls every site once per region (region-derived latency, region-seeded -faults), tagging records with their vantage")
+	vantParallel := flag.Bool("vantage-parallel", false,
+		"crawl all vantages through one unified worker pool instead of vantage by vantage (records stay byte-identical; logs interleave vantages in completion order)")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	verbose := flag.Bool("v", false,
@@ -121,6 +130,9 @@ func main() {
 	if *breaker {
 		opts = append(opts, cookieguard.WithBreaker(cookieguard.Breaker{Enabled: true}))
 	}
+	if *autopilot {
+		opts = append(opts, cookieguard.WithBreakerAutopilot())
+	}
 	if *vantages != "" {
 		var vs []cookieguard.Vantage
 		for _, name := range strings.Split(*vantages, ",") {
@@ -129,6 +141,7 @@ func main() {
 			}
 		}
 		opts = append(opts, cookieguard.WithVantages(vs...))
+		opts = append(opts, cookieguard.WithVantageParallel(*vantParallel))
 	}
 	p := cookieguard.New(opts...)
 

@@ -8,7 +8,20 @@
 //	            [-artifact-cache=BOOL] [-pooling=BOOL] [-bench-json FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	            [-faults RATE] [-retries N] [-second-pass] [-breaker]
-//	            [-vantages eu-west,us-east] [-serve :8089] [-serve-bench]
+//	            [-autopilot] [-vantages eu-west,us-east]
+//	            [-vantage-parallel] [-vantage-compare]
+//	            [-serve :8089] [-serve-bench]
+//
+// Cross-vantage scheduling: -vantage-parallel crawls all vantages
+// through one unified worker pool (records byte-identical to the
+// sequential default), -vantage-compare additionally times a
+// sequential-mode baseline of the same configuration and records
+// sequential vs parallel visits/s plus their ratio in the -bench-json
+// snapshot (BENCH_7.json by convention; the CI vantage gate requires
+// speedup >= 1.2 on multi-core shapes), and -autopilot switches the
+// circuit breaker to
+// self-tuned per-host thresholds learned from observed inter-failure
+// intervals.
 //
 // Live serving: -serve exposes the measurement crawl's analysis over
 // HTTP while it runs (cookieguard.Server — versioned snapshots with
@@ -100,8 +113,14 @@ func main() {
 		"re-crawl visits that failed on transient classes once the primary frontier drains (only the re-crawl's record is kept)")
 	breaker := flag.Bool("breaker", false,
 		"per-host circuit breaking: shed fetches/visits to hosts that keep failing ('circuit-open') instead of burning the retry budget")
+	autopilot := flag.Bool("autopilot", false,
+		"self-tuning breaker thresholds: learn each host's failure threshold and cooldown from its observed inter-failure intervals (implies -breaker)")
 	vantages := flag.String("vantages", "",
 		"comma-separated vantage-point names; crawls every site once per region and prints the per-vantage latency-tail table")
+	vantParallel := flag.Bool("vantage-parallel", false,
+		"crawl all vantages through one unified worker pool (byte-identical records, higher throughput) instead of vantage by vantage")
+	vantCompare := flag.Bool("vantage-compare", false,
+		"additionally time a sequential-mode baseline and record sequential vs parallel visits/s (and their ratio) in -bench-json; implies -vantage-parallel")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters, cached exchanges) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	serve := flag.String("serve", "",
@@ -133,7 +152,8 @@ func main() {
 		artifactCache: *artifactCache, pooling: *pooling, crawlOnly: *crawlOnly,
 		benchJSON: *benchJSON, memProfile: *memProfile,
 		faultRate: *faults, retries: *retries,
-		secondPass: *secondPass, breaker: *breaker,
+		secondPass: *secondPass, breaker: *breaker, autopilot: *autopilot,
+		vantParallel: *vantParallel || *vantCompare, vantCompare: *vantCompare,
 		serveAddr: *serve, serveBench: *serveBench,
 	}
 	if cfg.serveBench && cfg.serveAddr == "" {
@@ -163,7 +183,10 @@ type runConfig struct {
 	faultRate              float64
 	retries                int
 	secondPass, breaker    bool
+	autopilot              bool
 	vantages               []cookieguard.Vantage
+	vantParallel           bool
+	vantCompare            bool
 	serveAddr              string
 	serveBench             bool
 }
@@ -178,8 +201,18 @@ type benchSnapshot struct {
 	Pooling       bool    `json:"pooling"`
 	FaultRate     float64 `json:"fault_rate,omitempty"`
 	RetryAttempts int     `json:"retry_attempts,omitempty"`
-	CrawlSeconds  float64 `json:"crawl_seconds"`
-	SitesPerSec   float64 `json:"sites_per_sec"`
+	// CrawlSeconds is the measurement crawl's wall-clock time; SitesPerSec
+	// counts each distinct site once (sites / CrawlSeconds) while
+	// VisitsPerSec counts performed crawls — sites × vantages — per
+	// wall-clock second, the figure that is comparable across vantage
+	// counts and modes. For single-vantage runs the two coincide.
+	CrawlSeconds float64 `json:"crawl_seconds"`
+	SitesPerSec  float64 `json:"sites_per_sec"`
+	VisitsPerSec float64 `json:"visits_per_sec"`
+	// VantageParallel records whether the crawl ran the unified
+	// cross-vantage scheduler (-vantage-parallel) instead of vantage by
+	// vantage.
+	VantageParallel bool `json:"vantage_parallel,omitempty"`
 	// AllocsPerSite and BytesPerSite are runtime.MemStats deltas over the
 	// measurement crawl divided by the site count; the GC fields are the
 	// collector's cycle count and total pause over the same window. They
@@ -196,8 +229,15 @@ type benchSnapshot struct {
 	// zero without -breaker/-second-pass).
 	Sched cookieguard.SchedSnapshot `json:"sched"`
 	// Vantages carries per-vantage throughput and latency-tail rows for
-	// multi-vantage runs (absent otherwise).
+	// multi-vantage runs (absent otherwise). Per-vantage crawl_seconds /
+	// sites_per_sec are only attributable in sequential mode; under
+	// -vantage-parallel the lanes share one pool and the rows carry the
+	// analysis columns only.
 	Vantages []vantageBench `json:"vantages,omitempty"`
+	// VantageModes is the -vantage-compare record: the same configuration
+	// timed in sequential and unified-parallel vantage mode, plus the
+	// parallel/sequential visits-per-second ratio the CI gate checks.
+	VantageModes *vantageModes `json:"vantage_modes,omitempty"`
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
@@ -221,9 +261,33 @@ type serveBenchResult struct {
 // vantageBench is one vantage point's row in the bench snapshot.
 type vantageBench struct {
 	Name         string  `json:"name"`
-	CrawlSeconds float64 `json:"crawl_seconds"`
-	SitesPerSec  float64 `json:"sites_per_sec"`
+	CrawlSeconds float64 `json:"crawl_seconds,omitempty"`
+	SitesPerSec  float64 `json:"sites_per_sec,omitempty"`
 	cookieguard.VantageStats
+}
+
+// vantageModes compares the two multi-vantage crawl modes over one
+// configuration (-vantage-compare): fresh pipelines, both draining
+// Stream, sequential timed first.
+type vantageModes struct {
+	// CPUs is runtime.NumCPU() on the measuring machine. The unified
+	// pool's wall-clock win comes from filling one lane's round-barrier
+	// tail with other lanes' visits, which needs runnable cores: on a
+	// single-CPU shape the simulated crawl is CPU-bound (virtual-clock
+	// latency costs no wall time) and the two modes tie.
+	CPUs       int              `json:"cpus"`
+	Sequential vantageModeBench `json:"sequential"`
+	Parallel   vantageModeBench `json:"parallel"`
+	// Speedup is parallel visits/s over sequential visits/s; the CI
+	// vantage gate requires ≥ 1.2 on multi-core shapes and non-regression
+	// on single-core shapes.
+	Speedup float64 `json:"speedup"`
+}
+
+// vantageModeBench is one mode's timing in a -vantage-compare record.
+type vantageModeBench struct {
+	CrawlSeconds float64 `json:"crawl_seconds"`
+	VisitsPerSec float64 `json:"visits_per_sec"`
 }
 
 func run(cfg runConfig) error {
@@ -250,8 +314,18 @@ func run(cfg runConfig) error {
 	if cfg.breaker {
 		resilience = append(resilience, cookieguard.WithBreaker(cookieguard.Breaker{Enabled: true}))
 	}
+	if cfg.autopilot {
+		resilience = append(resilience, cookieguard.WithBreakerAutopilot())
+	}
 	if len(cfg.vantages) > 0 {
 		resilience = append(resilience, cookieguard.WithVantages(cfg.vantages...))
+	}
+	// The -vantage-compare baseline reruns this exact configuration in
+	// sequential vantage mode: same resilience stack, no unified pool, no
+	// server.
+	seqResilience := append([]cookieguard.Option(nil), resilience...)
+	if len(cfg.vantages) > 0 && cfg.vantParallel {
+		resilience = append(resilience, cookieguard.WithVantageParallel(true))
 	}
 	if cfg.serveAddr != "" {
 		resilience = append(resilience, cookieguard.WithServer(cfg.serveAddr))
@@ -279,14 +353,17 @@ func run(cfg runConfig) error {
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	crawlStart := time.Now()
-	// Named-vantage runs crawl vantage by vantage so each region's
-	// throughput is separately attributable (even a single region, whose
-	// bench row would otherwise report zero seconds); everything folds
-	// into one analyzer, whose per-vantage rollup feeds the comparison
-	// table.
+	// Sequential named-vantage runs crawl vantage by vantage so each
+	// region's throughput is separately attributable (even a single
+	// region, whose bench row would otherwise report zero seconds);
+	// everything folds into one analyzer, whose per-vantage rollup feeds
+	// the comparison table. Under -vantage-parallel the lanes share one
+	// pool — per-vantage wall-clock is not attributable, so Run's unified
+	// path does the crawl and the per-vantage rows keep only the
+	// analysis columns.
 	var res *cookieguard.Results
 	vantSecs := map[string]float64{}
-	if vs := study.Vantages(); len(cfg.vantages) > 0 {
+	if vs := study.Vantages(); len(cfg.vantages) > 0 && !cfg.vantParallel {
 		// This loop bypasses Run (per-vantage timing), so it feeds the
 		// result store itself when serving: same sharded analyzer and
 		// cadence, so the served snapshots are identical in kind.
@@ -361,6 +438,71 @@ func run(cfg runConfig) error {
 		fmt.Fprintf(out, "allocation profile written to %s\n\n", memProfile)
 	}
 
+	// -vantage-compare: time the same configuration in sequential and
+	// unified-parallel vantage mode, each on a fresh pipeline (fresh web
+	// and caches) draining Stream — identical work on both sides, so the
+	// ratio isolates the scheduling mode. Runs after the MemStats read so
+	// the extra crawls don't pollute the allocs_per_site figures.
+	var vm *vantageModes
+	if cfg.vantCompare && len(cfg.vantages) > 1 {
+		fmt.Fprintln(out, "--- vantage-mode comparison (-vantage-compare) ---")
+		timeMode := func(parallel bool) (float64, int, error) {
+			opts := append([]cookieguard.Option{
+				cookieguard.WithSites(sites),
+				cookieguard.WithWorkers(workers),
+				cookieguard.WithSeed(seed),
+				cookieguard.WithInteract(true),
+				cookieguard.WithArtifactCache(artifactCache),
+				cookieguard.WithPooling(pooling),
+			}, seqResilience...)
+			if parallel {
+				opts = append(opts, cookieguard.WithVantageParallel(true))
+			}
+			p := cookieguard.New(opts...)
+			start := time.Now()
+			logs, errCh := p.Stream(ctx)
+			visits := 0
+			for range logs {
+				visits++
+			}
+			if err := <-errCh; err != nil {
+				return 0, 0, err
+			}
+			return time.Since(start).Seconds(), visits, nil
+		}
+		// Two alternating iterations per mode, best-of each: the first
+		// lap warms the process (heap size, GC pacing), and min picks
+		// each mode's warm run, so the ratio isn't an artifact of which
+		// mode ran first.
+		seqSecs, parSecs := 0.0, 0.0
+		visits := 0
+		for i := 0; i < 2; i++ {
+			s, n, err := timeMode(false)
+			if err != nil {
+				return err
+			}
+			p, _, err := timeMode(true)
+			if err != nil {
+				return err
+			}
+			visits = n
+			if seqSecs == 0 || s < seqSecs {
+				seqSecs = s
+			}
+			if parSecs == 0 || p < parSecs {
+				parSecs = p
+			}
+		}
+		vm = &vantageModes{
+			CPUs:       runtime.NumCPU(),
+			Sequential: vantageModeBench{CrawlSeconds: seqSecs, VisitsPerSec: float64(visits) / seqSecs},
+			Parallel:   vantageModeBench{CrawlSeconds: parSecs, VisitsPerSec: float64(visits) / parSecs},
+		}
+		vm.Speedup = vm.Parallel.VisitsPerSec / vm.Sequential.VisitsPerSec
+		fmt.Fprintf(out, "sequential %.2fs (%.1f visits/s) vs unified pool %.2fs (%.1f visits/s): speedup %.2fx on %d CPUs\n\n",
+			seqSecs, vm.Sequential.VisitsPerSec, parSecs, vm.Parallel.VisitsPerSec, vm.Speedup, vm.CPUs)
+	}
+
 	var sb *serveBenchResult
 	if cfg.serveBench {
 		bound, err := study.StartServer(cfg.serveAddr)
@@ -376,25 +518,28 @@ func run(cfg runConfig) error {
 
 	if benchJSON != "" {
 		snap := benchSnapshot{
-			Benchmark:     "StreamingPipeline",
-			Sites:         sites,
-			Workers:       workers,
-			Seed:          seed,
-			ArtifactCache: artifactCache,
-			Pooling:       pooling,
-			FaultRate:     faultRate,
-			RetryAttempts: retries,
-			CrawlSeconds:  crawlSecs,
-			SitesPerSec:   float64(sites) / crawlSecs,
-			AllocsPerSite: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),
-			BytesPerSite:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sites),
-			GCCycles:      msAfter.NumGC - msBefore.NumGC,
-			GCPauseMs:     float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
-			CacheStats:    cs,
-			PoolStats:     study.PoolStats(),
-			Sched:         study.SchedStats(),
-			Failures:      res.Failures,
-			ServeBench:    sb,
+			Benchmark:       "StreamingPipeline",
+			Sites:           sites,
+			Workers:         workers,
+			Seed:            seed,
+			ArtifactCache:   artifactCache,
+			Pooling:         pooling,
+			FaultRate:       faultRate,
+			RetryAttempts:   retries,
+			CrawlSeconds:    crawlSecs,
+			SitesPerSec:     float64(sites) / crawlSecs,
+			VisitsPerSec:    float64(sites*len(study.Vantages())) / crawlSecs,
+			VantageParallel: cfg.vantParallel,
+			VantageModes:    vm,
+			AllocsPerSite:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),
+			BytesPerSite:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sites),
+			GCCycles:        msAfter.NumGC - msBefore.NumGC,
+			GCPauseMs:       float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+			CacheStats:      cs,
+			PoolStats:       study.PoolStats(),
+			Sched:           study.SchedStats(),
+			Failures:        res.Failures,
+			ServeBench:      sb,
 		}
 		for _, row := range res.VantageTable() {
 			if row.Vantage == "" && len(cfg.vantages) == 0 {

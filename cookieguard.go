@@ -241,6 +241,12 @@ func (p *Pipeline) crawlOptions(v Vantage) crawler.Options {
 		SecondPass:           crawler.SecondPass{Enabled: p.cfg.secondPass},
 		Stats:                p.sched,
 	}
+	if p.cfg.autopilot {
+		// WithBreakerAutopilot implies the breaker, whatever the option
+		// order; WithBreaker's round size and reference cooldown apply.
+		opts.Breaker.Enabled = true
+		opts.Breaker.Autopilot = true
+	}
 	if !v.Default() {
 		opts.Vantage = &v
 	}
@@ -305,22 +311,33 @@ func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLo
 // yields at most one error.
 //
 // With WithVantages configured, the stream visits every site once per
-// vantage point, vantage by vantage in configuration order — one
-// frozen web, one artifact cache, per-vantage record streams (each log
-// tagged with its vantage name). Progress callbacks restart per
-// vantage: done counts that vantage's visits out of the site total.
+// vantage point over one frozen web and one artifact cache, each log
+// tagged with its vantage name. By default the vantages crawl vantage
+// by vantage in configuration order; with WithVantageParallel all
+// vantages' visits interleave through one worker pool (identical
+// records, different stream order). Either way, Progress/ProgressStats
+// callbacks report one monotonic done out of sites × vantages — no
+// per-vantage restart.
 func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
 	vs := p.Vantages()
 	if len(vs) == 1 {
 		return p.StreamVantage(ctx, vs[0])
+	}
+	sites := crawler.SiteURLs(trancolist.Domains(p.SiteList()))
+	if p.cfg.vantParallel {
+		opts := p.crawlOptions(Vantage{})
+		opts.Vantages = vs
+		return crawler.Stream(ctx, sites, opts)
 	}
 	out := make(chan VisitLog)
 	errc := make(chan error, 1)
 	go func() {
 		defer close(out)
 		defer close(errc)
-		for _, v := range vs {
-			logs, errs := p.StreamVantage(ctx, v)
+		for vi, v := range vs {
+			opts := p.crawlOptions(v)
+			offsetProgress(&opts, vi*len(sites), len(vs)*len(sites))
+			logs, errs := crawler.Stream(ctx, sites, opts)
 			for l := range logs {
 				select {
 				case out <- l:
@@ -338,6 +355,24 @@ func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
 	return out, errc
 }
 
+// offsetProgress rebases one vantage crawl's progress callbacks into
+// the pipeline-wide done/total space (sites × vantages), so sequential
+// multi-vantage crawls report a single monotonic count instead of
+// restarting per vantage — the same numbers the unified parallel
+// scheduler reports natively.
+func offsetProgress(opts *crawler.Options, base, total int) {
+	if fn := opts.Progress; fn != nil {
+		opts.Progress = func(done, _ int) { fn(base+done, total) }
+	}
+	if fn := opts.ProgressStats; fn != nil {
+		opts.ProgressStats = func(ps crawler.ProgressStats) {
+			ps.Done += base
+			ps.Total = total
+			fn(ps)
+		}
+	}
+}
+
 // Crawl runs the measurement crawl over every site and materializes all
 // logs, in ranked-site order (with WithVantages, one ranked-order block
 // per vantage, concatenated in configuration order). It is a batch
@@ -345,9 +380,23 @@ func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
 // times the vantage count, so prefer Run or Stream for large workloads.
 func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
 	sites := crawler.SiteURLs(trancolist.Domains(p.SiteList()))
+	vs := p.Vantages()
+	if p.cfg.vantParallel && len(vs) > 1 {
+		opts := p.crawlOptions(Vantage{})
+		opts.Vantages = vs
+		res, err := crawler.Crawl(ctx, sites, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Logs, nil
+	}
 	var all []VisitLog
-	for _, v := range p.Vantages() {
-		res, err := crawler.Crawl(ctx, sites, p.crawlOptions(v))
+	for vi, v := range vs {
+		opts := p.crawlOptions(v)
+		if len(vs) > 1 {
+			offsetProgress(&opts, vi*len(sites), len(vs)*len(sites))
+		}
+		res, err := crawler.Crawl(ctx, sites, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -194,3 +194,40 @@ func TestSnapshotMatchesFinalize(t *testing.T) {
 		t.Fatal("quiescent Snapshot diverges from Finalize")
 	}
 }
+
+// TestVantageInterleavingOrderIndependent models the two crawl modes
+// feeding analysis: sequential multi-vantage crawls observe records as
+// consecutive per-vantage blocks, the unified parallel scheduler
+// interleaves vantages in completion order. The canonical finalize must
+// make both feeds — single analyzer or sharded — byte-identical.
+func TestVantageInterleavingOrderIndependent(t *testing.T) {
+	base := shardFixture(40)
+	var blocked []instrument.VisitLog
+	for _, vant := range []string{"eu-west", "us-east"} {
+		for _, v := range base {
+			v.Vantage = vant
+			// Regions observe different tails; perturb so rollups differ.
+			if vant == "us-east" {
+				v.Timing.LoadEvent *= 0.7
+			}
+			blocked = append(blocked, v)
+		}
+	}
+	// Interleave the two vantage blocks pairwise (worst-case mixing).
+	half := len(blocked) / 2
+	interleaved := make([]instrument.VisitLog, 0, len(blocked))
+	for i := 0; i < half; i++ {
+		interleaved = append(interleaved, blocked[i], blocked[half+i])
+	}
+	want := stableBytes(t, New().Run(blocked))
+	if got := stableBytes(t, New().Run(interleaved)); string(got) != string(want) {
+		t.Fatal("interleaved vantage feed diverges from blocked feed (single analyzer)")
+	}
+	sh := NewSharded(4, nil)
+	for i, v := range interleaved {
+		sh.Observe(i%4, v)
+	}
+	if got := stableBytes(t, sh.Finalize()); string(got) != string(want) {
+		t.Fatal("interleaved vantage feed diverges from blocked feed (sharded)")
+	}
+}

@@ -26,6 +26,21 @@
 // default configuration — FIFO, breaker off, second pass off, implicit
 // vantage — emits records byte-identical to the fixed worker-pool loop
 // it replaced.
+//
+// Multi-vantage crawls are unified: Options.Vantages runs every (site,
+// vantage) pair through ONE worker pool, one lane per vantage. Each
+// lane owns exactly the state a standalone sequential crawl of that
+// vantage would own — its frontier, its round-synchronous breaker with
+// its own virtual clock, its second-pass bookkeeping — and the lanes
+// multiplex over the shared workers, so one region's latency tail fills
+// with another region's visits instead of idling the pool. Because a
+// lane's rounds, gate snapshots, and sorted folds are untouched by the
+// other lanes, every record is byte-identical to the one a sequential
+// per-vantage crawl emits, at any worker count and any lane
+// interleaving; the effective global fold order is (pass, site index,
+// then vantage), and each lane's virtual clock still advances by its
+// own rounds' mean visit duration — never by wall-clock or worker
+// count.
 package crawler
 
 import (
@@ -73,12 +88,14 @@ type Options struct {
 	// partial data and a "deadline" failure mark.
 	VisitBudgetMs float64
 	// Progress, when set, receives (done, total) after every completed
-	// visit. Invocations are serialized (no two run concurrently) but
-	// arrive on crawl worker goroutines; a slow callback backpressures
-	// the crawl. done counts completed visits, not delivered logs: when
-	// the context is cancelled mid-delivery, a finished visit's log can
-	// be dropped, and the drop's Progress invocation is the only trace
-	// of it — so the final done is the true number of visits performed.
+	// visit, with total = len(sites) × number of vantages: one
+	// monotonic count for the whole crawl, however many lanes feed it.
+	// Invocations are serialized (no two run concurrently) but arrive
+	// on crawl worker goroutines; a slow callback backpressures the
+	// crawl. done counts completed visits, not delivered logs: when the
+	// context is cancelled mid-delivery, a finished visit's log can be
+	// dropped, and the drop's Progress invocation is the only trace of
+	// it — so the final done is the true number of visits performed.
 	Progress func(done, total int)
 	// Artifacts is the content-addressed cache shared by every worker's
 	// browser (compiled scripts, DOM templates). When nil, the crawl
@@ -106,32 +123,46 @@ type Options struct {
 	// serialized (after Progress, under the same lock) and arrive on
 	// crawl worker goroutines; a slow callback backpressures the crawl.
 	ProgressStats func(ProgressStats)
-	// Scheduler constructs the crawl's Frontier — the queue deciding
-	// visit order and holding the second pass's requeues. Nil uses
-	// NewFIFOFrontier, which visits sites in input order and is
+	// Scheduler constructs a crawl lane's Frontier — the queue deciding
+	// visit order and holding the second pass's requeues. It is invoked
+	// once per vantage lane (each lane orders its own site walk). Nil
+	// uses NewFIFOFrontier, which visits sites in input order and is
 	// output-identical to the historical fixed dispatch loop.
 	Scheduler func() Frontier
 	// Breaker configures per-host circuit breaking: hosts that keep
 	// failing on transient classes are shed with FailureClass
 	// "circuit-open" instead of burning the retry budget, and half-open
 	// probes re-admit them once OpenForMs of crawl virtual time has
-	// passed. The zero value (off) changes nothing.
+	// passed. Breaker state is per (host, vantage): each lane folds its
+	// own circuits on its own virtual clock. The zero value (off)
+	// changes nothing.
 	Breaker Breaker
 	// SecondPass configures the fault-aware second pass: visits whose
 	// landing failed on a transient class are re-crawled once the
 	// primary frontier drains, and only the re-crawl's record is
-	// emitted. The zero value (off) changes nothing.
+	// emitted. Per lane, like the breaker. The zero value (off)
+	// changes nothing.
 	SecondPass SecondPass
 	// Vantage, when set and not the default, crawls through
 	// Internet.From(*Vantage): the vantage's latency and fault models,
 	// with every emitted VisitLog tagged Vantage.Name. Nil or the
 	// zero Vantage crawls the fabric directly, byte-identical to before
-	// vantages existed.
+	// vantages existed. Ignored when Vantages is non-empty.
 	Vantage *netsim.Vantage
+	// Vantages, when non-empty, crawls every site from every listed
+	// vantage through one unified worker pool — one scheduling lane per
+	// vantage, each with its own frontier and breaker state, so records
+	// stay byte-identical to crawling the vantages sequentially while
+	// the pool stays busy across regions. Crawl returns the logs as
+	// consecutive per-vantage blocks in list order (lane-major); Stream
+	// interleaves them in completion order. Takes precedence over
+	// Vantage.
+	Vantages []netsim.Vantage
 	// Stats, when set, accumulates scheduler counters (visit virtual
 	// time, breaker sheds/probes, second-pass volume) across the crawl.
-	// Pass one struct to several crawls to aggregate. Never affects
-	// records.
+	// Named vantages accumulate into per-vantage children
+	// (SchedStats.Vantage) that chain into the totals. Pass one struct
+	// to several crawls to aggregate. Never affects records.
 	Stats *SchedStats
 }
 
@@ -166,26 +197,67 @@ func (r *Result) Complete() []instrument.VisitLog {
 	return instrument.FilterComplete(r.Logs)
 }
 
-// indexedLog pairs a visit log with its position in the input site list,
-// so the batch wrapper can restore input order over the unordered stream.
+// indexedLog pairs a visit log with its position in the crawl's flat
+// output space (lane*len(sites)+site), so the batch wrapper can restore
+// lane-major input order over the unordered stream.
 type indexedLog struct {
 	idx int
 	log instrument.VisitLog
 }
 
-// visitJob is one unit of dispatched work: which site, which crawl
-// pass, and the round's open-circuit gate (nil when no circuit is open).
+// laneState is one vantage's scheduling lane. A lane owns exactly the
+// state a standalone sequential crawl of its vantage would own — the
+// frontier, the breaker accounting and virtual clock, the pass map —
+// so its shed decisions and emitted records cannot be perturbed by the
+// other lanes sharing the worker pool. All lane fields are owned by the
+// dispatch goroutine; workers only read the immutable identity fields
+// (vantage, transport, stats, base).
+type laneState struct {
+	id        int
+	vantage   netsim.Vantage    // zero value = the default vantage
+	transport http.RoundTripper // nil = fabric directly
+	stats     *SchedStats       // per-vantage child when named; may be nil without feedback
+	base      int               // flat output offset: id * len(sites)
+
+	front  Frontier
+	brk    *breakerState
+	passOf map[int]int // site → pass; absent = 1
+	round  []visitOutcome
+
+	pending int  // dispatched visits without a folded outcome
+	inRound bool // a breaker round is open (gate frozen, dispatching)
+	barrier bool // round dispatched; waiting for pending to drain
+	popped  bool // current round popped at least one visit
+	sent    int  // visits dispatched into the current round
+	gate    *gateSnapshot
+	done    bool
+}
+
+// pass returns the crawl pass the next dispatch of site belongs to.
+func (ln *laneState) pass(site int) int {
+	if p := ln.passOf[site]; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// visitJob is one unit of dispatched work: which site, which lane
+// (vantage), which crawl pass, and the lane's round gate (nil when no
+// circuit is open).
 type visitJob struct {
-	idx  int
+	site int
 	pass int
 	gate *gateSnapshot
+	lane *laneState
 }
 
 // visitOutcome is a worker's terminal report to the dispatcher: whether
 // the visit qualifies for the second pass, how much virtual time it
-// burned, and the per-host fetch accounting the breaker folds.
+// burned, and the per-host fetch accounting the breaker folds. idx is
+// the site index — the breaker's sorted fold key within a lane.
 type visitOutcome struct {
 	idx       int
+	lane      int
 	pass      int
 	requeue   bool
 	virtualMs float64
@@ -194,7 +266,8 @@ type visitOutcome struct {
 
 // delivery owns the shared result path: the bounded indexed stream plus
 // the serialized progress accounting. Both crawl workers and the
-// dispatcher (shed visits) deliver through it.
+// dispatcher (shed visits) deliver through it; done is one monotonic
+// count over sites × vantages.
 type delivery struct {
 	ctx   context.Context
 	out   chan indexedLog
@@ -249,14 +322,57 @@ func (d *delivery) deliver(idx int, l instrument.VisitLog) bool {
 	return delivered
 }
 
-// stream is the shared streaming core: a dispatcher drives the Frontier
-// (and, when enabled, the circuit breaker and second pass) while a
-// bounded worker pool performs visits and delivers indexed logs in
-// completion order on a channel with capacity equal to the worker
-// count, so at most O(workers) logs are resident (in flight or
-// buffered) at any time. Cancelling the context stops dispatch,
-// unblocks workers mid-stream, and closes both channels after the pool
-// drains; the error channel then carries ctx.Err().
+// buildLanes resolves the crawl's vantage set into scheduling lanes.
+// Options.Vantages wins; otherwise the single (possibly default)
+// Options.Vantage becomes the only lane, preserving the historical
+// single-vantage behaviour byte for byte.
+func buildLanes(sites []string, opts *Options) []*laneState {
+	vants := opts.Vantages
+	if len(vants) == 0 {
+		if opts.Vantage != nil {
+			vants = []netsim.Vantage{*opts.Vantage}
+		} else {
+			vants = []netsim.Vantage{{}}
+		}
+	}
+	newFrontier := opts.Scheduler
+	if newFrontier == nil {
+		newFrontier = NewFIFOFrontier
+	}
+	lanes := make([]*laneState, len(vants))
+	for i, v := range vants {
+		ln := &laneState{id: i, vantage: v, base: i * len(sites)}
+		if !v.Default() {
+			ln.transport = opts.Internet.From(v)
+		}
+		ln.stats = opts.Stats
+		if opts.Stats != nil && v.Name != "" {
+			ln.stats = opts.Stats.Vantage(v.Name)
+		}
+		ln.front = newFrontier()
+		for s := range sites {
+			ln.front.Push(s)
+		}
+		if opts.Breaker.Enabled {
+			ln.brk = newBreakerState(opts.Breaker, ln.stats)
+			ln.passOf = map[int]int{}
+		} else if opts.SecondPass.Enabled {
+			ln.passOf = map[int]int{}
+		}
+		lanes[i] = ln
+	}
+	return lanes
+}
+
+// stream is the shared streaming core: a dispatcher drives the per-
+// vantage lanes (frontier order and, when enabled, circuit breaking and
+// the second pass) while one bounded worker pool performs all lanes'
+// visits and delivers indexed logs in completion order on a channel
+// with capacity equal to the worker count, so at most O(workers) logs
+// are resident (in flight or buffered) at any time. Cancelling the
+// context stops dispatch, unblocks workers mid-stream, and closes both
+// channels after the pool drains; the error channel then carries
+// ctx.Err().
 func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLog, <-chan error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -294,19 +410,14 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		opts.Stats = &SchedStats{}
 	}
 
-	// Resolve the vantage once: the default vantage crawls the fabric
-	// directly (transport nil ⇒ the browser uses Options.Internet).
-	var transport http.RoundTripper
-	if opts.Vantage != nil && !opts.Vantage.Default() {
-		transport = opts.Internet.From(*opts.Vantage)
-	}
+	lanes := buildLanes(sites, &opts)
 
 	jobs := make(chan visitJob)
 	var feedback chan visitOutcome
 	if needFeedback {
 		feedback = make(chan visitOutcome, workers*2)
 	}
-	d := &delivery{ctx: ctx, out: out, opts: &opts, total: len(sites)}
+	d := &delivery{ctx: ctx, out: out, opts: &opts, total: len(sites) * len(lanes)}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -314,12 +425,12 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				l, o := visit(sites[j.idx], opts, maxClicks, j, transport)
+				l, o := visit(sites[j.site], opts, maxClicks, j)
 				if feedback != nil {
 					o.requeue = j.pass == 1 && opts.SecondPass.Enabled &&
 						!l.OK && requeueable(l.Failure)
-					if opts.Stats != nil && j.pass > 1 && l.OK {
-						opts.Stats.SecondPassKept.Add(1)
+					if j.lane.stats != nil && j.pass > 1 && l.OK {
+						j.lane.stats.SecondPassKept.Add(1)
 					}
 					select {
 					case feedback <- o:
@@ -332,7 +443,7 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 						continue
 					}
 				}
-				if !d.deliver(j.idx, l) {
+				if !d.deliver(j.lane.base+j.site, l) {
 					return
 				}
 			}
@@ -340,7 +451,7 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	}
 
 	go func() {
-		dispatch(ctx, sites, opts, jobs, feedback, d)
+		dispatch(ctx, sites, &opts, lanes, jobs, feedback, d)
 		close(jobs)
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
@@ -360,53 +471,54 @@ func requeueable(class string) bool {
 	return c.Transient() || c == browser.FailCircuitOpen
 }
 
-// dispatch runs the scheduler: it seeds the Frontier, pops visits into
-// the worker pool, folds outcome feedback (second-pass requeues and,
-// with the breaker enabled, round-synchronous per-host failure
-// accounting), and sheds visits to open-circuit hosts at dispatch time.
-// It returns when every visit has a terminal outcome or the context is
+// dispatch runs the scheduler: it sweeps the vantage lanes, popping
+// each lane's visits into the shared worker pool and folding outcome
+// feedback (second-pass requeues and, with the breaker enabled, round-
+// synchronous per-lane failure accounting). It returns when every
+// (site, vantage) visit has a terminal outcome or the context is
 // cancelled.
-func dispatch(ctx context.Context, sites []string, opts Options, jobs chan<- visitJob, feedback chan visitOutcome, d *delivery) {
-	newFrontier := opts.Scheduler
-	if newFrontier == nil {
-		newFrontier = NewFIFOFrontier
-	}
-	front := newFrontier()
-	for i := range sites {
-		front.Push(i)
-	}
-
+func dispatch(ctx context.Context, sites []string, opts *Options, lanes []*laneState, jobs chan<- visitJob, feedback chan visitOutcome, d *delivery) {
 	if feedback == nil {
-		// Zero-feedback fast path: the historical dispatch loop, with
-		// the pop order delegated to the frontier.
-		for {
-			idx, ok := front.Pop()
-			if !ok {
-				return
-			}
-			select {
-			case <-ctx.Done():
-				return
-			case jobs <- visitJob{idx: idx, pass: 1}:
+		// Zero-feedback fast path: the historical dispatch loop with the
+		// pop order delegated to each lane's frontier, one pop per lane
+		// per sweep so vantages interleave through the pool.
+		remaining := len(lanes)
+		for remaining > 0 {
+			for _, ln := range lanes {
+				if ln.done {
+					continue
+				}
+				site, ok := ln.front.Pop()
+				if !ok {
+					ln.done = true
+					remaining--
+					continue
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case jobs <- visitJob{site: site, pass: 1, lane: ln}:
+				}
 			}
 		}
+		return
 	}
 
 	s := &dispatcher{
-		ctx: ctx, sites: sites, opts: &opts,
-		jobs: jobs, feedback: feedback, d: d,
-		front: front, passOf: map[int]int{},
+		ctx: ctx, sites: sites, opts: opts,
+		jobs: jobs, feedback: feedback, d: d, lanes: lanes,
 	}
-	if opts.Breaker.Enabled {
-		s.brk = newBreakerState(opts.Breaker, opts.Stats)
-		s.runRounds()
-		return
-	}
-	s.runContinuous()
+	s.run()
 }
 
 // dispatcher is the scheduling state machine driven by the dispatch
-// goroutine.
+// goroutine. It multiplexes the lanes over one worker pool: each sweep
+// gives every live lane a chance to progress its own state machine
+// (dispatch phase or round barrier), and when no lane can move without
+// an outcome, it blocks on the shared feedback channel. Outcomes
+// always fold into their own lane, so lane state — and with it every
+// record — is exactly what a sequential per-vantage crawl would
+// produce.
 type dispatcher struct {
 	ctx      context.Context
 	sites    []string
@@ -414,55 +526,44 @@ type dispatcher struct {
 	jobs     chan<- visitJob
 	feedback chan visitOutcome
 	d        *delivery
-
-	front   Frontier
-	brk     *breakerState
-	passOf  map[int]int // idx → pass; absent = 1
-	pending int
-	round   []visitOutcome
+	lanes    []*laneState
 }
 
-// pass returns the crawl pass the next dispatch of idx belongs to.
-func (s *dispatcher) pass(idx int) int {
-	if p := s.passOf[idx]; p > 0 {
-		return p
-	}
-	return 1
-}
-
-// collect folds one feedback message. Without the breaker, requeues hit
-// the frontier immediately — order cannot influence records, since each
-// visit's bytes depend only on (url, seed, pass, vantage). With the
-// breaker, requeues are deferred to the round barrier (flushRound),
-// where they apply in sorted order: frontier state must never depend on
-// completion timing once shed decisions read it.
+// collect folds one feedback message into its lane. Without the
+// breaker, requeues hit the lane's frontier immediately — order cannot
+// influence records, since each visit's bytes depend only on (url,
+// seed, pass, vantage). With the breaker, requeues are deferred to the
+// lane's round barrier, where they apply in sorted (pass, idx) order:
+// frontier state must never depend on completion timing once shed
+// decisions read it.
 func (s *dispatcher) collect(o visitOutcome) {
-	s.pending--
-	if s.brk != nil {
-		s.round = append(s.round, o)
+	ln := s.lanes[o.lane]
+	ln.pending--
+	if ln.brk != nil {
+		ln.round = append(ln.round, o)
 		return
 	}
-	s.resolve(o)
+	s.resolve(ln, o)
 }
 
-// resolve applies a visit outcome to the frontier.
-func (s *dispatcher) resolve(o visitOutcome) {
+// resolve applies a visit outcome to its lane's frontier.
+func (s *dispatcher) resolve(ln *laneState, o visitOutcome) {
 	if o.requeue {
-		s.opts.Stats.Requeued.Add(1)
-		s.passOf[o.idx] = o.pass + 1
-		s.front.Requeue(o.idx)
+		ln.stats.Requeued.Add(1)
+		ln.passOf[o.idx] = o.pass + 1
+		ln.front.Requeue(o.idx)
 		return
 	}
-	s.front.Complete(o.idx)
+	ln.front.Complete(o.idx)
 }
 
-// send dispatches one job, draining feedback while the pool is busy.
-// Returns false when the crawl is cancelled.
+// send dispatches one job, draining feedback (from any lane) while the
+// pool is busy. Returns false when the crawl is cancelled.
 func (s *dispatcher) send(j visitJob) bool {
 	for {
 		select {
 		case s.jobs <- j:
-			s.pending++
+			j.lane.pending++
 			return true
 		case o := <-s.feedback:
 			s.collect(o)
@@ -477,116 +578,158 @@ func (s *dispatcher) send(j visitJob) bool {
 // doubles as the host's probe); otherwise a terminal circuit-open
 // record is emitted without constructing a browser. Returns false when
 // the crawl is cancelled.
-func (s *dispatcher) shed(idx, pass int) bool {
-	s.opts.Stats.ShedVisits.Add(1)
+func (s *dispatcher) shed(ln *laneState, site, pass int) bool {
+	ln.stats.ShedVisits.Add(1)
 	if pass == 1 && s.opts.SecondPass.Enabled {
-		s.opts.Stats.Requeued.Add(1)
-		s.passOf[idx] = pass + 1
-		s.front.Requeue(idx)
+		ln.stats.Requeued.Add(1)
+		ln.passOf[site] = pass + 1
+		ln.front.Requeue(site)
 		return true
 	}
-	s.front.Complete(idx)
-	url := s.sites[idx]
+	ln.front.Complete(site)
+	url := s.sites[site]
 	l := instrument.VisitLog{
 		Site:    urlutil.RegistrableDomain(url),
 		URL:     url,
 		Error:   "crawler: circuit open: " + urlutil.Hostname(url),
 		Failure: string(browser.FailCircuitOpen),
 	}
-	if s.opts.Vantage != nil {
-		l.Vantage = s.opts.Vantage.Name
-	}
-	return s.d.deliver(idx, l)
+	l.Vantage = ln.vantage.Name
+	return s.d.deliver(ln.base+site, l)
 }
 
-// runContinuous drives the second pass without circuit breaking: pops
-// dispatch as fast as the pool accepts them, and the frontier holds
-// requeues back until the primary set has drained.
-func (s *dispatcher) runContinuous() {
+// run drives all lanes to completion. Each sweep steps every live
+// lane; when a sweep makes no progress (every live lane is waiting on
+// outcomes), it blocks on feedback. A lane is done when a fresh round
+// (or pop attempt) finds its frontier empty with nothing pending —
+// exactly the sequential termination condition, evaluated per lane.
+func (s *dispatcher) run() {
 	for {
-		idx, ok := s.front.Pop()
-		if !ok {
-			if s.pending == 0 {
-				return // drained: every visit and every requeue is terminal
-			}
-			// Nothing to dispatch until an outcome lands (it may refill
-			// the frontier with a second-pass requeue).
-			select {
-			case o := <-s.feedback:
-				s.collect(o)
-			case <-s.ctx.Done():
-				return
-			}
-			continue
-		}
-		if !s.send(visitJob{idx: idx, pass: s.pass(idx)}) {
-			return
-		}
-	}
-}
-
-// runRounds drives the circuit breaker: the crawl proceeds in rounds of
-// Breaker.RoundVisits dispatched against a frozen open-circuit
-// snapshot, with a barrier and a sorted fold between rounds, so every
-// shed decision — and with it every emitted record — is independent of
-// worker count and completion timing.
-func (s *dispatcher) runRounds() {
-	for {
-		gate := s.brk.beginRound()
-		dispatched, popped := 0, false
-		for dispatched < s.opts.Breaker.roundSize() {
-			idx, ok := s.front.Pop()
-			if !ok {
-				break
-			}
-			popped = true
-			pass := s.pass(idx)
-			if pass == 1 && s.brk.blocked(urlutil.Hostname(s.sites[idx])) {
-				if !s.shed(idx, pass) {
-					return
-				}
+		allDone, progressed := true, false
+		for _, ln := range s.lanes {
+			if ln.done {
 				continue
 			}
-			g := gate
-			if pass > 1 && g != nil {
-				// The re-crawl is the half-open probe for a circuit the
-				// visit's own landing failure opened.
-				g = g.withException(urlutil.Hostname(s.sites[idx]))
+			allDone = false
+			moved, ok := s.step(ln)
+			if !ok {
+				return // cancelled
 			}
-			if !s.send(visitJob{idx: idx, pass: pass, gate: g}) {
-				return
+			if moved {
+				progressed = true
 			}
-			dispatched++
 		}
-		if !popped && s.pending == 0 {
-			return // frontier drained and no outcome can refill it
+		if allDone {
+			return
 		}
-		// Round barrier.
-		for s.pending > 0 {
+		if !progressed {
 			select {
 			case o := <-s.feedback:
 				s.collect(o)
 			case <-s.ctx.Done():
 				return
 			}
+		}
+	}
+}
+
+// step advances one lane's state machine: with the breaker, through the
+// dispatch-round / barrier / fold cycle; without it, one continuous pop
+// per sweep so lanes interleave fairly. Returns (progressed, !cancelled).
+func (s *dispatcher) step(ln *laneState) (bool, bool) {
+	if ln.brk == nil {
+		return s.stepContinuous(ln)
+	}
+	return s.stepRound(ln)
+}
+
+// stepContinuous drives a breaker-less lane (second pass only): pops
+// dispatch as fast as the pool accepts them, and the frontier holds
+// requeues back until the primary set has drained.
+func (s *dispatcher) stepContinuous(ln *laneState) (bool, bool) {
+	site, ok := ln.front.Pop()
+	if !ok {
+		if ln.pending == 0 {
+			ln.done = true // drained: every visit and every requeue is terminal
+			return true, true
+		}
+		// Nothing to dispatch until an outcome lands (it may refill the
+		// frontier with a second-pass requeue).
+		return false, true
+	}
+	return true, s.send(visitJob{site: site, pass: ln.pass(site), lane: ln})
+}
+
+// stepRound drives one lane of the circuit breaker: the lane proceeds
+// in rounds of Breaker.RoundVisits dispatched against a frozen open-
+// circuit snapshot, with a barrier and a sorted fold between rounds, so
+// every shed decision — and with it every emitted record — is
+// independent of worker count, completion timing, and the other lanes.
+// One call dispatches at most one round or folds at most one barrier.
+func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
+	if ln.barrier {
+		if ln.pending > 0 {
+			return false, true // other lanes fill the pool while this one drains
 		}
 		// Fold the round: endRound sorts by (pass, idx); requeues and
 		// completions apply in that same order.
-		s.brk.endRound(s.round)
-		for _, o := range s.round {
-			s.resolve(o)
+		ln.brk.endRound(ln.round)
+		for _, o := range ln.round {
+			s.resolve(ln, o)
 		}
-		s.round = s.round[:0]
+		ln.round = ln.round[:0]
+		ln.barrier = false
+		return true, true
 	}
+	if !ln.inRound {
+		ln.gate = ln.brk.beginRound()
+		ln.inRound = true
+		ln.sent = 0
+		ln.popped = false
+	}
+	for ln.sent < s.opts.Breaker.roundSize() {
+		site, ok := ln.front.Pop()
+		if !ok {
+			break
+		}
+		ln.popped = true
+		pass := ln.pass(site)
+		if pass == 1 && ln.brk.blocked(urlutil.Hostname(s.sites[site])) {
+			if !s.shed(ln, site, pass) {
+				return false, false
+			}
+			continue
+		}
+		g := ln.gate
+		if pass > 1 && g != nil {
+			// The re-crawl is the half-open probe for a circuit the
+			// visit's own landing failure opened.
+			g = g.withException(urlutil.Hostname(s.sites[site]))
+		}
+		if !s.send(visitJob{site: site, pass: pass, gate: g, lane: ln}) {
+			return false, false
+		}
+		ln.sent++
+	}
+	ln.inRound = false
+	if !ln.popped && ln.pending == 0 {
+		ln.done = true // frontier drained and no outcome can refill it
+		return true, true
+	}
+	ln.barrier = true
+	return true, true
 }
 
-// Stream visits every URL in sites and delivers the logs incrementally,
-// in completion order, as each visit finishes. The log channel is bounded
-// by the worker count, so a slow consumer backpressures the crawl instead
-// of accumulating results; cancelling the context stops the crawl
-// mid-stream and drains the worker pool. Both channels are closed when
-// the crawl ends; the error channel yields at most one error (the
-// context's, or a configuration error).
+// Stream visits every URL in sites — from every configured vantage —
+// and delivers the logs incrementally, in completion order, as each
+// visit finishes. With Options.Vantages, all vantages' visits
+// interleave through one worker pool (each log carries its Vantage
+// tag). The log channel is bounded by the worker count, so a slow
+// consumer backpressures the crawl instead of accumulating results;
+// cancelling the context stops the crawl mid-stream and drains the
+// worker pool. Both channels are closed when the crawl ends; the error
+// channel yields at most one error (the context's, or a configuration
+// error).
 func Stream(ctx context.Context, sites []string, opts Options) (<-chan instrument.VisitLog, <-chan error) {
 	in, errc := stream(ctx, sites, opts)
 	out := make(chan instrument.VisitLog) // unbuffered: the bound lives in the indexed stream
@@ -607,13 +750,20 @@ func Stream(ctx context.Context, sites []string, opts Options) (<-chan instrumen
 	return out, errc
 }
 
-// Crawl visits every URL in sites and returns the collected logs, in the
-// order of the input list. It is a batch wrapper over the stream: it
-// materializes the whole result set, so memory scales with len(sites) —
-// use Stream for single-pass pipelines. The context cancels outstanding
-// visits; logs completed before cancellation are retained.
+// Crawl visits every URL in sites and returns the collected logs, in
+// the order of the input list; with Options.Vantages the result is the
+// per-vantage blocks concatenated in vantage list order (exactly what
+// sequential per-vantage crawls would have appended). It is a batch
+// wrapper over the stream: it materializes the whole result set, so
+// memory scales with len(sites) × vantages — use Stream for single-pass
+// pipelines. The context cancels outstanding visits; logs completed
+// before cancellation are retained.
 func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
-	logs := make([]instrument.VisitLog, len(sites))
+	n := len(sites)
+	if len(opts.Vantages) > 0 {
+		n *= len(opts.Vantages)
+	}
+	logs := make([]instrument.VisitLog, n)
 	in, errc := stream(ctx, sites, opts)
 	for il := range in {
 		logs[il.idx] = il.log
@@ -630,10 +780,14 @@ const passSeedSalt = 0xda942042e4dd58b5
 
 // visit performs one instrumented site visit for one dispatched job.
 // The returned outcome carries the scheduler's feedback: virtual time
-// burned and per-host fetch accounting (breaker runs only).
-func visit(url string, opts Options, maxClicks int, j visitJob, transport http.RoundTripper) (l instrument.VisitLog, out visitOutcome) {
-	n := uint64(j.idx)
-	out = visitOutcome{idx: j.idx, pass: j.pass}
+// burned and per-host fetch accounting (breaker runs only). A visit's
+// bytes depend only on (url, seed, pass, vantage, gate snapshot) — the
+// seed is salted by site index and pass, never by vantage or lane, so
+// the same (site, vantage) pair reproduces identically whether crawled
+// sequentially or through the unified pool.
+func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.VisitLog, out visitOutcome) {
+	n := uint64(j.site)
+	out = visitOutcome{idx: j.site, lane: j.lane.id, pass: j.pass}
 	site := urlutil.RegistrableDomain(url)
 	rec := instrument.NewRecorder()
 
@@ -666,18 +820,18 @@ func visit(url string, opts Options, maxClicks int, j visitJob, transport http.R
 	// collects the outcome. Registered after the Release defer below, so
 	// it runs first — the browser's clock and accounting are still live.
 	finish := func(b *browser.Browser) {
-		if opts.Vantage != nil && opts.Vantage.Name != "" {
-			l.Vantage = opts.Vantage.Name
+		if j.lane.vantage.Name != "" {
+			l.Vantage = j.lane.vantage.Name
 		}
 		if j.pass > 1 {
 			for i := range l.Requests {
 				l.Requests[i].Attempt = j.pass
 			}
 		}
-		if opts.Stats != nil {
+		if j.lane.stats != nil {
 			out.virtualMs = float64(b.Clock().Now().Sub(startAt)) / float64(time.Millisecond)
-			opts.Stats.Visits.Add(1)
-			opts.Stats.VirtualMs.Add(int64(out.virtualMs))
+			j.lane.stats.Visits.Add(1)
+			j.lane.stats.VirtualMs.Add(int64(out.virtualMs))
 		}
 		out.hosts = b.HostReport()
 	}
@@ -697,7 +851,7 @@ func visit(url string, opts Options, maxClicks int, j visitJob, transport http.R
 
 	b, err := browser.New(browser.Options{
 		Internet:         opts.Internet,
-		Transport:        transport,
+		Transport:        j.lane.transport,
 		Clock:            clock,
 		CookieMiddleware: mw,
 		Seed:             seed,

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"cookieguard/internal/browser"
+	"cookieguard/internal/instrument"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/webgen"
 )
@@ -453,5 +454,341 @@ func TestVantageCrawlTagsRecords(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("both vantages observed identical load times; region latency not applied")
+	}
+}
+
+// vantageRecords crawls sites from every vantage and returns marshalled
+// records keyed by (site, vantage) plus the sched-stats snapshot.
+// parallel=true runs the unified Options.Vantages pool; false crawls
+// vantage by vantage over one fabric — the historical sequential mode
+// the unified scheduler must reproduce byte for byte.
+func vantageRecords(t *testing.T, w *webgen.Web, sites []string, vants []netsim.Vantage, parallel bool, faultRate float64, opts Options) (map[string]string, SchedSnapshot) {
+	t.Helper()
+	in := w.BuildInternet()
+	if faultRate > 0 {
+		in.SetFaultModel(netsim.SeededFaults(netsim.UniformFaults(faultRate, 99)))
+	}
+	opts.Internet = in
+	if opts.Stats == nil {
+		opts.Stats = &SchedStats{}
+	}
+	out := map[string]string{}
+	record := func(logs []instrument.VisitLog) {
+		for _, v := range logs {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := v.Site + "\x00" + v.Vantage
+			if _, dup := out[k]; dup {
+				t.Fatalf("duplicate (site, vantage) record %q — vantage tag missing?", k)
+			}
+			out[k] = string(b)
+		}
+	}
+	if parallel {
+		o := opts
+		o.Vantages = vants
+		res, err := Crawl(context.Background(), sites, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(res.Logs)
+	} else {
+		for _, v := range vants {
+			o := opts
+			vv := v
+			o.Vantage = &vv
+			res, err := Crawl(context.Background(), sites, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(res.Logs)
+		}
+	}
+	return out, opts.Stats.Snapshot()
+}
+
+// diffRecords fails the test on the first (site, vantage) whose records
+// differ between two crawl modes.
+func diffRecords(t *testing.T, want, got map[string]string, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(want), len(got))
+	}
+	for k, rec := range want {
+		if got[k] != rec {
+			t.Fatalf("%s: records differ for %q:\nwant: %s\ngot:  %s", label, strings.ReplaceAll(k, "\x00", "@"), rec, got[k])
+		}
+	}
+}
+
+// TestVantageParallelByteIdenticalToSequential: on a clean web, the
+// unified (site, vantage) scheduler emits records byte-identical to
+// crawling the vantages sequentially, at every worker count.
+func TestVantageParallelByteIdenticalToSequential(t *testing.T) {
+	w, sites := buildSites(t, 40)
+	vants := []netsim.Vantage{{Name: "eu-west"}, {Name: "us-east"}}
+	opts := Options{Interact: true, Seed: 5, Workers: 5}
+	seq, _ := vantageRecords(t, w, sites, vants, false, 0, opts)
+	for _, workers := range []int{2, 7} {
+		o := opts
+		o.Workers = workers
+		par, _ := vantageRecords(t, w, sites, vants, true, 0, o)
+		diffRecords(t, seq, par, fmt.Sprintf("parallel@%dw vs sequential", workers))
+	}
+}
+
+// TestVantageParallelFaultedByteStable: the full scheduler stack —
+// 10% faults, retries, per-lane breaker, second pass — stays
+// byte-identical between sequential and unified parallel mode across
+// worker counts, and the per-vantage SchedStats breakdown (every
+// breaker and second-pass decision) matches decision for decision.
+func TestVantageParallelFaultedByteStable(t *testing.T) {
+	w, sites := buildSites(t, 40)
+	vants := []netsim.Vantage{{Name: "eu-west"}, {Name: "us-east"}}
+	opts := Options{
+		Interact:   true,
+		Seed:       5,
+		Workers:    5,
+		Retry:      browser.RetryPolicy{MaxAttempts: 3},
+		SecondPass: SecondPass{Enabled: true},
+		Breaker:    Breaker{Enabled: true, RoundVisits: 8},
+	}
+	seq, seqStats := vantageRecords(t, w, sites, vants, false, 0.1, opts)
+	for _, workers := range []int{2, 7} {
+		o := opts
+		o.Workers = workers
+		par, parStats := vantageRecords(t, w, sites, vants, true, 0.1, o)
+		diffRecords(t, seq, par, fmt.Sprintf("faulted parallel@%dw vs sequential", workers))
+		if !reflect.DeepEqual(seqStats, parStats) {
+			t.Fatalf("scheduler decisions differ between modes at %d workers:\nseq: %+v\npar: %+v", workers, seqStats, parStats)
+		}
+	}
+	if len(seqStats.Vantages) != 2 {
+		t.Fatalf("per-vantage breakdown has %d entries, want 2", len(seqStats.Vantages))
+	}
+	var childVisits int64
+	for _, vs := range seqStats.Vantages {
+		childVisits += vs.Visits
+	}
+	if childVisits != seqStats.Visits || seqStats.Visits == 0 {
+		t.Fatalf("per-vantage Visits sum %d != total %d", childVisits, seqStats.Visits)
+	}
+}
+
+// TestVantageParallelCrawlBlockOrder: Crawl with Options.Vantages
+// returns consecutive per-vantage blocks in list order — exactly the
+// concatenation sequential per-vantage crawls would produce.
+func TestVantageParallelCrawlBlockOrder(t *testing.T) {
+	w, sites := buildSites(t, 15)
+	res, err := Crawl(context.Background(), sites, Options{
+		Internet: w.BuildInternet(),
+		Workers:  4,
+		Seed:     5,
+		Vantages: []netsim.Vantage{{Name: "eu-west"}, {Name: "us-east"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 2*len(sites) {
+		t.Fatalf("got %d logs, want %d", len(res.Logs), 2*len(sites))
+	}
+	for i, l := range res.Logs {
+		wantVant := "eu-west"
+		if i >= len(sites) {
+			wantVant = "us-east"
+		}
+		if l.Vantage != wantVant {
+			t.Fatalf("log %d tagged %q, want %q", i, l.Vantage, wantVant)
+		}
+		if l.URL != sites[i%len(sites)] {
+			t.Fatalf("log %d is %q, want %q", i, l.URL, sites[i%len(sites)])
+		}
+	}
+}
+
+// TestVantageParallelProgressMonotonic: in unified mode, Progress
+// reports one monotonically increasing done out of sites × vantages —
+// no per-vantage restart.
+func TestVantageParallelProgressMonotonic(t *testing.T) {
+	w, sites := buildSites(t, 30)
+	last := 0
+	_, err := Crawl(context.Background(), sites, Options{
+		Internet: w.BuildInternet(),
+		Workers:  4,
+		Seed:     5,
+		Vantages: []netsim.Vantage{{Name: "eu-west"}, {Name: "us-east"}},
+		Progress: func(done, total int) {
+			// Serialized by the delivery lock, so plain closure state is safe.
+			if total != 2*len(sites) {
+				t.Errorf("total = %d, want %d", total, 2*len(sites))
+			}
+			if done != last+1 {
+				t.Errorf("done jumped %d -> %d", last, done)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 2*len(sites) {
+		t.Fatalf("final done = %d, want %d", last, 2*len(sites))
+	}
+}
+
+// TestAutopilotLearnsThresholdAndBackoff drives the breaker state
+// directly: regular failure spacing teaches the inter-failure EWMA,
+// which tightens the threshold for fast flappers and relaxes it for
+// sparse failers, while consecutive failed probes double the cooldown.
+func TestAutopilotLearnsThresholdAndBackoff(t *testing.T) {
+	cfg := Breaker{Enabled: true, Autopilot: true, FailureThreshold: 3, OpenForMs: 10000}
+	fail := func(b *breakerState, ms float64) {
+		b.endRound([]visitOutcome{{idx: 0, pass: 1, virtualMs: ms,
+			hosts: []browser.HostOutcome{{Host: "h", Transient: 1}}}})
+	}
+
+	// Fast flapper: failures every 2000 virtual ms (≤ OpenForMs) step
+	// the threshold down by one.
+	b := newBreakerState(cfg, &SchedStats{})
+	fail(b, 2000)
+	fail(b, 2000)
+	c := b.hosts["h"]
+	if c.ifiSamples == 0 {
+		t.Fatal("no inter-failure interval learned")
+	}
+	if got := b.thresholdFor(c); got != cfg.threshold()-1 {
+		t.Fatalf("flapper threshold = %d, want %d", got, cfg.threshold()-1)
+	}
+
+	// Sparse failer: failures every 50000 virtual ms (≥ 4× OpenForMs)
+	// step it up.
+	b2 := newBreakerState(cfg, &SchedStats{})
+	fail(b2, 50000)
+	fail(b2, 50000)
+	if got := b2.thresholdFor(b2.hosts["h"]); got != cfg.threshold()+1 {
+		t.Fatalf("sparse threshold = %d, want %d", got, cfg.threshold()+1)
+	}
+
+	// Backoff: every consecutive reopen doubles the cooldown, capped.
+	c.reopens = 0
+	base := b.openForMs(c)
+	c.reopens = 1
+	if got := b.openForMs(c); got != 2*base {
+		t.Fatalf("one reopen: cooldown %v, want %v", got, 2*base)
+	}
+	c.reopens = 30
+	if got, cap := b.openForMs(c), cfg.openFor()*autopilotBackoffCap; got != cap {
+		t.Fatalf("capped cooldown %v, want %v", got, cap)
+	}
+	// Fixed-constant mode ignores all learned state.
+	fixed := newBreakerState(Breaker{Enabled: true, FailureThreshold: 3, OpenForMs: 10000}, &SchedStats{})
+	fc := &circuit{reopens: 5, ifiSamples: 9, ifiEwmaMs: 1}
+	if fixed.thresholdFor(fc) != 3 || fixed.openForMs(fc) != 10000 {
+		t.Fatal("fixed-constant breaker consulted autopilot state")
+	}
+}
+
+// TestAutopilotDeterministicAcrossWorkers: learned thresholds are a
+// pure function of the seeded fault schedule — the same seed produces
+// the same records and the same open/close transition counts across
+// runs and worker counts.
+func TestAutopilotDeterministicAcrossWorkers(t *testing.T) {
+	w, sites := buildSites(t, 60)
+	flappy := netsim.FaultConfig{
+		Seed:         99,
+		PHostFlap:    0.5,
+		FlapPeriodMs: 240000,
+		FlapDownFrac: 0.5,
+	}
+	run := func(workers int) (map[string]string, SchedSnapshot) {
+		in := w.BuildInternet()
+		in.SetFaultModel(netsim.SeededFaults(flappy))
+		stats := &SchedStats{}
+		res, err := Crawl(context.Background(), sites, Options{
+			Internet: in,
+			Workers:  workers,
+			Interact: true,
+			Seed:     5,
+			Retry:    browser.RetryPolicy{MaxAttempts: 3},
+			Breaker:  Breaker{Enabled: true, RoundVisits: 8, Autopilot: true},
+			Stats:    stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(res.Logs))
+		for _, v := range res.Logs {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[v.Site] = string(b)
+		}
+		return out, stats.Snapshot()
+	}
+	recA, statsA := run(6)
+	recB, statsB := run(6)
+	recC, statsC := run(2)
+	diffRecords(t, recA, recB, "autopilot rerun")
+	diffRecords(t, recA, recC, "autopilot 6w vs 2w")
+	if !reflect.DeepEqual(statsA, statsB) || !reflect.DeepEqual(statsA, statsC) {
+		t.Fatalf("transition counts differ:\nrun A: %+v\nrun B: %+v\nrun C: %+v", statsA, statsB, statsC)
+	}
+	if statsA.Opened == 0 {
+		t.Fatal("autopilot breaker never opened a circuit; schedule not flappy enough to exercise it")
+	}
+}
+
+// TestAutopilotRetainsMoreVisitsPerVirtualSecond: on a flapping-host
+// schedule the autopilot breaker — which learns each host's flap period
+// and backs probes off exponentially while it stays down — retains at
+// least as many visits per virtual-clock second as the fixed-constant
+// default, and strictly beats the no-breaker baseline.
+func TestAutopilotRetainsMoreVisitsPerVirtualSecond(t *testing.T) {
+	w, sites := buildSites(t, 80)
+	flappy := netsim.FaultConfig{
+		Seed:         99,
+		PHostFlap:    0.5,
+		FlapPeriodMs: 240000,
+		FlapDownFrac: 0.5,
+	}
+	run := func(brk Breaker) (retained int, virtualSec float64) {
+		in := w.BuildInternet()
+		in.SetFaultModel(netsim.SeededFaults(flappy))
+		stats := &SchedStats{}
+		res, err := Crawl(context.Background(), sites, Options{
+			Internet: in,
+			Workers:  6,
+			Interact: true,
+			Seed:     5,
+			Retry:    browser.RetryPolicy{MaxAttempts: 3},
+			Breaker:  brk,
+			Stats:    stats,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Logs {
+			if v.OK {
+				retained++
+			}
+		}
+		return retained, float64(stats.VirtualMs.Load()) / 1000
+	}
+	baseRetained, baseSec := run(Breaker{})
+	fixedRetained, fixedSec := run(Breaker{Enabled: true, RoundVisits: 8})
+	autoRetained, autoSec := run(Breaker{Enabled: true, RoundVisits: 8, Autopilot: true})
+	baseRate := float64(baseRetained) / baseSec
+	fixedRate := float64(fixedRetained) / fixedSec
+	autoRate := float64(autoRetained) / autoSec
+	t.Logf("baseline: %d/%.1fs = %.3f; fixed: %d/%.1fs = %.3f; autopilot: %d/%.1fs = %.3f",
+		baseRetained, baseSec, baseRate, fixedRetained, fixedSec, fixedRate, autoRetained, autoSec, autoRate)
+	if autoRate < fixedRate {
+		t.Fatalf("autopilot rate %.3f below fixed-constant rate %.3f", autoRate, fixedRate)
+	}
+	if autoRate <= baseRate {
+		t.Fatalf("autopilot rate %.3f not strictly above no-breaker baseline %.3f", autoRate, baseRate)
 	}
 }

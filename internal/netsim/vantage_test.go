@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/http"
+	"sync"
 	"testing"
 )
 
@@ -133,5 +134,67 @@ func TestRegionSeed(t *testing.T) {
 	}
 	if RegionSeed(42, "eu") == RegionSeed(42, "us") {
 		t.Fatal("regions share a fault seed")
+	}
+}
+
+// TestVantageViewsConcurrentlyShareFabric: the unified cross-vantage
+// scheduler drives every vantage's view through one worker pool at
+// once, so views must be safely usable from concurrent goroutines over
+// the shared frozen fabric — and each view's observations must stay
+// deterministic (per-(vantage, URL) latency unchanged by concurrency).
+// Run under -race.
+func TestVantageViewsConcurrentlyShareFabric(t *testing.T) {
+	in := vantageTestNet(t)
+	views := []http.RoundTripper{
+		in.From(Vantage{Name: "eu-west"}),
+		in.From(Vantage{Name: "us-east"}),
+		in, // the default path shares the pool too
+	}
+	urls := []string{
+		"https://www.example.com/a",
+		"https://www.example.com/b",
+		"https://www.example.com/c",
+	}
+	// Sequential reference: per (view, url) latency and body.
+	type obs struct {
+		lat  float64
+		body string
+	}
+	want := map[int]map[string]obs{}
+	for vi, view := range views {
+		want[vi] = map[string]obs{}
+		for _, u := range urls {
+			resp := vget(t, view, u)
+			b, _ := ReadBody(resp)
+			want[vi][u] = obs{lat: Latency(resp), body: b}
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				vi := (w + i) % len(views)
+				u := urls[(w*7+i)%len(urls)]
+				req, _ := http.NewRequest(http.MethodGet, u, nil)
+				resp, err := views[vi].RoundTrip(req)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				b, _ := ReadBody(resp)
+				if got := (obs{lat: Latency(resp), body: b}); got != want[vi][u] {
+					errs <- "concurrent observation diverged from sequential reference"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
 	}
 }

@@ -28,7 +28,9 @@ type config struct {
 	scheduler     func() Frontier
 	secondPass    bool
 	breaker       Breaker
+	autopilot     bool
 	vantages      []Vantage
+	vantParallel  bool
 	serveAddr     string
 	snapEvery     int
 }
@@ -174,6 +176,40 @@ func WithSecondPass(on bool) Option {
 // option) changes nothing.
 func WithBreaker(cfg Breaker) Option {
 	return func(c *config) { c.breaker = cfg }
+}
+
+// WithBreakerAutopilot enables the circuit breaker with self-tuning
+// thresholds: instead of the fixed FailureThreshold/OpenForMs
+// constants, each host's trip point and cooldown are derived from its
+// observed inter-failure intervals on the crawl virtual clock (an EWMA
+// of the host's flap period, consul-autopilot style) — fast flappers
+// trip earlier and are probed on their own cadence, hosts that stay
+// down are probed on an exponential backoff, and sparse blips get one
+// extra failure of grace. Deterministic like the fixed breaker: the
+// learned values are a pure function of the seeded fault schedule, so
+// records stay byte-identical across runs and worker counts. Composes
+// with WithBreaker (its RoundVisits and reference OpenForMs still
+// apply); without it, autopilot runs on the breaker defaults. Not
+// calling this option keeps the fixed-constant breaker.
+func WithBreakerAutopilot() Option {
+	return func(c *config) { c.autopilot = true }
+}
+
+// WithVantageParallel crawls all configured vantage points through one
+// unified worker pool instead of vantage by vantage: every (site,
+// vantage) pair flows through the same workers — one scheduling lane
+// per vantage, each with its own frontier and per-(host, vantage)
+// breaker state — so one region's latency tail is filled with another
+// region's visits instead of idling the pool. Records are
+// byte-identical to the sequential default (each lane folds its rounds
+// exactly as a standalone crawl would; enforced by tests across worker
+// counts and fault schedules); Stream interleaves vantages in
+// completion order, Crawl still returns per-vantage blocks in
+// configuration order, and Progress stays one monotonic count out of
+// sites × vantages. Off by default; a no-op with fewer than two
+// vantages.
+func WithVantageParallel(on bool) Option {
+	return func(c *config) { c.vantParallel = on }
 }
 
 // WithVantages crawls the pipeline's web from the given vantage points

@@ -129,3 +129,139 @@ func TestVantageStreamsAreDeterministic(t *testing.T) {
 		t.Fatalf("missing vantage records: %v", seen)
 	}
 }
+
+// TestVantageParallelPipelineEquivalence: WithVantageParallel is
+// semantically invisible at the public API — the unified pool emits
+// per-(site, vantage) records byte-identical to the sequential default,
+// with the full scheduler stack (region faults, retries, breaker,
+// second pass) enabled, across worker counts.
+func TestVantageParallelPipelineEquivalence(t *testing.T) {
+	base := []Option{
+		WithSites(25), WithInteract(true), WithSeed(3),
+		WithVantages(RegionVantage("eu-west", 0.1, 3), RegionVantage("us-east", 0.1, 3)),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 2}),
+		WithSecondPass(true),
+		WithBreaker(Breaker{Enabled: true, RoundVisits: 8}),
+	}
+	seq := crawlBySite(t, New(append(base, WithWorkers(6))...))
+	for _, workers := range []int{2, 7} {
+		par := crawlBySite(t, New(append(base,
+			WithWorkers(workers), WithVantageParallel(true))...))
+		if len(par) != len(seq) {
+			t.Fatalf("record counts differ at %d workers: %d vs %d", workers, len(par), len(seq))
+		}
+		for k, rec := range seq {
+			if par[k] != rec {
+				t.Fatalf("record %q differs between sequential and parallel vantage mode at %d workers:\nseq: %s\npar: %s",
+					k, workers, rec, par[k])
+			}
+		}
+	}
+}
+
+// TestVantageParallelRunResults: Run over the unified pool produces the
+// same analysis Results as the sequential default (the sharded
+// analyzer's canonical finalize is order-independent, so interleaved
+// vantage streams fold identically), and the per-vantage scheduler
+// breakdown reaches SchedStats.
+func TestVantageParallelRunResults(t *testing.T) {
+	opts := func(parallel bool) []Option {
+		return []Option{
+			WithSites(25), WithWorkers(6), WithInteract(true), WithSeed(3),
+			WithVantages(RegionVantage("eu-west", 0.1, 3), RegionVantage("us-east", 0.1, 3)),
+			WithRetryPolicy(RetryPolicy{MaxAttempts: 2}),
+			WithBreaker(Breaker{Enabled: true, RoundVisits: 8}),
+			WithVantageParallel(parallel),
+		}
+	}
+	run := func(parallel bool) (*Results, SchedSnapshot) {
+		p := New(opts(parallel)...)
+		res, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, p.SchedStats()
+	}
+	seqRes, seqSched := run(false)
+	parRes, parSched := run(true)
+	a, err := seqRes.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parRes.StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("Results differ between sequential and parallel vantage mode")
+	}
+	for _, sched := range []SchedSnapshot{seqSched, parSched} {
+		if len(sched.Vantages) != 2 {
+			t.Fatalf("per-vantage sched breakdown has %d entries, want 2: %+v", len(sched.Vantages), sched)
+		}
+	}
+	if seqSched.Visits != parSched.Visits || seqSched.Vantages["eu-west"].Visits != parSched.Vantages["eu-west"].Visits {
+		t.Fatalf("sched totals differ between modes:\nseq: %+v\npar: %+v", seqSched, parSched)
+	}
+}
+
+// TestMultiVantageProgressMonotonic: WithProgress reports one monotonic
+// done out of sites × vantages in both sequential and parallel vantage
+// mode — the per-vantage restart is gone.
+func TestMultiVantageProgressMonotonic(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		last := 0
+		p := New(
+			WithSites(15), WithWorkers(4), WithSeed(3),
+			WithVantages(RegionVantage("eu-west", 0, 0), RegionVantage("us-east", 0, 0)),
+			WithVantageParallel(parallel),
+			WithProgress(func(done, total int) {
+				// Serialized by the crawl's delivery lock.
+				if total != 30 {
+					t.Errorf("parallel=%v: total = %d, want 30", parallel, total)
+				}
+				if done != last+1 {
+					t.Errorf("parallel=%v: done jumped %d -> %d", parallel, last, done)
+				}
+				last = done
+			}),
+		)
+		if _, err := p.Crawl(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if last != 30 {
+			t.Fatalf("parallel=%v: final done = %d, want 30", parallel, last)
+		}
+	}
+}
+
+// TestBreakerAutopilotOption: WithBreakerAutopilot implies the breaker
+// (whatever the option order), keeps the crawl deterministic across
+// worker counts, and records breaker activity in SchedStats.
+func TestBreakerAutopilotOption(t *testing.T) {
+	mk := func(workers int) (map[string]string, SchedSnapshot) {
+		p := New(
+			WithSites(40), WithWorkers(workers), WithInteract(true), WithSeed(3),
+			WithFaults(FaultConfig{Seed: 99, PHostFlap: 0.5, FlapPeriodMs: 240000, FlapDownFrac: 0.5}),
+			WithRetryPolicy(RetryPolicy{MaxAttempts: 3}),
+			WithBreakerAutopilot(),
+		)
+		return crawlBySite(t, p), p.SchedStats()
+	}
+	a, sa := mk(6)
+	b, sb := mk(2)
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, rec := range a {
+		if b[k] != rec {
+			t.Fatalf("record %q differs across worker counts under autopilot", k)
+		}
+	}
+	if sa.Opened == 0 {
+		t.Fatal("autopilot never opened a circuit on the flapping schedule")
+	}
+	if sa.Opened != sb.Opened || sa.Reopened != sb.Reopened || sa.ShedFetches != sb.ShedFetches {
+		t.Fatalf("autopilot transitions differ across worker counts:\n6w: %+v\n2w: %+v", sa, sb)
+	}
+}
