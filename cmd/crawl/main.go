@@ -13,6 +13,7 @@
 //	crawl [-sites N] [-workers N] [-seed S] [-guard] [-sort] [-faults RATE]
 //	      [-retries N] [-second-pass] [-breaker] [-autopilot]
 //	      [-vantages eu-west,us-east] [-vantage-parallel]
+//	      [-personas accept,reject,dismiss] [-cmp]
 //	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
 //	      [-serve :8089] [-snap-every K]
 //
@@ -40,8 +41,14 @@
 // region-derived latency and, with -faults, region-seeded fault
 // schedules — tagging each record with its vantage; -vantage-parallel
 // drives all vantages through one unified worker pool instead of
-// vantage by vantage. All of these keep per-(site, vantage) records
-// byte-identical across runs and worker counts for a fixed -seed.
+// vantage by vantage; -personas crawls every (site, vantage) pair once
+// per named consent persona (accept/reject/dismiss clicks on the
+// generated consent banners, implying -cmp), tagging each record with
+// its persona; -cmp alone generates the consent-manager web without
+// acting on the banners. All of these keep per-(site, vantage,
+// persona) records byte-identical across runs and worker counts for a
+// fixed -seed; -sort orders the output file by that same (site,
+// vantage, persona) key.
 package main
 
 import (
@@ -80,6 +87,10 @@ func main() {
 		"comma-separated vantage-point names; crawls every site once per region (region-derived latency, region-seeded -faults), tagging records with their vantage")
 	vantParallel := flag.Bool("vantage-parallel", false,
 		"crawl all vantages through one unified worker pool instead of vantage by vantage (records stay byte-identical; logs interleave vantages in completion order)")
+	personas := flag.String("personas", "",
+		"comma-separated consent personas (e.g. accept,reject,dismiss); crawls every (site, vantage) pair once per persona, clicking the matching consent-banner action before interacting (implies -cmp), tagging records with their persona")
+	cmp := flag.Bool("cmp", false,
+		"generate the web with consent-management platforms (banner + gated trackers) without acting on the banners; implied by -personas")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	verbose := flag.Bool("v", false,
@@ -143,6 +154,13 @@ func main() {
 		opts = append(opts, cookieguard.WithVantages(vs...))
 		opts = append(opts, cookieguard.WithVantageParallel(*vantParallel))
 	}
+	personaList := splitNames(*personas)
+	if len(personaList) > 0 {
+		opts = append(opts, cookieguard.WithPersonas(personaList...))
+	}
+	if *cmp {
+		opts = append(opts, cookieguard.WithCMP(true))
+	}
 	p := cookieguard.New(opts...)
 
 	// -serve: analysis rides along with the crawl. The stream loop below
@@ -164,6 +182,9 @@ func main() {
 		}
 	}
 	total := *sites * len(p.Vantages())
+	if len(personaList) > 0 {
+		total *= len(personaList)
+	}
 
 	if *listPath != "" {
 		f, err := os.Create(*listPath)
@@ -204,7 +225,7 @@ func main() {
 		if *sortOut {
 			b, err := json.Marshal(l)
 			fatal(err)
-			buffered = append(buffered, rec{site: l.Site + "\x00" + l.Vantage, line: string(b)})
+			buffered = append(buffered, rec{site: l.Site + "\x00" + l.Vantage + "\x00" + l.Persona, line: string(b)})
 			continue
 		}
 		fatal(enc.Encode(l))
@@ -214,8 +235,8 @@ func main() {
 		store.Publish(cookieguard.ResultProgress{Done: visited, Total: total, Final: true}, sh.Finalize())
 	}
 	if *sortOut {
-		// (site, vantage) is unique per crawl, so the sort order is
-		// total and the emitted file is byte-stable for a fixed seed.
+		// (site, vantage, persona) is unique per crawl, so the sort order
+		// is total and the emitted file is byte-stable for a fixed seed.
 		sort.Slice(buffered, func(i, j int) bool { return buffered[i].site < buffered[j].site })
 		for _, r := range buffered {
 			w.WriteString(r.line)
@@ -228,6 +249,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crawl: serving final results; interrupt to exit")
 		select {}
 	}
+}
+
+// splitNames parses a comma-separated name list, dropping empties.
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 func rate(hits, misses uint64) float64 {

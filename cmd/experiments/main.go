@@ -10,7 +10,19 @@
 //	            [-faults RATE] [-retries N] [-second-pass] [-breaker]
 //	            [-autopilot] [-vantages eu-west,us-east]
 //	            [-vantage-parallel] [-vantage-compare]
+//	            [-personas accept,reject,dismiss] [-cmp]
 //	            [-serve :8089] [-serve-bench]
+//
+// Consent personas: -personas crawls every (site, vantage) pair once
+// per named consent persona (accept/reject/dismiss clicks on the
+// generated consent banners, implying -cmp) and prints the per-persona
+// consent-delta table — retention plus the third-party cookies and
+// exfiltration each consent state admitted. -bench-json records the
+// persona list and units_per_sec — crawl-plan units (sites × vantages
+// × personas) per wall-clock second, the figure comparable across all
+// three axis counts (BENCH_8.json by convention for persona runs).
+// -cmp alone generates the consent-manager web without acting on the
+// banners.
 //
 // Cross-vantage scheduling: -vantage-parallel crawls all vantages
 // through one unified worker pool (records byte-identical to the
@@ -121,6 +133,10 @@ func main() {
 		"crawl all vantages through one unified worker pool (byte-identical records, higher throughput) instead of vantage by vantage")
 	vantCompare := flag.Bool("vantage-compare", false,
 		"additionally time a sequential-mode baseline and record sequential vs parallel visits/s (and their ratio) in -bench-json; implies -vantage-parallel")
+	personas := flag.String("personas", "",
+		"comma-separated consent personas (e.g. accept,reject,dismiss); crawls every (site, vantage) pair once per persona, clicking the matching consent-banner action (implies -cmp) and printing the per-persona consent-delta table")
+	cmp := flag.Bool("cmp", false,
+		"generate the web with consent-management platforms (banner + gated trackers) without acting on the banners; implied by -personas")
 	pooling := flag.Bool("pooling", true,
 		"recycle per-visit state (pages, DOM arenas, interpreters, cached exchanges) through object pools; -pooling=false reproduces the unpooled baseline byte for byte")
 	serve := flag.String("serve", "",
@@ -154,7 +170,13 @@ func main() {
 		faultRate: *faults, retries: *retries,
 		secondPass: *secondPass, breaker: *breaker, autopilot: *autopilot,
 		vantParallel: *vantParallel || *vantCompare, vantCompare: *vantCompare,
+		cmp:       *cmp,
 		serveAddr: *serve, serveBench: *serveBench,
+	}
+	for _, name := range strings.Split(*personas, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			cfg.personas = append(cfg.personas, name)
+		}
 	}
 	if cfg.serveBench && cfg.serveAddr == "" {
 		cfg.serveAddr = "127.0.0.1:0"
@@ -187,6 +209,8 @@ type runConfig struct {
 	vantages               []cookieguard.Vantage
 	vantParallel           bool
 	vantCompare            bool
+	personas               []string
+	cmp                    bool
 	serveAddr              string
 	serveBench             bool
 }
@@ -201,14 +225,22 @@ type benchSnapshot struct {
 	Pooling       bool    `json:"pooling"`
 	FaultRate     float64 `json:"fault_rate,omitempty"`
 	RetryAttempts int     `json:"retry_attempts,omitempty"`
+	// Personas is the consent-persona list of a -personas run (absent
+	// otherwise); every (site, vantage) pair is crawled once per persona.
+	Personas []string `json:"personas,omitempty"`
 	// CrawlSeconds is the measurement crawl's wall-clock time; SitesPerSec
 	// counts each distinct site once (sites / CrawlSeconds) while
 	// VisitsPerSec counts performed crawls — sites × vantages — per
 	// wall-clock second, the figure that is comparable across vantage
 	// counts and modes. For single-vantage runs the two coincide.
+	// UnitsPerSec generalizes VisitsPerSec to the full crawl-plan axis:
+	// sites × vantages × personas per wall-clock second, the figure that
+	// is comparable across persona counts too (equal to VisitsPerSec
+	// without -personas).
 	CrawlSeconds float64 `json:"crawl_seconds"`
 	SitesPerSec  float64 `json:"sites_per_sec"`
 	VisitsPerSec float64 `json:"visits_per_sec"`
+	UnitsPerSec  float64 `json:"units_per_sec"`
 	// VantageParallel records whether the crawl ran the unified
 	// cross-vantage scheduler (-vantage-parallel) instead of vantage by
 	// vantage.
@@ -320,6 +352,12 @@ func run(cfg runConfig) error {
 	if len(cfg.vantages) > 0 {
 		resilience = append(resilience, cookieguard.WithVantages(cfg.vantages...))
 	}
+	if len(cfg.personas) > 0 {
+		resilience = append(resilience, cookieguard.WithPersonas(cfg.personas...))
+	}
+	if cfg.cmp {
+		resilience = append(resilience, cookieguard.WithCMP(true))
+	}
 	// The -vantage-compare baseline reruns this exact configuration in
 	// sequential vantage mode: same resilience stack, no unified pool, no
 	// server.
@@ -370,7 +408,11 @@ func run(cfg runConfig) error {
 		sh := study.NewShardedAnalyzer(1)
 		store := study.ResultStore()
 		serving := cfg.serveAddr != ""
-		observed, total := 0, sites*len(vs)
+		unitsPerVantage := 1
+		if len(cfg.personas) > 0 {
+			unitsPerVantage = len(cfg.personas)
+		}
+		observed, total := 0, sites*len(vs)*unitsPerVantage
 		for _, v := range vs {
 			vStart := time.Now()
 			logs, errs := study.StreamVantage(ctx, v)
@@ -419,6 +461,11 @@ func run(cfg runConfig) error {
 	if len(cfg.vantages) > 0 {
 		fmt.Fprintln(out, "--- per-vantage comparison (Figure 6 across regions) ---")
 		report.Vantages(out, res.VantageTable())
+		fmt.Fprintln(out)
+	}
+	if len(cfg.personas) > 0 {
+		fmt.Fprintln(out, "--- per-persona consent deltas (accept vs reject vs dismiss) ---")
+		report.Personas(out, res.PersonaTable())
 		fmt.Fprintln(out)
 	}
 
@@ -526,9 +573,11 @@ func run(cfg runConfig) error {
 			Pooling:         pooling,
 			FaultRate:       faultRate,
 			RetryAttempts:   retries,
+			Personas:        cfg.personas,
 			CrawlSeconds:    crawlSecs,
 			SitesPerSec:     float64(sites) / crawlSecs,
 			VisitsPerSec:    float64(sites*len(study.Vantages())) / crawlSecs,
+			UnitsPerSec:     float64(sites*len(study.Vantages())*max(1, len(cfg.personas))) / crawlSecs,
 			VantageParallel: cfg.vantParallel,
 			VantageModes:    vm,
 			AllocsPerSite:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),

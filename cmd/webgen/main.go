@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	webgen [-sites N] [-seed S]
+//	webgen [-sites N] [-seed S] [-cmp]
+//
+// -cmp generates the web with consent-management platforms — every
+// third-party-bearing site gains a consent banner and a seeded manifest
+// of trackers gated on the consent cookie — and adds the CMP manifest
+// rows to the statistics.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 func main() {
 	sites := flag.Int("sites", 1000, "sites to generate")
 	seed := flag.Uint64("seed", 0, "override the default seed")
+	cmp := flag.Bool("cmp", false,
+		"generate consent-management platforms (banner + consent-gated tracker manifest) and report the CMP manifest statistics")
 	flag.Parse()
 
 	// Stats only: build the web directly, skipping the network fabric a
@@ -25,9 +32,11 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.CMP = *cmp
 	w := webgen.Build(cfg)
 
 	var complete, tp, exfil, ow, del, cs, sso, cdn, cloaked, tpScripts int
+	var cmpSites, gatedTrackers, gatedContainers int
 	for _, s := range w.Sites {
 		f := s.Flags
 		count := func(b bool, c *int) {
@@ -44,6 +53,9 @@ func main() {
 		count(f.SSO != "", &sso)
 		count(f.CDNSplit, &cdn)
 		count(f.Cloaked, &cloaked)
+		count(len(s.Consent) > 0, &cmpSites)
+		count(s.ContainerGated, &gatedContainers)
+		gatedTrackers += len(s.Consent)
 		tpScripts += len(s.DirectServices) + len(s.InjectedServices)
 	}
 	n := len(w.Sites)
@@ -63,6 +75,12 @@ func main() {
 	row("CNAME-cloaked trackers", cloaked)
 	fmt.Printf("  %-24s %6.1f per site with TP\n", "mean TP scripts",
 		float64(tpScripts)/float64(max(1, tp)))
+	if *cmp {
+		row("CMP banner sites", cmpSites)
+		row("gated tag containers", gatedContainers)
+		fmt.Printf("  %-24s %6.1f per CMP site\n", "mean gated trackers",
+			float64(gatedTrackers)/float64(max(1, cmpSites)))
+	}
 }
 
 func max(a, b int) int {

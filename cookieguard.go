@@ -109,6 +109,9 @@ type (
 	// VantageStats is one vantage point's retention and latency-tail
 	// rollup (Results.Vantages).
 	VantageStats = analysis.VantageStats
+	// PersonaStats is one consent persona's retention and tracking-delta
+	// rollup (Results.Personas).
+	PersonaStats = analysis.PersonaStats
 	// FailureStats is the analysis rollup of the crawl failure taxonomy
 	// (Results.Failures).
 	FailureStats = analysis.FailureStats
@@ -174,6 +177,8 @@ func New(opts ...Option) *Pipeline {
 		gen.Seed = cfg.seed
 	}
 	gen.Flakiness = cfg.faults
+	// Personas act on consent banners, so they imply the CMP web.
+	gen.CMP = cfg.cmp || len(cfg.personas) > 0
 	w := webgen.Build(gen)
 	p := &Pipeline{cfg: cfg, Web: w, Net: w.BuildInternet(), sched: &crawler.SchedStats{}}
 	if !cfg.noArtifacts {
@@ -239,6 +244,7 @@ func (p *Pipeline) crawlOptions(v Vantage) crawler.Options {
 		Scheduler:            p.cfg.scheduler,
 		Breaker:              p.cfg.breaker,
 		SecondPass:           crawler.SecondPass{Enabled: p.cfg.secondPass},
+		Personas:             p.cfg.personas,
 		Stats:                p.sched,
 	}
 	if p.cfg.autopilot {
@@ -283,6 +289,21 @@ func (p *Pipeline) Vantages() []Vantage {
 	return append([]Vantage(nil), p.cfg.vantages...)
 }
 
+// Personas returns the pipeline's configured consent personas; empty
+// means the single implicit persona-free crawl.
+func (p *Pipeline) Personas() []string {
+	return append([]string(nil), p.cfg.personas...)
+}
+
+// unitsPerVantage is how many crawl-plan units each (site, vantage)
+// pair expands to: the persona count, minimum 1.
+func (p *Pipeline) unitsPerVantage() int {
+	if n := len(p.cfg.personas); n > 0 {
+		return n
+	}
+	return 1
+}
+
 // SchedStats returns a snapshot of the scheduler counters accumulated
 // over every crawl this pipeline has run: visit virtual time,
 // circuit-breaker shed/probe activity, and second-pass volume. All
@@ -312,12 +333,13 @@ func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLo
 //
 // With WithVantages configured, the stream visits every site once per
 // vantage point over one frozen web and one artifact cache, each log
-// tagged with its vantage name. By default the vantages crawl vantage
-// by vantage in configuration order; with WithVantageParallel all
-// vantages' visits interleave through one worker pool (identical
-// records, different stream order). Either way, Progress/ProgressStats
-// callbacks report one monotonic done out of sites × vantages — no
-// per-vantage restart.
+// tagged with its vantage name; WithPersonas multiplies the plan again
+// (one unit per (site, vantage, persona), each log tagged Persona). By
+// default the vantages crawl vantage by vantage in configuration order;
+// with WithVantageParallel all vantages' visits interleave through one
+// worker pool (identical records, different stream order). Either way,
+// Progress/ProgressStats callbacks report one monotonic done out of
+// sites × vantages × personas — no per-vantage restart.
 func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
 	vs := p.Vantages()
 	if len(vs) == 1 {
@@ -334,9 +356,10 @@ func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
 	go func() {
 		defer close(out)
 		defer close(errc)
+		per := len(sites) * p.unitsPerVantage()
 		for vi, v := range vs {
 			opts := p.crawlOptions(v)
-			offsetProgress(&opts, vi*len(sites), len(vs)*len(sites))
+			offsetProgress(&opts, vi*per, len(vs)*per)
 			logs, errs := crawler.Stream(ctx, sites, opts)
 			for l := range logs {
 				select {
@@ -391,10 +414,11 @@ func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
 		return res.Logs, nil
 	}
 	var all []VisitLog
+	per := len(sites) * p.unitsPerVantage()
 	for vi, v := range vs {
 		opts := p.crawlOptions(v)
 		if len(vs) > 1 {
-			offsetProgress(&opts, vi*len(sites), len(vs)*len(sites))
+			offsetProgress(&opts, vi*per, len(vs)*per)
 		}
 		res, err := crawler.Crawl(ctx, sites, opts)
 		if err != nil {
@@ -465,7 +489,7 @@ func (p *Pipeline) runServed(ctx context.Context) (*Results, error) {
 		shards = 1
 	}
 	sh := p.NewShardedAnalyzer(shards)
-	total := len(p.Web.Sites) * len(p.Vantages())
+	total := len(p.Web.Sites) * len(p.Vantages()) * p.unitsPerVantage()
 
 	logs, errs := p.Stream(ctx)
 	var (

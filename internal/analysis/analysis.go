@@ -84,32 +84,39 @@ type runState struct {
 	// latency samples; the key "" is the implicit default vantage.
 	vant map[string]*vantageAgg
 
+	// pers accumulates per-persona retention and exfiltration deltas;
+	// the key "" is the implicit persona-free crawl.
+	pers map[string]*personaAgg
+
 	// encMemo memoizes EncodedForms per identifier: crawls repeat the
 	// same identifiers across reads, sites, and vantages, and the
 	// md5/sha1/base64 derivations were a measurable allocation cost.
 	encMemo map[string][]string
 
 	// groups records one entry per analyzed observation — the slice of
-	// res.Events it appended, keyed by (site, vantage). Finalize sorts
-	// the groups and rebuilds Events in that order, so the finalized
-	// event sequence depends only on the observed log multiset, never on
-	// observation order — the property that lets shard-merged and
-	// completion-order-fed runs produce identical Results.
+	// res.Events it appended, keyed by (site, vantage, persona).
+	// Finalize sorts the groups and rebuilds Events in that order, so
+	// the finalized event sequence depends only on the observed log
+	// multiset, never on observation order — the property that lets
+	// shard-merged and completion-order-fed runs produce identical
+	// Results.
 	groups []evGroup
 	// obsSeq counts observations; it tie-breaks duplicate (site,
-	// vantage) groups, which a real crawl never produces.
+	// vantage, persona) groups, which a real crawl never produces.
 	obsSeq int
 
 	// pairFirst records, per cookie pair, the canonically-first ensure
-	// (smallest (site, vantage, observation, in-observation sequence)) —
-	// the ensure whose API the finalized PairInfo carries. Tracking it
-	// explicitly, instead of relying on map-creation order, is what
-	// keeps pair attribution observation-order-independent.
+	// (smallest (site, vantage, persona, observation, in-observation
+	// sequence)) — the ensure whose API the finalized PairInfo carries.
+	// Tracking it explicitly, instead of relying on map-creation order,
+	// is what keeps pair attribution observation-order-independent.
 	pairFirst map[CookieKey]pairClaim
 
 	// Per-observation scratch (valid between beginObservation and
 	// endObservation).
 	curSite, curVantage string
+	curPersona          string
+	curPers             *personaAgg
 	curStart            int // len(res.Events) at observation start
 	curEnsures          int // ensure-call sequence within the observation
 	curClaims           map[CookieKey]pairClaim
@@ -117,29 +124,32 @@ type runState struct {
 
 // evGroup is one observation's event range, in canonical-sort terms.
 type evGroup struct {
-	site, vantage string
-	seq           int // observation sequence (tie-break only)
-	start, end    int // indices into res.Events before canonicalization
+	site, vantage, persona string
+	seq                    int // observation sequence (tie-break only)
+	start, end             int // indices into res.Events before canonicalization
 }
 
 // pairClaim is one candidate attribution of a cookie pair's API: where
 // (and in what order) an ensure of the pair happened.
 type pairClaim struct {
-	site, vantage string
-	obs           int // observation sequence
-	seq           int // ensure sequence within the observation
-	api           instrument.API
+	site, vantage, persona string
+	obs                    int // observation sequence
+	seq                    int // ensure sequence within the observation
+	api                    instrument.API
 }
 
 // before reports whether claim a canonically precedes claim b: sorted by
-// (site, vantage) like the scheduler's index-sorted fold, then by
-// observation and in-observation ensure order.
+// (site, vantage, persona) like the scheduler's index-sorted fold, then
+// by observation and in-observation ensure order.
 func (a pairClaim) before(b pairClaim) bool {
 	if a.site != b.site {
 		return a.site < b.site
 	}
 	if a.vantage != b.vantage {
 		return a.vantage < b.vantage
+	}
+	if a.persona != b.persona {
+		return a.persona < b.persona
 	}
 	if a.obs != b.obs {
 		return a.obs < b.obs
@@ -155,12 +165,14 @@ func newRunState() *runState {
 			PairsByAPI:  map[instrument.API]int{},
 			SiteActions: map[string]map[actionAPIKey]bool{},
 			Vantages:    map[string]VantageStats{},
+			Personas:    map[string]PersonaStats{},
 			Failures: FailureStats{
 				VisitFailures:   map[string]int{},
 				RequestFailures: map[string]int{},
 			},
 		},
 		vant:      map[string]*vantageAgg{},
+		pers:      map[string]*personaAgg{},
 		encMemo:   map[string][]string{},
 		pairFirst: map[CookieKey]pairClaim{},
 		curClaims: map[CookieKey]pairClaim{},
@@ -169,10 +181,21 @@ func newRunState() *runState {
 
 // beginObservation opens the per-observation scratch for one complete
 // visit log.
-func (st *runState) beginObservation(site, vantage string) {
-	st.curSite, st.curVantage = site, vantage
+func (st *runState) beginObservation(site, vantage, persona string) {
+	st.curSite, st.curVantage, st.curPersona = site, vantage, persona
+	st.curPers = st.persona(persona)
 	st.curStart = len(st.res.Events)
 	st.curEnsures = 0
+}
+
+// persona returns (creating if needed) the named persona's accumulator.
+func (st *runState) persona(name string) *personaAgg {
+	pa := st.pers[name]
+	if pa == nil {
+		pa = &personaAgg{exfilPairs: map[CookieKey]bool{}}
+		st.pers[name] = pa
+	}
+	return pa
 }
 
 // endObservation folds the observation's scratch into the run: its event
@@ -181,7 +204,7 @@ func (st *runState) beginObservation(site, vantage string) {
 func (st *runState) endObservation() {
 	if end := len(st.res.Events); end > st.curStart {
 		st.groups = append(st.groups, evGroup{
-			site: st.curSite, vantage: st.curVantage,
+			site: st.curSite, vantage: st.curVantage, persona: st.curPersona,
 			seq: st.obsSeq, start: st.curStart, end: end,
 		})
 	}
@@ -201,7 +224,7 @@ func (st *runState) ensurePair(key CookieKey, api instrument.API) *PairInfo {
 	st.curEnsures++
 	if _, ok := st.curClaims[key]; !ok {
 		st.curClaims[key] = pairClaim{
-			site: st.curSite, vantage: st.curVantage,
+			site: st.curSite, vantage: st.curVantage, persona: st.curPersona,
 			obs: st.obsSeq, seq: st.curEnsures, api: api,
 		}
 	}
@@ -217,6 +240,17 @@ func (st *runState) ensurePair(key CookieKey, api instrument.API) *PairInfo {
 type vantageAgg struct {
 	visits, complete, failed int
 	loadMs                   []float64
+}
+
+// personaAgg is the in-progress per-persona rollup: retention counts
+// plus the tracking deltas the consent comparison is about — how many
+// third-party cookies were created and how much exfiltration happened
+// under this persona's consent state.
+type personaAgg struct {
+	visits, complete, failed int
+	tpCookies                int
+	exfilEvents              int
+	exfilPairs               map[CookieKey]bool
 }
 
 // New returns an Analyzer with the default entity map.
@@ -244,6 +278,33 @@ type Results struct {
 	// vantage's stream through one analyzer and compares the tails here
 	// (VantageTable — the Figure 6 comparison across regions).
 	Vantages map[string]VantageStats
+
+	// Personas is the per-persona rollup, keyed by VisitLog.Persona
+	// ("" is the implicit persona-free crawl): retention counts plus
+	// the consent deltas — third-party cookie creations and
+	// exfiltration volume under each consent state. A persona crawl
+	// (accept vs reject vs dismiss) compares them here (PersonaTable).
+	Personas map[string]PersonaStats
+}
+
+// PersonaStats summarizes one consent persona's crawl: how many visits
+// it performed, kept, and lost, and the tracking it admitted — the
+// third-party cookies created and the exfiltration events and unique
+// exfiltrated cookie pairs observed under its consent state. On a
+// CMP-enabled web the accept persona's TPCookies and ExfilPairs
+// strictly exceed the reject persona's: rejected trackers never load,
+// so their cookies and leaks never happen.
+type PersonaStats struct {
+	Visits   int `json:"visits"`
+	Complete int `json:"complete"`
+	Failed   int `json:"failed"` // fatal landing failures (incl. circuit-open sheds)
+
+	// TPCookies counts third-party cookie creations (the retained
+	// tracker-cookie volume); ExfilEvents counts detected exfiltration
+	// events and ExfilPairs the unique cookie pairs they leaked.
+	TPCookies   int `json:"tp_cookies"`
+	ExfilEvents int `json:"exfil_events"`
+	ExfilPairs  int `json:"exfil_pairs"`
 }
 
 // VantageStats summarizes one vantage point's crawl: how many visits it
@@ -393,16 +454,20 @@ func (a *Analyzer) Observe(v instrument.VisitLog) {
 		st.vant[v.Vantage] = va
 	}
 	va.visits++
+	pa := st.persona(v.Persona)
+	pa.visits++
 	if !v.OK {
 		va.failed++
+		pa.failed++
 	}
 	if !v.Complete() {
 		return
 	}
 	va.complete++
+	pa.complete++
 	va.loadMs = append(va.loadMs, v.Timing.LoadEvent)
 	st.res.Summary.SitesComplete++
-	st.beginObservation(v.Site, v.Vantage)
+	st.beginObservation(v.Site, v.Vantage, v.Persona)
 	a.analyzeSite(&v, st)
 	st.endObservation()
 }
@@ -438,10 +503,10 @@ func (a *Analyzer) Snapshot() *Results {
 // final Results. The state must not be used afterwards.
 func finalizeState(st *runState) *Results {
 	res := st.res
-	// Canonical event order: groups sorted by (site, vantage) — the same
-	// total order cmd/crawl -sort emits — with the observation sequence
-	// as a tie-break for duplicate keys (which a real crawl, visiting
-	// each site once per vantage, never produces).
+	// Canonical event order: groups sorted by (site, vantage, persona) —
+	// the same total order cmd/crawl -sort emits — with the observation
+	// sequence as a tie-break for duplicate keys (which a real crawl,
+	// visiting each site once per crawl-plan unit, never produces).
 	if len(st.groups) > 0 {
 		sort.Slice(st.groups, func(i, j int) bool {
 			gi, gj := &st.groups[i], &st.groups[j]
@@ -450,6 +515,9 @@ func finalizeState(st *runState) *Results {
 			}
 			if gi.vantage != gj.vantage {
 				return gi.vantage < gj.vantage
+			}
+			if gi.persona != gj.persona {
+				return gi.persona < gj.persona
 			}
 			return gi.seq < gj.seq
 		})
@@ -494,6 +562,14 @@ func finalizeState(st *runState) *Results {
 			vs.LoadMaxMs = va.loadMs[len(va.loadMs)-1]
 		}
 		res.Vantages[name] = vs
+	}
+	for name, pa := range st.pers {
+		res.Personas[name] = PersonaStats{
+			Visits: pa.visits, Complete: pa.complete, Failed: pa.failed,
+			TPCookies:   pa.tpCookies,
+			ExfilEvents: pa.exfilEvents,
+			ExfilPairs:  len(pa.exfilPairs),
+		}
 	}
 	return res
 }
@@ -587,6 +663,7 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, st *runState) {
 					st.fpCookieTotal++
 				} else {
 					st.tpCookieTotal++
+					st.curPers.tpCookies++
 				}
 			} else {
 				cs.value = ev.Value
@@ -610,6 +687,7 @@ func (a *Analyzer) analyzeSite(v *instrument.VisitLog, st *runState) {
 					st.fpCookieTotal++
 				} else {
 					st.tpCookieTotal++
+					st.curPers.tpCookies++
 				}
 				continue
 			}
@@ -799,6 +877,8 @@ func (a *Analyzer) detectExfiltration(v *instrument.VisitLog, site string,
 				ActorScript: req.InitiatorScript, ActorDomain: actorDomain,
 				API: c.api, Destination: destDomain,
 			})
+			st.curPers.exfilEvents++
+			st.curPers.exfilPairs[c.key] = true
 			actorEnt := a.Entities.EntityOf(actorDomain)
 			ownerEnt := a.Entities.EntityOf(c.key.Owner)
 			if actorEnt != ownerEnt {

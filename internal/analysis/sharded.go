@@ -98,6 +98,18 @@ func foldState(dst, src *runState) {
 		dva.failed += sva.failed
 		dva.loadMs = append(dva.loadMs, sva.loadMs...)
 	}
+
+	for name, spa := range src.pers {
+		dpa := dst.persona(name)
+		dpa.visits += spa.visits
+		dpa.complete += spa.complete
+		dpa.failed += spa.failed
+		dpa.tpCookies += spa.tpCookies
+		dpa.exfilEvents += spa.exfilEvents
+		for key := range spa.exfilPairs {
+			dpa.exfilPairs[key] = true
+		}
+	}
 }
 
 func unionInto(dst, src map[string]bool) {
@@ -109,8 +121,8 @@ func unionInto(dst, src map[string]bool) {
 // Merge folds independently accumulated Analyzers into one finalized
 // Results, equivalent byte for byte to a single Analyzer that Observed
 // the union of their logs (in any order — the canonical finalize sorts
-// event groups by (site, vantage) the way the scheduler's index-sorted
-// fold orders outcomes). Merge reads the shards without consuming them;
+// event groups by (site, vantage, persona) the way the scheduler's
+// index-sorted fold orders outcomes). Merge reads the shards without consuming them;
 // it must not run concurrently with Observe calls on them (Sharded
 // provides the locked variant).
 func Merge(shards ...*Analyzer) *Results {

@@ -302,6 +302,31 @@ func (r *Results) VantageTable() []VantageRow {
 	return rows
 }
 
+// PersonaRow is one row of the per-persona comparison table: a consent
+// persona's retention and the tracking its consent state admitted —
+// the accept vs reject vs dismiss delta in retained third-party
+// cookies and exfiltration.
+type PersonaRow struct {
+	Persona string `json:"persona"`
+	PersonaStats
+}
+
+// PersonaTable flattens the per-persona rollup into rows sorted by
+// persona name (the implicit persona-free crawl, keyed "", sorts first
+// and renders as "(none)").
+func (r *Results) PersonaTable() []PersonaRow {
+	names := make([]string, 0, len(r.Personas))
+	for n := range r.Personas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]PersonaRow, 0, len(names))
+	for _, n := range names {
+		rows = append(rows, PersonaRow{Persona: n, PersonaStats: r.Personas[n]})
+	}
+	return rows
+}
+
 // SitePct returns the percentage of complete sites exhibiting an action
 // on document.cookie-visible cookies (Figure 5's bars).
 func (r *Results) SitePct(kind ActionKind) float64 {

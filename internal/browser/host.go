@@ -133,6 +133,10 @@ func (h *hostBinding) OnClick(cb func()) {
 	h.page.clicks = append(h.page.clicks, clickHandler{frame: h.page.currentFrame(), run: cb})
 }
 
+func (h *hostBinding) OnClickID(id string, cb func()) {
+	h.page.idClicks = append(h.page.idClicks, idClickHandler{id: id, frame: h.page.currentFrame(), run: cb})
+}
+
 func (h *hostBinding) DeferRun(cb func()) {
 	h.page.deferQ = append(h.page.deferQ, deferredTask{frame: h.page.currentFrame(), run: cb})
 }

@@ -88,6 +88,14 @@ type clickHandler struct {
 	run   func()
 }
 
+// idClickHandler is a click handler bound to one element id (the consent
+// banner's accept/reject/dismiss targets); only ClickID(id) fires it.
+type idClickHandler struct {
+	id    string
+	frame frame
+	run   func()
+}
+
 type deferredTask struct {
 	frame frame
 	run   func()
@@ -126,6 +134,7 @@ type Page struct {
 	injectQ   []injection
 	deferQ    []deferredTask
 	clicks    []clickHandler
+	idClicks  []idClickHandler
 	startMS   float64 // clock at navigation start, ms since epoch
 	scriptCnt int
 	// parallelCredit is virtual time saved by the parallel-resource
@@ -526,6 +535,29 @@ func (p *Page) budgetExhausted() bool {
 func (p *Page) Click() int {
 	n := 0
 	for _, h := range p.clicks {
+		p.execStack = append(p.execStack, h.frame)
+		h.run()
+		p.execStack = p.execStack[:len(p.execStack)-1]
+		n++
+	}
+	p.drainInjections()
+	p.drainDeferred()
+	return n
+}
+
+// ClickID simulates a targeted click on the element with the given id:
+// only handlers registered for that id (on_click_id) fire, in
+// registration order, and the global click handlers stay untouched —
+// clicking a consent banner button must not double as the generic
+// interaction click. Returns how many handlers ran; injections and
+// deferred work queued by the handlers are drained, exactly as after
+// Click.
+func (p *Page) ClickID(id string) int {
+	n := 0
+	for _, h := range p.idClicks {
+		if h.id != id {
+			continue
+		}
 		p.execStack = append(p.execStack, h.frame)
 		h.run()
 		p.execStack = p.execStack[:len(p.execStack)-1]

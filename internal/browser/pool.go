@@ -113,6 +113,7 @@ func (p *Page) release() {
 	p.injectQ = p.injectQ[:0]
 	p.deferQ = p.deferQ[:0]
 	p.clicks = p.clicks[:0]
+	p.idClicks = p.idClicks[:0]
 	p.startMS = 0
 	p.scriptCnt = 0
 	p.parallelCredit = 0

@@ -380,10 +380,13 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 // same struct is passed to several crawls, over all of them): total
 // virtual time burned by visits, circuit-breaker shed/probe activity,
 // and second-pass volume. All fields are atomic so workers update them
-// without coordination; they never influence records. Multi-vantage
-// crawls additionally keep a per-vantage breakdown (Vantage /
-// Snapshot().Vantages): each named vantage's counters chain into these
-// totals, so the aggregate always equals the sum of its lanes.
+// without coordination; they never influence records. Multi-lane
+// crawls additionally keep a per-unit breakdown (Unit /
+// Snapshot().Vantages), keyed by the lane's unit label — the vantage
+// name for persona-free lanes (the historical per-vantage keys), or
+// "vantage/persona" when the persona axis is in play: each labelled
+// lane's counters chain into these totals, so the aggregate always
+// equals the sum of its lanes.
 type SchedStats struct {
 	// VirtualMs is the summed virtual duration of every performed visit
 	// (shed visits contribute nothing — that is the saving).
@@ -411,11 +414,20 @@ type SchedStats struct {
 	vantages map[string]*SchedStats
 }
 
-// Vantage returns the named per-vantage child counter set, created on
-// first use. Child counters chain into this struct's totals — adding to
-// a child adds to the parent — and appear in Snapshot().Vantages. The
-// crawl scheduler calls this once per named vantage lane; callers may
-// also read a lane's counters directly mid-run.
+// Unit returns the labelled per-unit child counter set, created on
+// first use. Labels are the scheduler's unit keys: a vantage name for
+// persona-free lanes, "vantage/persona" otherwise. Child counters
+// chain into this struct's totals — adding to a child adds to the
+// parent — and appear in Snapshot().Vantages. The crawl scheduler
+// calls this once per labelled lane; callers may also read a lane's
+// counters directly mid-run.
+func (s *SchedStats) Unit(label string) *SchedStats {
+	return s.Vantage(label)
+}
+
+// Vantage returns the per-unit child counter set keyed by a vantage
+// name — the persona-free special case of Unit, kept for callers that
+// predate the persona axis.
 func (s *SchedStats) Vantage(name string) *SchedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -453,8 +465,10 @@ type SchedSnapshot struct {
 	Probes         int64 `json:"circuit_probes"`
 	Requeued       int64 `json:"second_pass_requeued"`
 	SecondPassKept int64 `json:"second_pass_kept"`
-	// Vantages is the per-vantage breakdown of the totals above, keyed
-	// by vantage name (absent for single-vantage crawls).
+	// Vantages is the per-unit breakdown of the totals above, keyed by
+	// unit label: the vantage name for persona-free lanes (preserving
+	// the historical keys), "vantage/persona" when the persona axis is
+	// in play. Absent for single-lane crawls.
 	Vantages map[string]SchedSnapshot `json:"vantages,omitempty"`
 }
 

@@ -27,20 +27,29 @@
 // vantage — emits records byte-identical to the fixed worker-pool loop
 // it replaced.
 //
-// Multi-vantage crawls are unified: Options.Vantages runs every (site,
-// vantage) pair through ONE worker pool, one lane per vantage. Each
-// lane owns exactly the state a standalone sequential crawl of that
-// vantage would own — its frontier, its round-synchronous breaker with
-// its own virtual clock, its second-pass bookkeeping — and the lanes
-// multiplex over the shared workers, so one region's latency tail fills
-// with another region's visits instead of idling the pool. Because a
-// lane's rounds, gate snapshots, and sorted folds are untouched by the
-// other lanes, every record is byte-identical to the one a sequential
-// per-vantage crawl emits, at any worker count and any lane
-// interleaving; the effective global fold order is (pass, site index,
-// then vantage), and each lane's virtual clock still advances by its
-// own rounds' mean visit duration — never by wall-clock or worker
-// count.
+// The crawl's unit of work is the crawl-plan unit (site, vantage,
+// persona): Options.Vantages and Options.Personas cross into scheduling
+// lanes — one lane per (vantage, persona) cell — and every lane's
+// visits run through ONE worker pool. Each lane owns exactly the state
+// a standalone sequential crawl of its cell would own — its frontier,
+// its round-synchronous breaker with its own virtual clock, its
+// second-pass bookkeeping — and the lanes multiplex over the shared
+// workers, so one region's latency tail fills with another cell's
+// visits instead of idling the pool. Because a lane's rounds, gate
+// snapshots, and sorted folds are untouched by the other lanes, every
+// record is byte-identical to the one a sequential per-cell crawl
+// emits, at any worker count and any lane interleaving; the effective
+// global fold order is (pass, site index, vantage, then persona), and
+// each lane's virtual clock still advances by its own rounds' mean
+// visit duration — never by wall-clock or worker count.
+//
+// A persona is a consent-interaction policy: before normal interaction
+// the crawler clicks the consent banner element "cmp-"+persona on the
+// landing page ("accept" grants, "reject" denies, "dismiss" leaves
+// consent unset). Persona never salts the visit seed — persona cells
+// differ only through page behaviour (the consent cookie and what the
+// CMP loader gates on it), so a web without a CMP emits identical
+// bytes for every persona.
 package crawler
 
 import (
@@ -88,8 +97,9 @@ type Options struct {
 	// partial data and a "deadline" failure mark.
 	VisitBudgetMs float64
 	// Progress, when set, receives (done, total) after every completed
-	// visit, with total = len(sites) × number of vantages: one
-	// monotonic count for the whole crawl, however many lanes feed it.
+	// visit, with total = len(sites) × number of (vantage, persona)
+	// lanes: one monotonic count for the whole crawl's crawl-plan
+	// units, however many lanes feed it.
 	// Invocations are serialized (no two run concurrently) but arrive
 	// on crawl worker goroutines; a slow callback backpressures the
 	// crawl. done counts completed visits, not delivered logs: when the
@@ -158,11 +168,26 @@ type Options struct {
 	// interleaves them in completion order. Takes precedence over
 	// Vantage.
 	Vantages []netsim.Vantage
+	// Personas, when non-empty, crawls every (site, vantage) pair once
+	// per listed persona, extending the crawl plan to units of (site,
+	// vantage, persona). Each (vantage, persona) cell is its own
+	// scheduling lane (vantage-major: all of the first vantage's
+	// personas, then the next vantage's); a persona names the consent-
+	// banner action the crawler clicks on the landing page before
+	// normal interaction (element id "cmp-"+persona — "accept",
+	// "reject", "dismiss" on CMP-enabled webs), and every emitted
+	// VisitLog is tagged Persona. Personas never salt the visit seed:
+	// a persona's records differ from another's only through page
+	// behaviour — the consent cookie and what the CMP loader gates on
+	// it. Empty means the single implicit persona-free crawl,
+	// byte-identical to before personas existed.
+	Personas []string
 	// Stats, when set, accumulates scheduler counters (visit virtual
 	// time, breaker sheds/probes, second-pass volume) across the crawl.
-	// Named vantages accumulate into per-vantage children
-	// (SchedStats.Vantage) that chain into the totals. Pass one struct
-	// to several crawls to aggregate. Never affects records.
+	// Labelled lanes (a named vantage, or any persona cell) accumulate
+	// into per-unit children (SchedStats.Unit) that chain into the
+	// totals. Pass one struct to several crawls to aggregate. Never
+	// affects records.
 	Stats *SchedStats
 }
 
@@ -205,18 +230,20 @@ type indexedLog struct {
 	log instrument.VisitLog
 }
 
-// laneState is one vantage's scheduling lane. A lane owns exactly the
-// state a standalone sequential crawl of its vantage would own — the
-// frontier, the breaker accounting and virtual clock, the pass map —
-// so its shed decisions and emitted records cannot be perturbed by the
-// other lanes sharing the worker pool. All lane fields are owned by the
-// dispatch goroutine; workers only read the immutable identity fields
-// (vantage, transport, stats, base).
+// laneState is one (vantage, persona) cell's scheduling lane. A lane
+// owns exactly the state a standalone sequential crawl of its cell
+// would own — the frontier, the breaker accounting and virtual clock,
+// the pass map — so its shed decisions and emitted records cannot be
+// perturbed by the other lanes sharing the worker pool. All lane
+// fields are owned by the dispatch goroutine; workers only read the
+// immutable identity fields (vantage, persona, transport, stats,
+// base).
 type laneState struct {
 	id        int
 	vantage   netsim.Vantage    // zero value = the default vantage
+	persona   string            // "" = the implicit persona-free crawl
 	transport http.RoundTripper // nil = fabric directly
-	stats     *SchedStats       // per-vantage child when named; may be nil without feedback
+	stats     *SchedStats       // per-unit child when labelled; may be nil without feedback
 	base      int               // flat output offset: id * len(sites)
 
 	front  Frontier
@@ -322,10 +349,21 @@ func (d *delivery) deliver(idx int, l instrument.VisitLog) bool {
 	return delivered
 }
 
-// buildLanes resolves the crawl's vantage set into scheduling lanes.
-// Options.Vantages wins; otherwise the single (possibly default)
-// Options.Vantage becomes the only lane, preserving the historical
-// single-vantage behaviour byte for byte.
+// unitLabel is the stats key of a (vantage, persona) cell: the vantage
+// name alone when the crawl is persona-free (preserving the historical
+// per-vantage snapshot keys byte for byte), vantage/persona otherwise.
+func unitLabel(vantage, persona string) string {
+	if persona == "" {
+		return vantage
+	}
+	return vantage + "/" + persona
+}
+
+// buildLanes resolves the crawl plan's (vantage, persona) cross product
+// into scheduling lanes, vantage-major. Options.Vantages wins over the
+// single (possibly default) Options.Vantage; an empty persona list
+// collapses to the implicit persona-free cell, preserving the
+// historical per-vantage behaviour byte for byte.
 func buildLanes(sites []string, opts *Options) []*laneState {
 	vants := opts.Vantages
 	if len(vants) == 0 {
@@ -335,31 +373,42 @@ func buildLanes(sites []string, opts *Options) []*laneState {
 			vants = []netsim.Vantage{{}}
 		}
 	}
+	personas := opts.Personas
+	if len(personas) == 0 {
+		personas = []string{""}
+	}
 	newFrontier := opts.Scheduler
 	if newFrontier == nil {
 		newFrontier = NewFIFOFrontier
 	}
-	lanes := make([]*laneState, len(vants))
-	for i, v := range vants {
-		ln := &laneState{id: i, vantage: v, base: i * len(sites)}
+	lanes := make([]*laneState, 0, len(vants)*len(personas))
+	for _, v := range vants {
+		var transport http.RoundTripper
 		if !v.Default() {
-			ln.transport = opts.Internet.From(v)
+			transport = opts.Internet.From(v)
 		}
-		ln.stats = opts.Stats
-		if opts.Stats != nil && v.Name != "" {
-			ln.stats = opts.Stats.Vantage(v.Name)
+		for _, persona := range personas {
+			id := len(lanes)
+			ln := &laneState{id: id, vantage: v, persona: persona, base: id * len(sites)}
+			ln.transport = transport
+			ln.stats = opts.Stats
+			if opts.Stats != nil {
+				if label := unitLabel(v.Name, persona); label != "" {
+					ln.stats = opts.Stats.Unit(label)
+				}
+			}
+			ln.front = newFrontier()
+			for s := range sites {
+				ln.front.Push(s)
+			}
+			if opts.Breaker.Enabled {
+				ln.brk = newBreakerState(opts.Breaker, ln.stats)
+				ln.passOf = map[int]int{}
+			} else if opts.SecondPass.Enabled {
+				ln.passOf = map[int]int{}
+			}
+			lanes = append(lanes, ln)
 		}
-		ln.front = newFrontier()
-		for s := range sites {
-			ln.front.Push(s)
-		}
-		if opts.Breaker.Enabled {
-			ln.brk = newBreakerState(opts.Breaker, ln.stats)
-			ln.passOf = map[int]int{}
-		} else if opts.SecondPass.Enabled {
-			ln.passOf = map[int]int{}
-		}
-		lanes[i] = ln
 	}
 	return lanes
 }
@@ -595,6 +644,7 @@ func (s *dispatcher) shed(ln *laneState, site, pass int) bool {
 		Failure: string(browser.FailCircuitOpen),
 	}
 	l.Vantage = ln.vantage.Name
+	l.Persona = ln.persona
 	return s.d.deliver(ln.base+site, l)
 }
 
@@ -751,17 +801,21 @@ func Stream(ctx context.Context, sites []string, opts Options) (<-chan instrumen
 }
 
 // Crawl visits every URL in sites and returns the collected logs, in
-// the order of the input list; with Options.Vantages the result is the
-// per-vantage blocks concatenated in vantage list order (exactly what
-// sequential per-vantage crawls would have appended). It is a batch
-// wrapper over the stream: it materializes the whole result set, so
-// memory scales with len(sites) × vantages — use Stream for single-pass
-// pipelines. The context cancels outstanding visits; logs completed
-// before cancellation are retained.
+// the order of the input list; with Options.Vantages and/or
+// Options.Personas the result is the per-(vantage, persona) blocks
+// concatenated in lane order — vantage-major, personas in list order
+// within a vantage (exactly what sequential per-cell crawls would have
+// appended). It is a batch wrapper over the stream: it materializes
+// the whole result set, so memory scales with len(sites) × vantages ×
+// personas — use Stream for single-pass pipelines. The context cancels
+// outstanding visits; logs completed before cancellation are retained.
 func Crawl(ctx context.Context, sites []string, opts Options) (*Result, error) {
 	n := len(sites)
 	if len(opts.Vantages) > 0 {
 		n *= len(opts.Vantages)
+	}
+	if len(opts.Personas) > 0 {
+		n *= len(opts.Personas)
 	}
 	logs := make([]instrument.VisitLog, n)
 	in, errc := stream(ctx, sites, opts)
@@ -781,10 +835,12 @@ const passSeedSalt = 0xda942042e4dd58b5
 // visit performs one instrumented site visit for one dispatched job.
 // The returned outcome carries the scheduler's feedback: virtual time
 // burned and per-host fetch accounting (breaker runs only). A visit's
-// bytes depend only on (url, seed, pass, vantage, gate snapshot) — the
-// seed is salted by site index and pass, never by vantage or lane, so
-// the same (site, vantage) pair reproduces identically whether crawled
-// sequentially or through the unified pool.
+// bytes depend only on (url, seed, pass, vantage, persona, gate
+// snapshot) — the seed is salted by site index and pass, never by
+// vantage, persona, or lane, so the same crawl-plan unit reproduces
+// identically whether crawled sequentially or through the unified
+// pool; persona influences the bytes only through the consent click's
+// page-level effects.
 func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.VisitLog, out visitOutcome) {
 	n := uint64(j.site)
 	out = visitOutcome{idx: j.site, lane: j.lane.id, pass: j.pass}
@@ -822,6 +878,9 @@ func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.Vi
 	finish := func(b *browser.Browser) {
 		if j.lane.vantage.Name != "" {
 			l.Vantage = j.lane.vantage.Name
+		}
+		if j.lane.persona != "" {
+			l.Persona = j.lane.persona
 		}
 		if j.pass > 1 {
 			for i := range l.Requests {
@@ -889,6 +948,15 @@ func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.Vi
 		return l, out
 	}
 	pages = append(pages, landing)
+
+	if j.lane.persona != "" {
+		// The persona acts on the consent banner before any normal
+		// interaction: a targeted click on the banner element matching
+		// the persona's action. Sites without a CMP (or an unknown
+		// persona name) register no matching handler and the click is a
+		// deterministic no-op — zero handlers fire, nothing is recorded.
+		landing.ClickID("cmp-" + j.lane.persona)
+	}
 
 	if opts.Interact {
 		current := landing

@@ -123,6 +123,11 @@ type VisitLog struct {
 	// for the implicit default vantage — so single-vantage records are
 	// byte-identical to records from before vantages existed.
 	Vantage string `json:"vantage,omitempty"`
+	// Persona names the consent persona the visit was crawled under
+	// (e.g. "accept", "reject", "dismiss"), empty for the implicit
+	// persona-free crawl — so persona-free records are byte-identical to
+	// records from before personas existed.
+	Persona string `json:"persona,omitempty"`
 
 	Cookies   []CookieEvent    `json:"cookies,omitempty"`
 	Requests  []RequestEvent   `json:"requests,omitempty"`

@@ -333,6 +333,15 @@ func init() {
 			in.Host.OnClick(func() { _, _ = in.callClosure(c, nil, 0) })
 			return Value{}, nil
 		},
+		"on_click_id": func(in *Interp, args []Value) (Value, error) {
+			id, okID := argString(args, 0)
+			c, okFn := closureArg(args, 1)
+			if !okID || !okFn {
+				return Value{}, errArity("on_click_id")
+			}
+			in.Host.OnClickID(id, func() { _, _ = in.callClosure(c, nil, 0) })
+			return Value{}, nil
+		},
 		"defer_run": func(in *Interp, args []Value) (Value, error) {
 			c, ok := closureArg(args, 0)
 			if !ok {

@@ -49,6 +49,10 @@ type Host interface {
 	// OnClick registers a callback run when the user clicks anywhere
 	// (how widget scripts react to the crawler's interaction step).
 	OnClick(cb func())
+	// OnClickID registers a callback run only when the element with the
+	// given id is clicked (how the consent banner's accept/reject/
+	// dismiss buttons react to a persona's targeted click).
+	OnClickID(id string, cb func())
 	// DeferRun schedules cb to run after the current script finishes
 	// (setTimeout(0) analogue; attribution may detach, paper §8).
 	DeferRun(cb func())
@@ -109,6 +113,9 @@ func (h *NopHost) DOMGetText(string) (string, bool) { return "", false }
 
 // OnClick implements Host.
 func (h *NopHost) OnClick(func()) {}
+
+// OnClickID implements Host.
+func (h *NopHost) OnClickID(string, func()) {}
 
 // DeferRun implements Host: callbacks run immediately.
 func (h *NopHost) DeferRun(cb func()) { cb() }

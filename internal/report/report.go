@@ -142,6 +142,32 @@ func Vantages(w io.Writer, rows []analysis.VantageRow) {
 		"load mean", "p50", "p90", "p99", "max"}, out)
 }
 
+// Personas renders the per-persona comparison table: each consent
+// persona's retention and the tracking its consent state admitted —
+// the accept vs reject vs dismiss delta in third-party cookies and
+// exfiltration.
+func Personas(w io.Writer, rows []analysis.PersonaRow) {
+	fmt.Fprintln(w, "Per-persona consent deltas (retention and tracking)")
+	var out [][]string
+	for _, r := range rows {
+		name := r.Persona
+		if name == "" {
+			name = "(none)"
+		}
+		out = append(out, []string{
+			name,
+			fmt.Sprintf("%d", r.Visits),
+			fmt.Sprintf("%d", r.Complete),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%d", r.TPCookies),
+			fmt.Sprintf("%d", r.ExfilEvents),
+			fmt.Sprintf("%d", r.ExfilPairs),
+		})
+	}
+	Table(w, []string{"persona", "visits", "complete", "failed",
+		"tp cookies", "exfil events", "exfil pairs"}, out)
+}
+
 // Table2 renders Table 2.
 func Table2(w io.Writer, rows []analysis.Table2Row) {
 	var out [][]string

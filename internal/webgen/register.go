@@ -149,6 +149,9 @@ func registerSite(in *netsim.Internet, w *Web, s *Site) {
 		fmt.Sprintf("srv_csrf=%s; Path=/; Max-Age=7200", hexID(s.Domain+"-csrf", 20)),
 		"srv_pref=1; Path=/; Max-Age=31536000",
 	)
+	if len(s.Consent) > 0 {
+		reg.add(s.Host, "/assets/cmp.js", cmpLoaderScript(s), "application/javascript")
+	}
 	reg.add(s.Host, "/products", subpageHTML(s, "Products", "catalog"), "text/html")
 	reg.add(s.Host, "/about", subpageHTML(s, "About", "about-text"), "text/html")
 	reg.add(s.Host, "/assets/app.js", fpScript(s), "application/javascript")
@@ -187,10 +190,15 @@ func landingHTML(w *Web, s *Site) string {
 	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head>\n<title>%s</title>\n", s.Domain)
 	b.WriteString("<link rel=\"stylesheet\" href=\"/style.css\">\n")
 	b.WriteString("<script src=\"/assets/app.js\"></script>\n")
+	if len(s.Consent) > 0 {
+		// The CMP loader replaces the gated trackers' direct tags: it
+		// injects them only once the consent cookie reads "granted".
+		b.WriteString("<script src=\"/assets/cmp.js\"></script>\n")
+	}
 	for _, svc := range s.DirectServices {
 		fmt.Fprintf(&b, "<script src=%q></script>\n", svc.URL())
 	}
-	if u := ContainerURL(w, s); u != "" {
+	if u := ContainerURL(w, s); u != "" && !s.ContainerGated {
 		fmt.Fprintf(&b, "<script src=%q></script>\n", u)
 	}
 	if u := CloakedScriptURL(s); u != "" {
@@ -204,6 +212,9 @@ func landingHTML(w *Web, s *Site) string {
 	}
 	b.WriteString("</head>\n<body>\n")
 	b.WriteString("<div id=\"main\"><div id=\"status\">loading</div><div id=\"banner\">Welcome</div></div>\n")
+	if len(s.Consent) > 0 {
+		b.WriteString(cmpBannerHTML + "\n")
+	}
 	if s.Flags.AdSlot {
 		b.WriteString("<div id=\"ad-slot\"></div>\n")
 	}

@@ -71,6 +71,17 @@ type Config struct {
 	NLongTailWidgets  int
 	NIdPPairs         int
 
+	// CMP, when true, grows every third-party-bearing site a consent
+	// manager: its directly included trackers (and tag-manager
+	// container) move out of the HTML into a seeded per-site consent
+	// manifest (Site.Consent — named trackers with category, script URL,
+	// and async flag), loaded by a first-party CMP script that gates
+	// tracker injection on the consent cookie and renders a banner with
+	// accept-all / reject-all / dismiss actions. False (the default)
+	// generates no CMP artifacts at all, byte-identical to before the
+	// knob existed.
+	CMP bool
+
 	// Flakiness, when non-nil, is the scenario-generation knob for an
 	// imperfect network: BuildInternet installs the corresponding seeded
 	// fault model (netsim.SeededFaults) on the fabric it builds, so the
@@ -164,6 +175,13 @@ type Site struct {
 	DirectServices   []*Service
 	InjectedServices []*Service
 	HasTagManager    bool
+
+	// Consent is the site's CMP manifest (Config.CMP only): trackers
+	// gated behind the consent banner, in inclusion order. ContainerGated
+	// marks that the tag-manager container rides in the manifest instead
+	// of a direct <script> tag.
+	Consent        []ConsentTracker
+	ContainerGated bool
 
 	// IdP names the identity-provider pair for SSO sites.
 	IdPA, IdPB string
@@ -262,6 +280,9 @@ func buildSite(cfg Config, rank int, rng *stats.Rand, picker *servicePicker, w *
 
 	if f.HasTP {
 		planServices(cfg, s, rng, picker)
+		if cfg.CMP {
+			planConsent(s, rng, w)
+		}
 	}
 	return s
 }

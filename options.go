@@ -31,6 +31,8 @@ type config struct {
 	autopilot     bool
 	vantages      []Vantage
 	vantParallel  bool
+	personas      []string
+	cmp           bool
 	serveAddr     string
 	snapEvery     int
 }
@@ -223,6 +225,36 @@ func WithVantageParallel(on bool) Option {
 // existed; a single default vantage is equivalent.
 func WithVantages(vs ...Vantage) Option {
 	return func(c *config) { c.vantages = append(c.vantages, vs...) }
+}
+
+// WithPersonas crawls every (site, vantage) pair once per named consent
+// persona, extending the crawl plan to units of (site, vantage,
+// persona). A persona is a consent-interaction policy: before normal
+// interaction the crawler clicks the consent banner's matching action
+// on the landing page — "accept" grants consent (the CMP loader injects
+// the site's gated trackers), "reject" denies it, "dismiss" closes the
+// banner leaving consent unset. Configuring personas implies WithCMP:
+// the generated web grows per-site consent-manager banners and
+// manifests of gated trackers. Every record is tagged VisitLog.Persona,
+// and Results.Personas / Results.PersonaTable() compare retention and
+// exfiltration across consent states. Personas never salt the visit
+// seed — a persona's records differ from another's only through page
+// behaviour, and persona crawls stay byte-identical across runs, worker
+// counts, and scheduling modes. No personas (the default) crawls once,
+// byte-identical to before personas existed.
+func WithPersonas(names ...string) Option {
+	return func(c *config) { c.personas = append(c.personas, names...) }
+}
+
+// WithCMP generates the web with consent-management platforms: a seeded
+// subset of each site's tracking services moves behind a consent
+// manifest whose loader script gates tracker execution on the consent
+// cookie and renders an accept/reject/dismiss banner. Off (the
+// default), the generated web is byte-identical to before CMPs existed.
+// WithPersonas implies it; enable it alone to crawl a CMP web without
+// acting on the banner (consent stays unset everywhere).
+func WithCMP(on bool) Option {
+	return func(c *config) { c.cmp = on }
 }
 
 // WithServer serves live analysis over HTTP at addr (e.g. ":8089") for

@@ -1,0 +1,183 @@
+package cookieguard
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// pr7GoldenHashes pin the exact bytes PR 7 emitted for two persona-free
+// configurations (captured from the pre-refactor tree). The crawl-plan
+// unit refactor must reproduce them bit for bit: a config that never
+// mentions personas crawls exactly one implicit-persona lane per
+// vantage and its records carry no persona field at all.
+const (
+	pr7GoldenClean   = "dd851277250af051203e790f3d2c4770ae5f3029d5e0aff30361d94e5cefc91b"
+	pr7GoldenFaulted = "9ca5b446bc335f34548164e0b3a08ab3a33c11326629fe35ef06739e5e13653f"
+)
+
+// crawlDigest streams the pipeline and returns the sha256 over the
+// (site, vantage, persona)-sorted JSONL — the same byte surface
+// cmd/crawl -sort emits.
+func crawlDigest(t *testing.T, opts ...Option) string {
+	t.Helper()
+	p := New(opts...)
+	logs, errs := p.Stream(context.Background())
+	type rec struct{ key, line string }
+	var recs []rec
+	for l := range logs {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		recs = append(recs, rec{key: l.Site + "\x00" + l.Vantage + "\x00" + l.Persona, line: string(b)})
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	var sb strings.Builder
+	for _, r := range recs {
+		sb.WriteString(r.line)
+		sb.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func cleanGoldenOpts() []Option {
+	return []Option{
+		WithSites(40), WithWorkers(4), WithSeed(7), WithInteract(true),
+	}
+}
+
+func faultedGoldenOpts() []Option {
+	rp := DefaultRetryPolicy()
+	rp.MaxAttempts = 2
+	return []Option{
+		WithSites(40), WithWorkers(4), WithSeed(7), WithInteract(true),
+		WithFaults(UniformFaults(0.1, 7)),
+		WithRetryPolicy(rp),
+		WithSecondPass(true),
+		WithBreaker(Breaker{Enabled: true}),
+		WithBreakerAutopilot(),
+		WithVantages(RegionVantage("eu-west", 0.1, 7), RegionVantage("us-east", 0.1, 7)),
+		WithVantageParallel(true),
+	}
+}
+
+// personaOpts is the clean three-persona two-vantage configuration of
+// the byte-stability tests, parameterized on the scheduling knobs the
+// bytes must be independent of.
+func personaOpts(workers int, parallel bool) []Option {
+	return []Option{
+		WithSites(30), WithWorkers(workers), WithSeed(7), WithInteract(true),
+		WithVantages(RegionVantage("eu-west", 0, 7), RegionVantage("us-east", 0, 7)),
+		WithVantageParallel(parallel),
+		WithPersonas("accept", "reject", "dismiss"),
+	}
+}
+
+// personaFaultedOpts is the same persona axis under the full resilience
+// stack: 10% faults, retries, second pass, breaker with autopilot.
+func personaFaultedOpts(workers int, parallel bool) []Option {
+	rp := DefaultRetryPolicy()
+	rp.MaxAttempts = 2
+	return []Option{
+		WithSites(30), WithWorkers(workers), WithSeed(7), WithInteract(true),
+		WithFaults(UniformFaults(0.1, 7)),
+		WithRetryPolicy(rp),
+		WithSecondPass(true),
+		WithBreaker(Breaker{Enabled: true}),
+		WithBreakerAutopilot(),
+		WithVantages(RegionVantage("eu-west", 0.1, 7), RegionVantage("us-east", 0.1, 7)),
+		WithVantageParallel(parallel),
+		WithPersonas("accept", "reject", "dismiss"),
+	}
+}
+
+// TestPersonaCrawlByteStable pins the determinism contract on the new
+// axis: per-(site, vantage, persona) records are byte-identical across
+// runs, worker counts, and scheduling modes (sequential per-vantage vs
+// the unified pool), clean and under the full faulted resilience stack.
+func TestPersonaCrawlByteStable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts func(workers int, parallel bool) []Option
+	}{
+		{"clean", personaOpts},
+		{"faulted", personaFaultedOpts},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := crawlDigest(t, tc.opts(4, false)...)
+			if got := crawlDigest(t, tc.opts(4, false)...); got != base {
+				t.Errorf("persona crawl not byte-stable across runs: %s vs %s", got, base)
+			}
+			if got := crawlDigest(t, tc.opts(1, false)...); got != base {
+				t.Errorf("persona crawl depends on worker count: %s vs %s", got, base)
+			}
+			if got := crawlDigest(t, tc.opts(8, true)...); got != base {
+				t.Errorf("persona crawl depends on scheduling mode: %s vs %s", got, base)
+			}
+		})
+	}
+}
+
+// TestPersonaConsentDelta checks the consent personas actually bite:
+// over a CMP web, the accept persona must retain strictly more
+// third-party tracker cookies and exfiltrated pairs than the reject
+// persona (whose consent denial keeps the gated trackers out), with
+// dismiss — banner ignored, cookie unset — tracking like reject.
+func TestPersonaConsentDelta(t *testing.T) {
+	p := New(
+		WithSites(80), WithWorkers(8), WithSeed(7), WithInteract(true),
+		WithPersonas("accept", "reject", "dismiss"),
+	)
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, rej, dis := res.Personas["accept"], res.Personas["reject"], res.Personas["dismiss"]
+	for name, ps := range res.Personas {
+		if ps.Visits != 80 {
+			t.Errorf("persona %q visited %d sites, want 80", name, ps.Visits)
+		}
+	}
+	if acc.TPCookies <= rej.TPCookies {
+		t.Errorf("accept retained %d third-party cookies, reject %d; want accept strictly more",
+			acc.TPCookies, rej.TPCookies)
+	}
+	if acc.ExfilPairs <= rej.ExfilPairs {
+		t.Errorf("accept saw %d exfiltrated pairs, reject %d; want accept strictly more",
+			acc.ExfilPairs, rej.ExfilPairs)
+	}
+	if dis.TPCookies > rej.TPCookies {
+		t.Errorf("dismiss retained %d third-party cookies, more than reject's %d", dis.TPCookies, rej.TPCookies)
+	}
+	rows := res.PersonaTable()
+	if len(rows) != 3 {
+		t.Fatalf("PersonaTable has %d rows, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Persona >= rows[i].Persona {
+			t.Fatalf("PersonaTable rows not sorted: %q before %q", rows[i-1].Persona, rows[i].Persona)
+		}
+	}
+}
+
+// TestPersonaFreeConfigReproducesPR7Bytes is the default-config
+// equivalence gate: with no personas configured, the unit-axis crawl
+// stack must emit byte-identical output to the vantage-keyed PR 7
+// stack, clean and under faults with breaker + autopilot + second pass.
+func TestPersonaFreeConfigReproducesPR7Bytes(t *testing.T) {
+	if got := crawlDigest(t, cleanGoldenOpts()...); got != pr7GoldenClean {
+		t.Errorf("clean persona-free crawl diverged from PR 7 bytes:\n got %s\nwant %s", got, pr7GoldenClean)
+	}
+	if got := crawlDigest(t, faultedGoldenOpts()...); got != pr7GoldenFaulted {
+		t.Errorf("faulted persona-free crawl diverged from PR 7 bytes:\n got %s\nwant %s", got, pr7GoldenFaulted)
+	}
+}

@@ -13,6 +13,7 @@ package cookieguard
 //	GET /v1/tables/retention         crawl-retention rollup, per vantage
 //	GET /v1/tables/failures          failure-taxonomy table
 //	GET /v1/tables/vantages          per-vantage latency/retention rows
+//	GET /v1/tables/personas          per-persona consent-delta rows
 //	GET /v1/tables/actions           Table 1 (cross-domain action rates)
 //	GET /v1/progress                 crawl progress {done, total, final}
 //	GET /v1/stats                    live scheduler/cache/pool/fabric counters
@@ -96,6 +97,7 @@ func (p *Pipeline) NewServer() *Server {
 	s.versioned("GET /v1/tables/retention", marshal(func(res *analysis.Results) any { return res.Retention() }))
 	s.versioned("GET /v1/tables/failures", marshal(func(res *analysis.Results) any { return res.FailureTable() }))
 	s.versioned("GET /v1/tables/vantages", marshal(func(res *analysis.Results) any { return res.VantageTable() }))
+	s.versioned("GET /v1/tables/personas", marshal(func(res *analysis.Results) any { return res.PersonaTable() }))
 	s.versioned("GET /v1/tables/actions", marshal(func(res *analysis.Results) any { return res.Table1() }))
 	s.versioned("GET /v1/progress", func(_ *analysis.Results, snap resultstore.Snapshot) ([]byte, error) {
 		return json.Marshal(struct {
