@@ -1,0 +1,196 @@
+package cookieguard
+
+// Pipeline-level tests for crash-safe checkpointing and graceful
+// shutdown: a crawl killed at a seeded unit count and resumed via
+// WithCheckpoint reproduces the uninterrupted run's Results and
+// scheduler counters byte for byte; a journal written under a
+// different configuration is rejected; and Shutdown releases a blocked
+// long-poll client instead of dropping it.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkpointOpts is the full resilience shape the pipeline crash tests
+// run under: faults, retries, second pass, breaker with autopilot, two
+// vantages, two personas.
+func checkpointOpts(workers int) []Option {
+	rp := DefaultRetryPolicy()
+	rp.MaxAttempts = 2
+	return []Option{
+		WithSites(30), WithWorkers(workers), WithSeed(7), WithInteract(true),
+		WithFaults(UniformFaults(0.1, 7)),
+		WithRetryPolicy(rp),
+		WithSecondPass(true),
+		WithBreaker(Breaker{Enabled: true}),
+		WithBreakerAutopilot(),
+		WithVantages(RegionVantage("eu-west", 0.1, 7), RegionVantage("us-east", 0.1, 7)),
+		WithPersonas("accept", "reject"),
+	}
+}
+
+func schedJSON(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	b, err := json.Marshal(p.SchedStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCheckpointPipelineCrashResume is the acceptance criterion at the
+// pipeline layer: kill a checkpointed Run at a seeded unit count,
+// resume with a fresh Pipeline on the same directory, and require
+// Results.StableJSON() and the scheduler counters byte-identical to an
+// un-checkpointed uninterrupted run — under faults with breaker +
+// autopilot + personas, resuming at a different worker count.
+func TestCheckpointPipelineCrashResume(t *testing.T) {
+	base := New(checkpointOpts(4)...)
+	res, err := base.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stableJSON(t, res)
+	wantSched := schedJSON(t, base)
+
+	dir := t.TempDir()
+	crashed := New(append(checkpointOpts(8),
+		WithCheckpoint(dir), WithCrashAfterUnits(20))...)
+	if _, err := crashed.Run(context.Background()); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("crashed run: got %v, want ErrCrashInjected", err)
+	}
+
+	resumed := New(append(checkpointOpts(3), WithCheckpoint(dir))...)
+	rres, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if stableJSON(t, rres) != want {
+		t.Fatal("resumed Results.StableJSON() diverges from the uninterrupted run")
+	}
+	if got := schedJSON(t, resumed); got != wantSched {
+		t.Fatalf("resumed scheduler counters diverge:\nwant: %s\ngot:  %s", wantSched, got)
+	}
+	st, ok := resumed.CheckpointStats()
+	if !ok {
+		t.Fatal("resumed pipeline reports no checkpoint stats")
+	}
+	if st.LoadedUnits == 0 || st.Replayed == 0 {
+		t.Fatalf("resume consumed nothing from the journal: %+v", st)
+	}
+	if rres.Summary.SitesComplete == 0 {
+		t.Fatal("no complete sites; equality check is vacuous")
+	}
+}
+
+// TestCheckpointFingerprintMismatch: a journal written under one
+// configuration must be rejected — not silently replayed — by a crawl
+// whose configuration would emit different bytes.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := New(WithSites(15), WithWorkers(4), WithSeed(7), WithCheckpoint(dir))
+	if _, err := p.Crawl(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q := New(WithSites(15), WithWorkers(4), WithSeed(8), WithCheckpoint(dir))
+	_, err := q.Crawl(context.Background())
+	if err == nil {
+		t.Fatal("crawl with a foreign journal succeeded; want fingerprint rejection")
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("rejection does not name the fingerprint: %v", err)
+	}
+}
+
+// TestCheckpointStatsWithoutCheckpoint: no checkpoint directory, no
+// stats — the probe must not fabricate a journal.
+func TestCheckpointStatsWithoutCheckpoint(t *testing.T) {
+	p := New(WithSites(5))
+	if _, ok := p.CheckpointStats(); ok {
+		t.Fatal("CheckpointStats reports a journal without WithCheckpoint")
+	}
+}
+
+// TestShutdownDrainsBlockedLongPoll is the serve-path acceptance
+// criterion: with a client parked on a blocking query at the current
+// index, Shutdown must release the poll (the client gets a normal
+// timed-out-style response at the unchanged index) and drain the
+// connection — well before the client's 30s wait cap.
+func TestShutdownDrainsBlockedLongPoll(t *testing.T) {
+	p := New(WithSites(20), WithWorkers(4), WithSnapshotEvery(8))
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := p.StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := strconv.FormatUint(p.ResultStore().Index(), 10)
+
+	type result struct {
+		idx  string
+		code int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + bound + "/v1/tables/retention?index=" + cur + "&wait=30s")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		got <- result{idx: resp.Header.Get("X-Result-Index"), code: resp.StatusCode}
+	}()
+	// Let the client reach the store and park.
+	time.Sleep(100 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v; the parked long-poll was not released", elapsed)
+	}
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("long-poll client dropped during Shutdown: %v", r.err)
+		}
+		if r.code != http.StatusOK || r.idx != cur {
+			t.Fatalf("released poll: status %d index %q, want 200 at index %q", r.code, r.idx, cur)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll client still blocked after Shutdown")
+	}
+}
+
+// TestCheckpointJournaledPipelineMatchesPlain: switching checkpointing
+// on (fresh directory, no resume) must not change a byte of Results.
+func TestCheckpointJournaledPipelineMatchesPlain(t *testing.T) {
+	plain, err := New(checkpointOpts(4)...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := New(append(checkpointOpts(4), WithCheckpoint(t.TempDir()))...)
+	res, err := ck.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stableJSON(t, res) != stableJSON(t, plain) {
+		t.Fatal("checkpointed run Results diverge from plain run")
+	}
+	st, ok := ck.CheckpointStats()
+	if !ok || st.Records == 0 || st.BytesWritten == 0 || st.Fsyncs == 0 {
+		t.Fatalf("journal IO not accounted: %+v (ok=%v)", st, ok)
+	}
+}

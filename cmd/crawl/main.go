@@ -16,6 +16,20 @@
 //	      [-personas accept,reject,dismiss] [-cmp]
 //	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
 //	      [-serve :8089] [-snap-every K]
+//	      [-checkpoint DIR] [-crash-after N]
+//
+// -checkpoint enables crash-safe checkpointing: every terminal unit is
+// journaled write-ahead in DIR, and rerunning with the same flags and a
+// non-empty DIR RESUMES the crawl — journaled units re-execute
+// deterministically with their outcomes verified against the journal,
+// live crawling picks up at the first missing one, and the finished
+// output is byte-identical to an uninterrupted run (same -sort file,
+// any -workers). -crash-after N kills the crawl right after the N-th
+// journaled unit (exit code 3) for resume testing; leave it off when
+// resuming. SIGINT/SIGTERM stops the crawl gracefully: in-flight
+// visits drain, buffered journal appends flush, the -serve server
+// drains its connections, and the process exits 130 (crawl cut short)
+// or 0 (interrupted while serving final results — the normal way out).
 //
 // -serve additionally runs the live analysis alongside the crawl and
 // exposes it at the given address (cookieguard.Server: /v1/results,
@@ -55,11 +69,15 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"cookieguard"
 	"cookieguard/internal/trancolist"
@@ -99,6 +117,10 @@ func main() {
 		"serve live analysis over HTTP at this address (e.g. :8089) while crawling, and keep serving the final results after the crawl until interrupted")
 	snapEvery := flag.Int("snap-every", 0,
 		"publish an analysis snapshot every K visits on the served endpoints (0 = default 64); only meaningful with -serve")
+	checkpoint := flag.String("checkpoint", "",
+		"crash-safe checkpoint directory: journal every terminal unit write-ahead, and resume from a non-empty journal to output byte-identical to an uninterrupted run")
+	crashAfter := flag.Int("crash-after", 0,
+		"crash-injection harness: abort with exit code 3 right after the N-th journaled unit (requires -checkpoint; omit when resuming)")
 	flag.Parse()
 
 	opts := []cookieguard.Option{
@@ -161,7 +183,21 @@ func main() {
 	if *cmp {
 		opts = append(opts, cookieguard.WithCMP(true))
 	}
+	if *checkpoint != "" {
+		opts = append(opts, cookieguard.WithCheckpoint(*checkpoint))
+	}
+	if *crashAfter > 0 {
+		opts = append(opts, cookieguard.WithCrashAfterUnits(*crashAfter))
+	}
 	p := cookieguard.New(opts...)
+
+	// SIGINT/SIGTERM cancels the crawl context: workers drain their
+	// in-flight visits, the journal flushes, and the exit path below
+	// shuts the server down gracefully. A second signal kills the
+	// process the default way (stop() restores default handling once
+	// ctx fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// -serve: analysis rides along with the crawl. The stream loop below
 	// is the single consumer, so one shard suffices; snapshots publish at
@@ -203,7 +239,7 @@ func main() {
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 
-	logs, errs := p.Stream(context.Background())
+	logs, errs := p.Stream(ctx)
 	visited, complete := 0, 0
 	type rec struct{ site, line string }
 	var buffered []rec
@@ -230,7 +266,29 @@ func main() {
 		}
 		fatal(enc.Encode(l))
 	}
-	fatal(<-errs)
+	if err := <-errs; err != nil {
+		switch {
+		case errors.Is(err, cookieguard.ErrCrashInjected):
+			// The injected kill fires after its unit record is durable:
+			// partial output is deliberately NOT flushed (the journal is
+			// the source of truth) and exit code 3 tells the harness the
+			// crash landed as seeded.
+			fmt.Fprintf(os.Stderr, "crawl: crash injected after %d units; resume with -checkpoint %s\n",
+				*crashAfter, *checkpoint)
+			os.Exit(3)
+		case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+			// Interrupted: in-flight visits drained before the stream
+			// closed. Keep the partial output, flush the journal and
+			// drain the server, and exit 130 (128+SIGINT) so callers see
+			// the crawl was cut short.
+			w.Flush()
+			shutdown(p)
+			fmt.Fprintf(os.Stderr, "crawl: interrupted after %d visits; journal flushed\n", visited)
+			os.Exit(130)
+		default:
+			fatal(err)
+		}
+	}
 	if sh != nil {
 		store.Publish(cookieguard.ResultProgress{Done: visited, Total: total, Final: true}, sh.Finalize())
 	}
@@ -243,11 +301,31 @@ func main() {
 			w.WriteByte('\n')
 		}
 	}
+	if *checkpoint != "" {
+		if st, ok := p.CheckpointStats(); ok {
+			fmt.Fprintf(os.Stderr, "crawl: checkpoint: %d units journaled, %d resumed from journal, %d bytes, %d fsyncs\n",
+				st.Records, st.Replayed, st.BytesWritten, st.Fsyncs)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "crawl: %d sites visited, %d complete\n", visited, complete)
 	if *serveAddr != "" {
 		w.Flush()
 		fmt.Fprintln(os.Stderr, "crawl: serving final results; interrupt to exit")
-		select {}
+		<-ctx.Done()
+		stop()
+		shutdown(p)
+		fmt.Fprintln(os.Stderr, "crawl: server drained, exiting")
+	}
+}
+
+// shutdown drains the pipeline's serving side (blocked long-polls
+// release, in-flight requests complete) and flushes the checkpoint
+// journal, bounded by a drain deadline.
+func shutdown(p *cookieguard.Pipeline) {
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "crawl: shutdown:", err)
 	}
 }
 

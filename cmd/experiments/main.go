@@ -12,6 +12,19 @@
 //	            [-vantage-parallel] [-vantage-compare]
 //	            [-personas accept,reject,dismiss] [-cmp]
 //	            [-serve :8089] [-serve-bench]
+//	            [-checkpoint DIR] [-checkpoint-compare]
+//
+// Crash-safe checkpointing: -checkpoint journals the measurement
+// crawl's terminal units write-ahead in DIR (a rerun with the same
+// flags resumes and produces identical results), and
+// -checkpoint-compare times the same configuration with and without
+// journaling on fresh pipelines — recording journal bytes, fsync
+// batches, and units/s with vs without (plus the overhead percentage)
+// under the bench snapshot's `checkpoint` key (BENCH_9.json by
+// convention; the journal is the fsync-batched durability floor, so
+// the gate expects <5% throughput cost). SIGINT/SIGTERM cancels the
+// crawl context: in-flight visits drain and buffered journal appends
+// flush before the process exits 130.
 //
 // Consent personas: -personas crawls every (site, vantage) pair once
 // per named consent persona (accept/reject/dismiss clicks on the
@@ -89,15 +102,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"cookieguard"
@@ -143,6 +159,10 @@ func main() {
 		"serve live analysis over HTTP at this address (e.g. :8089) while the measurement crawl runs")
 	serveBench := flag.Bool("serve-bench", false,
 		"run the HTTP read-path smoke bench after the crawl (cached-poll requests/s, recorded in -bench-json); starts a loopback server if -serve is not set")
+	checkpoint := flag.String("checkpoint", "",
+		"crash-safe checkpoint directory for the measurement crawl: journal terminal units write-ahead; a rerun with the same flags resumes from the journal")
+	ckptCompare := flag.Bool("checkpoint-compare", false,
+		"time the crawl with vs without checkpointing on fresh pipelines and record journal bytes, fsyncs, and units/s overhead in -bench-json")
 	crawlOnly := flag.Bool("crawl-only", false,
 		"exit after the measurement crawl and its -bench-json snapshot (skips the guard/breakage/performance experiments); the perf-harness mode CI's bench gate runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement crawl to this file")
@@ -172,6 +192,7 @@ func main() {
 		vantParallel: *vantParallel || *vantCompare, vantCompare: *vantCompare,
 		cmp:       *cmp,
 		serveAddr: *serve, serveBench: *serveBench,
+		checkpointDir: *checkpoint, ckptCompare: *ckptCompare,
 	}
 	for _, name := range strings.Split(*personas, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -189,6 +210,12 @@ func main() {
 		}
 	}
 	if err := run(cfg); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Interrupted: the crawl drained its in-flight visits and
+			// flushed its journal before the error surfaced.
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -213,6 +240,8 @@ type runConfig struct {
 	cmp                    bool
 	serveAddr              string
 	serveBench             bool
+	checkpointDir          string
+	ckptCompare            bool
 }
 
 // benchSnapshot is the schema of the -bench-json throughput record.
@@ -270,6 +299,10 @@ type benchSnapshot struct {
 	// timed in sequential and unified-parallel vantage mode, plus the
 	// parallel/sequential visits-per-second ratio the CI gate checks.
 	VantageModes *vantageModes `json:"vantage_modes,omitempty"`
+	// Checkpoint is the -checkpoint/-checkpoint-compare record: journal
+	// IO volume and the units/s cost of write-ahead journaling (absent
+	// without either flag).
+	Checkpoint *checkpointBench `json:"checkpoint,omitempty"`
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
@@ -322,6 +355,26 @@ type vantageModeBench struct {
 	VisitsPerSec float64 `json:"visits_per_sec"`
 }
 
+// checkpointBench records what write-ahead journaling cost. With
+// -checkpoint-compare the with/without figures come from paired fresh
+// pipelines (best of three alternating laps each); with
+// -checkpoint alone only the journal volume and the journaled crawl's
+// units/s are known and the overhead fields stay zero.
+type checkpointBench struct {
+	// JournalBytes / JournalRecords / JournalSnapshots / Fsyncs are the
+	// write-ahead journal's IO volume for one full crawl.
+	JournalBytes     int64 `json:"journal_bytes"`
+	JournalRecords   int64 `json:"journal_records"`
+	JournalSnapshots int64 `json:"journal_snapshots"`
+	Fsyncs           int64 `json:"fsyncs"`
+	// UnitsPerSecWith / UnitsPerSecWithout are the paired throughput
+	// figures; OverheadPct is (without−with)/without — the CI gate
+	// expects < 5.
+	UnitsPerSecWith    float64 `json:"units_per_sec_with"`
+	UnitsPerSecWithout float64 `json:"units_per_sec_without"`
+	OverheadPct        float64 `json:"overhead_pct"`
+}
+
 func run(cfg runConfig) error {
 	sites, workers, seed := cfg.sites, cfg.workers, cfg.seed
 	perfN, breakN := cfg.perfN, cfg.breakN
@@ -358,15 +411,19 @@ func run(cfg runConfig) error {
 	if cfg.cmp {
 		resilience = append(resilience, cookieguard.WithCMP(true))
 	}
-	// The -vantage-compare baseline reruns this exact configuration in
-	// sequential vantage mode: same resilience stack, no unified pool, no
-	// server.
+	// The -vantage-compare and -checkpoint-compare baselines rerun this
+	// exact configuration on fresh pipelines: same resilience stack, no
+	// unified pool, no server, no journal — each compare lap adds the one
+	// option it is measuring itself.
 	seqResilience := append([]cookieguard.Option(nil), resilience...)
 	if len(cfg.vantages) > 0 && cfg.vantParallel {
 		resilience = append(resilience, cookieguard.WithVantageParallel(true))
 	}
 	if cfg.serveAddr != "" {
 		resilience = append(resilience, cookieguard.WithServer(cfg.serveAddr))
+	}
+	if cfg.checkpointDir != "" {
+		resilience = append(resilience, cookieguard.WithCheckpoint(cfg.checkpointDir))
 	}
 	study := cookieguard.New(append([]cookieguard.Option{
 		cookieguard.WithSites(sites),
@@ -376,7 +433,11 @@ func run(cfg runConfig) error {
 		cookieguard.WithArtifactCache(artifactCache),
 		cookieguard.WithPooling(pooling),
 	}, resilience...)...)
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancels the crawl; in-flight visits drain, a journal
+	// (if -checkpoint) flushes its final state, and main exits 130. A
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if cfg.serveAddr != "" {
 		bound, err := study.StartServer(cfg.serveAddr)
@@ -550,6 +611,124 @@ func run(cfg runConfig) error {
 			seqSecs, vm.Sequential.VisitsPerSec, parSecs, vm.Parallel.VisitsPerSec, vm.Speedup, vm.CPUs)
 	}
 
+	// -checkpoint alone: report the measurement crawl's journal volume.
+	// -checkpoint-compare: additionally time the same configuration with
+	// and without a fresh journal on paired fresh pipelines (best of
+	// three alternating laps each) so the overhead
+	// figure isolates journaling cost from warmup noise. Each
+	// with-journal lap gets its own empty temp dir — reusing one would
+	// replay the previous lap's units and undercount the write cost.
+	var ckpt *checkpointBench
+	if cfg.checkpointDir != "" {
+		if st, ok := study.CheckpointStats(); ok {
+			units := sites * len(study.Vantages()) * max(1, len(cfg.personas))
+			ckpt = &checkpointBench{
+				JournalBytes:     st.BytesWritten,
+				JournalRecords:   st.Records,
+				JournalSnapshots: st.Snapshots,
+				Fsyncs:           st.Fsyncs,
+				UnitsPerSecWith:  float64(units) / crawlSecs,
+			}
+			fmt.Fprintf(out, "checkpoint journal: %d records + %d snapshots, %d bytes, %d fsyncs (%d units replayed from a prior run)\n\n",
+				st.Records, st.Snapshots, st.BytesWritten, st.Fsyncs, st.Replayed)
+		}
+	}
+	if cfg.ckptCompare {
+		fmt.Fprintln(out, "--- checkpoint overhead (-checkpoint-compare) ---")
+		timeCkpt := func(dir string) (float64, int, cookieguard.JournalStats, error) {
+			opts := append([]cookieguard.Option{
+				cookieguard.WithSites(sites),
+				cookieguard.WithWorkers(workers),
+				cookieguard.WithSeed(seed),
+				cookieguard.WithInteract(true),
+				cookieguard.WithArtifactCache(artifactCache),
+				cookieguard.WithPooling(pooling),
+			}, seqResilience...)
+			if len(cfg.vantages) > 0 && cfg.vantParallel {
+				opts = append(opts, cookieguard.WithVantageParallel(true))
+			}
+			if dir != "" {
+				opts = append(opts, cookieguard.WithCheckpoint(dir))
+			}
+			p := cookieguard.New(opts...)
+			start := time.Now()
+			logs, errCh := p.Stream(ctx)
+			units := 0
+			for range logs {
+				units++
+			}
+			if err := <-errCh; err != nil {
+				return 0, 0, cookieguard.JournalStats{}, err
+			}
+			st, _ := p.CheckpointStats()
+			return time.Since(start).Seconds(), units, st, nil
+		}
+		// One discarded warmup lap, then alternating lap order per
+		// iteration: whichever side runs first pays the process's
+		// cold-start costs (page cache, allocator growth), so a fixed
+		// order would bill them all to one side — at full scale that
+		// bias is larger than the journaling cost being measured. Three
+		// laps per side, best-of each: single-lap variance on a busy
+		// machine runs several percent, larger than the journal's real
+		// cost, and best-of-N converges on the floor.
+		if _, _, _, err := timeCkpt(""); err != nil {
+			return err
+		}
+		withSecs, withoutSecs := 0.0, 0.0
+		units := 0
+		var jst cookieguard.JournalStats
+		for i := 0; i < 3; i++ {
+			lapWith := func() error {
+				dir, err := os.MkdirTemp("", "cg-ckpt-bench-")
+				if err != nil {
+					return err
+				}
+				ws, n, st, err := timeCkpt(dir)
+				os.RemoveAll(dir)
+				if err != nil {
+					return err
+				}
+				units = n
+				if withSecs == 0 || ws < withSecs {
+					withSecs, jst = ws, st
+				}
+				return nil
+			}
+			lapWithout := func() error {
+				bs, _, _, err := timeCkpt("")
+				if err != nil {
+					return err
+				}
+				if withoutSecs == 0 || bs < withoutSecs {
+					withoutSecs = bs
+				}
+				return nil
+			}
+			laps := []func() error{lapWith, lapWithout}
+			if i%2 == 1 {
+				laps[0], laps[1] = laps[1], laps[0]
+			}
+			for _, lap := range laps {
+				if err := lap(); err != nil {
+					return err
+				}
+			}
+		}
+		if ckpt == nil {
+			ckpt = &checkpointBench{}
+		}
+		ckpt.JournalBytes = jst.BytesWritten
+		ckpt.JournalRecords = jst.Records
+		ckpt.JournalSnapshots = jst.Snapshots
+		ckpt.Fsyncs = jst.Fsyncs
+		ckpt.UnitsPerSecWith = float64(units) / withSecs
+		ckpt.UnitsPerSecWithout = float64(units) / withoutSecs
+		ckpt.OverheadPct = 100 * (ckpt.UnitsPerSecWithout - ckpt.UnitsPerSecWith) / ckpt.UnitsPerSecWithout
+		fmt.Fprintf(out, "journaled %.2fs (%.1f units/s) vs plain %.2fs (%.1f units/s): overhead %.2f%% — %d bytes, %d fsyncs for %d units\n\n",
+			withSecs, ckpt.UnitsPerSecWith, withoutSecs, ckpt.UnitsPerSecWithout,
+			ckpt.OverheadPct, jst.BytesWritten, jst.Fsyncs, units)
+	}
+
 	var sb *serveBenchResult
 	if cfg.serveBench {
 		bound, err := study.StartServer(cfg.serveAddr)
@@ -580,6 +759,7 @@ func run(cfg runConfig) error {
 			UnitsPerSec:     float64(sites*len(study.Vantages())*max(1, len(cfg.personas))) / crawlSecs,
 			VantageParallel: cfg.vantParallel,
 			VantageModes:    vm,
+			Checkpoint:      ckpt,
 			AllocsPerSite:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),
 			BytesPerSite:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sites),
 			GCCycles:        msAfter.NumGC - msBefore.NumGC,

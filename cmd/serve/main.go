@@ -24,10 +24,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cookieguard"
 )
@@ -78,13 +82,37 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "serve: live analysis on http://%s/v1/ — crawling %d sites\n", bound, *sites)
 
-	res, err := p.Run(context.Background())
+	// SIGINT/SIGTERM cancels the crawl; in-flight visits drain and the
+	// server sheds its blocked long-polls and drains connections before
+	// the process exits. A second signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := p.Run(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			shutdown(p)
+			fmt.Fprintln(os.Stderr, "serve: interrupted mid-crawl; server drained")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr,
 		"serve: crawl done (%d/%d sites complete, %d events); serving final results at index %d — interrupt to exit\n",
 		res.Summary.SitesComplete, res.Summary.SitesTotal, len(res.Events), p.ResultStore().Index())
-	select {}
+	<-ctx.Done()
+	stop()
+	shutdown(p)
+	fmt.Fprintln(os.Stderr, "serve: server drained, exiting")
+}
+
+// shutdown drains the HTTP server (blocked long-polls release,
+// in-flight requests complete) within a bounded deadline.
+func shutdown(p *cookieguard.Pipeline) {
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+	}
 }

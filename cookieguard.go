@@ -30,20 +30,24 @@ package cookieguard
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cookieguard/internal/analysis"
 	"cookieguard/internal/artifact"
 	"cookieguard/internal/breakage"
 	"cookieguard/internal/browser"
+	"cookieguard/internal/contenthash"
 	"cookieguard/internal/crawler"
 	"cookieguard/internal/entity"
 	"cookieguard/internal/filterlist"
 	"cookieguard/internal/guard"
 	"cookieguard/internal/instrument"
+	"cookieguard/internal/journal"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/perf"
 	"cookieguard/internal/resultstore"
@@ -117,6 +121,10 @@ type (
 	FailureStats = analysis.FailureStats
 	// Results is the aggregated analysis output.
 	Results = analysis.Results
+	// JournalStats is a snapshot of the checkpoint journal's counters
+	// (Pipeline.CheckpointStats): units loaded/replayed on resume,
+	// records/snapshots/bytes appended, fsync batches flushed.
+	JournalStats = journal.Stats
 	// Guard is a CookieGuard enforcement instance.
 	Guard = guard.Guard
 	// Policy configures CookieGuard enforcement.
@@ -152,11 +160,25 @@ type Pipeline struct {
 
 	// serve tracks the WithServer listener: bound once per pipeline, it
 	// serves for the remainder of the process so results stay queryable
-	// after Run returns.
+	// after Run returns — until Shutdown drains it.
 	serveOnce sync.Once
 	serveErr  error
 	servedOn  string
+	srvMu     sync.Mutex
+	srv       *http.Server
+
+	// jnl is the WithCheckpoint write-ahead journal, opened once on the
+	// first crawl (resume happens there: an existing journal's units are
+	// loaded for replay).
+	jnlOnce sync.Once
+	jnl     *journal.Journal
+	jnlErr  error
 }
+
+// ErrCrashInjected is the abort cause of a crawl killed by the
+// WithCrashAfterUnits harness (matched with errors.Is through whatever
+// wrapping the pipeline adds).
+var ErrCrashInjected = crawler.ErrCrashInjected
 
 // New generates a synthetic web and returns the pipeline over it,
 // configured by functional options:
@@ -225,9 +247,109 @@ func (p *Pipeline) SiteList() []trancolist.Entry {
 	return entries
 }
 
+// ensureJournal opens the WithCheckpoint journal on first use (resume
+// happens here: an existing journal's units load for replay) and
+// returns it; (nil, nil) when checkpointing is off. Idempotent — later
+// calls return the first outcome.
+func (p *Pipeline) ensureJournal() (*journal.Journal, error) {
+	if p.cfg.checkpointDir == "" {
+		return nil, nil
+	}
+	p.jnlOnce.Do(func() {
+		p.jnl, p.jnlErr = journal.Open(p.cfg.checkpointDir, p.checkpointFingerprint())
+	})
+	return p.jnl, p.jnlErr
+}
+
+// checkpointFingerprint digests every configuration knob that changes
+// the crawl's emitted bytes, so a journal is only ever resumed under
+// the configuration that wrote it. Knobs the determinism contract
+// makes byte-invisible are deliberately excluded — the worker count,
+// vantage-parallel vs sequential scheduling, pooling, the artifact
+// cache — which is exactly what lets a crawl resume at a different
+// worker count. Vantage latency models are functions and likewise
+// excluded (latency shifts virtual timing deterministically from the
+// vantage name's seed, which is covered).
+func (p *Pipeline) checkpointFingerprint() string {
+	type vant struct {
+		Name   string             `json:"name"`
+		Faults netsim.FaultConfig `json:"faults"`
+	}
+	vants := make([]vant, 0, len(p.cfg.vantages))
+	for _, v := range p.cfg.vantages {
+		vants = append(vants, vant{Name: v.Name, Faults: v.Faults})
+	}
+	fp := struct {
+		Version     int                 `json:"version"`
+		Sites       int                 `json:"sites"`
+		Seed        uint64              `json:"seed"`
+		Interact    bool                `json:"interact"`
+		Guard       *guard.Policy       `json:"guard,omitempty"`
+		Middleware  int                 `json:"middleware,omitempty"`
+		Faults      *netsim.FaultConfig `json:"faults,omitempty"`
+		Retry       RetryPolicy         `json:"retry"`
+		VisitBudget float64             `json:"visit_budget"`
+		Scheduler   bool                `json:"custom_scheduler,omitempty"`
+		SecondPass  bool                `json:"second_pass"`
+		Breaker     Breaker             `json:"breaker"`
+		Autopilot   bool                `json:"autopilot"`
+		Vantages    []vant              `json:"vantages,omitempty"`
+		Personas    []string            `json:"personas,omitempty"`
+		CMP         bool                `json:"cmp"`
+	}{
+		Version:     1,
+		Sites:       p.cfg.sites,
+		Seed:        p.cfg.seed,
+		Interact:    p.cfg.interact,
+		Guard:       p.cfg.guard,
+		Middleware:  len(p.cfg.middleware),
+		Faults:      p.cfg.faults,
+		Retry:       p.cfg.retry,
+		VisitBudget: p.cfg.visitBudget,
+		Scheduler:   p.cfg.scheduler != nil,
+		SecondPass:  p.cfg.secondPass,
+		Breaker:     p.cfg.breaker,
+		Autopilot:   p.cfg.autopilot,
+		Vantages:    vants,
+		Personas:    p.cfg.personas,
+		CMP:         p.cfg.cmp,
+	}
+	b, err := json.Marshal(fp)
+	if err != nil {
+		// Every field above is marshalable by construction.
+		panic("cookieguard: checkpoint fingerprint: " + err.Error())
+	}
+	return contenthash.Sum(string(b))
+}
+
+// CheckpointStats returns a snapshot of the checkpoint journal's
+// counters — units loaded and replayed on resume, records, snapshots,
+// bytes, and fsync batches appended — and whether checkpointing is
+// active (false without WithCheckpoint, or if the journal failed to
+// open).
+func (p *Pipeline) CheckpointStats() (JournalStats, bool) {
+	jnl, err := p.ensureJournal()
+	if jnl == nil || err != nil {
+		return JournalStats{}, false
+	}
+	return jnl.Stats(), true
+}
+
+// errStream is the degenerate stream of a crawl that failed before
+// starting: closed log channel, one error.
+func errStream(err error) (<-chan VisitLog, <-chan error) {
+	out := make(chan VisitLog)
+	close(out)
+	errc := make(chan error, 1)
+	errc <- err
+	close(errc)
+	return out, errc
+}
+
 // crawlOptions assembles the crawler configuration for one vantage
 // point, composing the guard (innermost, enforcing) with registered
-// middleware factories.
+// middleware factories. p.jnl must be resolved (ensureJournal) before
+// any crawl options are built.
 func (p *Pipeline) crawlOptions(v Vantage) crawler.Options {
 	opts := crawler.Options{
 		Internet:             p.Net,
@@ -246,6 +368,8 @@ func (p *Pipeline) crawlOptions(v Vantage) crawler.Options {
 		SecondPass:           crawler.SecondPass{Enabled: p.cfg.secondPass},
 		Personas:             p.cfg.personas,
 		Stats:                p.sched,
+		Journal:              p.jnl,
+		CrashAfterUnits:      p.cfg.crashAfter,
 	}
 	if p.cfg.autopilot {
 		// WithBreakerAutopilot implies the breaker, whatever the option
@@ -321,6 +445,9 @@ func (p *Pipeline) SchedStats() SchedSnapshot { return p.sched.Snapshot() }
 // vantage streams over the same pipeline share the web, the fabric, and
 // the artifact cache.
 func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLog, <-chan error) {
+	if _, err := p.ensureJournal(); err != nil {
+		return errStream(err)
+	}
 	return crawler.Stream(ctx, crawler.SiteURLs(trancolist.Domains(p.SiteList())), p.crawlOptions(v))
 }
 
@@ -341,6 +468,9 @@ func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLo
 // Progress/ProgressStats callbacks report one monotonic done out of
 // sites × vantages × personas — no per-vantage restart.
 func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
+	if _, err := p.ensureJournal(); err != nil {
+		return errStream(err)
+	}
 	vs := p.Vantages()
 	if len(vs) == 1 {
 		return p.StreamVantage(ctx, vs[0])
@@ -402,6 +532,9 @@ func offsetProgress(opts *crawler.Options, base, total int) {
 // wrapper over the streaming core — memory scales with the site count
 // times the vantage count, so prefer Run or Stream for large workloads.
 func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
+	if _, err := p.ensureJournal(); err != nil {
+		return nil, err
+	}
 	sites := crawler.SiteURLs(trancolist.Domains(p.SiteList()))
 	vs := p.Vantages()
 	if p.cfg.vantParallel && len(vs) > 1 {
@@ -533,11 +666,18 @@ func (p *Pipeline) ResultStore() *resultstore.Store {
 }
 
 // StartServer binds addr and serves this pipeline's result store (see
-// the Server doc) for the remainder of the process. It returns the
-// bound address (useful with ":0") and is idempotent: the first call
-// binds, later calls return the first outcome. Run calls it with the
-// WithServer address; call it directly to serve without Run or on a
-// second address.
+// the Server doc) for the remainder of the process — or until Shutdown
+// drains it. It returns the bound address (useful with ":0") and is
+// idempotent: the first call binds, later calls return the first
+// outcome. Run calls it with the WithServer address; call it directly
+// to serve without Run or on a second address.
+//
+// The server is a real http.Server, not a bare Serve loop: slow
+// clients cannot park in header reads forever (ReadHeaderTimeout) or
+// hold idle keep-alives indefinitely (IdleTimeout), and Shutdown can
+// drain in-flight requests. There is deliberately no WriteTimeout —
+// blocking queries legitimately hold their response open for the full
+// `?wait` duration.
 func (p *Pipeline) StartServer(addr string) (string, error) {
 	p.serveOnce.Do(func() {
 		ln, err := net.Listen("tcp", addr)
@@ -546,10 +686,45 @@ func (p *Pipeline) StartServer(addr string) (string, error) {
 			return
 		}
 		p.servedOn = ln.Addr().String()
-		srv := p.NewServer()
-		go http.Serve(ln, srv)
+		srv := &http.Server{
+			Handler:           p.NewServer(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		p.srvMu.Lock()
+		p.srv = srv
+		p.srvMu.Unlock()
+		go srv.Serve(ln)
 	})
 	return p.servedOn, p.serveErr
+}
+
+// Shutdown gracefully winds the pipeline's serving side down: it
+// releases every long-poll parked in the result store's blocking
+// queries (each returns its current snapshot, as a timed-out poll
+// would), drains the StartServer HTTP server via http.Server.Shutdown
+// — in-flight requests complete, new connections are refused — and
+// flushes any buffered checkpoint-journal appends to disk. ctx bounds
+// the drain; an expired ctx abandons remaining connections and returns
+// its error. Safe to call whether or not a server was started, and
+// more than once. Shutdown does not cancel a running crawl — cancel
+// the crawl's context for that (the crawl's own defers flush the final
+// journal snapshot); call Shutdown after the crawl has stopped.
+func (p *Pipeline) Shutdown(ctx context.Context) error {
+	p.ResultStore().Close()
+	p.srvMu.Lock()
+	srv := p.srv
+	p.srvMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	if jnl, _ := p.ensureJournal(); jnl != nil {
+		if serr := jnl.Sync(); serr != nil && err == nil && serr != journal.ErrCrashInjected {
+			err = serr
+		}
+	}
+	return err
 }
 
 // NewAnalyzer returns an incremental analyzer wired to this pipeline's

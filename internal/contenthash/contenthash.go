@@ -30,6 +30,20 @@ func Sum(s string) string {
 	return string(out[:])
 }
 
+// AppendSum appends the 32-char hex digest of b to dst and returns the
+// extended slice — Sum for hot paths that hash a reused byte buffer and
+// must not allocate (e.g. the crawl journal, which hashes every
+// appended line).
+func AppendSum(dst, b []byte) []byte {
+	h := fnv.New128a()
+	h.Write(b)
+	var buf [16]byte
+	sum := h.Sum(buf[:0])
+	var out [Size]byte
+	hex.Encode(out[:], sum)
+	return append(dst, out[:]...)
+}
+
 // Valid reports whether key has the shape of a Sum output. Cache layers
 // use it to decide whether a transported key (e.g. from a response
 // header) can be trusted as a content address.

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"cookieguard/internal/browser"
+	"cookieguard/internal/journal"
 )
 
 // Breaker configures the crawl's per-host circuit breaker. The zero
@@ -312,6 +313,31 @@ func (b *breakerState) observe(h browser.HostOutcome) {
 		c.failures = 0
 		c.reopens = 0
 	}
+}
+
+// exportCircuits returns every host circuit's full state — breaker
+// position plus the autopilot's learned values — in host order, for
+// the journal's lane snapshots. Pure read; never affects records.
+func (b *breakerState) exportCircuits() []journal.CircuitState {
+	if len(b.hosts) == 0 {
+		return nil
+	}
+	hosts := make([]string, 0, len(b.hosts))
+	for h := range b.hosts {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	out := make([]journal.CircuitState, len(hosts))
+	for i, h := range hosts {
+		c := b.hosts[h]
+		out[i] = journal.CircuitState{
+			Host: h, State: uint8(c.state), Failures: c.failures,
+			OpenedMs: c.openedMs, SeenFail: c.seenFail,
+			LastFailMs: c.lastFailMs, IfiEwmaMs: c.ifiEwmaMs,
+			IfiSamples: c.ifiSamples, Reopens: c.reopens,
+		}
+	}
+	return out
 }
 
 // blocked reports whether a host's circuit is open right now (dispatch-

@@ -54,18 +54,27 @@ package crawler
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"cookieguard/internal/artifact"
 	"cookieguard/internal/browser"
 	"cookieguard/internal/instrument"
+	"cookieguard/internal/journal"
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/urlutil"
 	"cookieguard/internal/vclock"
 )
+
+// ErrCrashInjected is the crash-injection harness's abort cause: the
+// crawl "died" at its Options.CrashAfterUnits kill-point, leaving the
+// journal exactly as a real crash would.
+var ErrCrashInjected = journal.ErrCrashInjected
 
 // Options configures a crawl.
 type Options struct {
@@ -189,6 +198,40 @@ type Options struct {
 	// totals. Pass one struct to several crawls to aggregate. Never
 	// affects records.
 	Stats *SchedStats
+	// Journal, when set, makes the crawl crash-safe: every crawl-plan
+	// unit that reaches a terminal outcome is appended to the
+	// write-ahead journal before it is delivered (unit key, pass,
+	// failure class, scheduler feedback), and every lane snapshots its
+	// scheduler state at each round barrier. When the journal already
+	// holds records — a previous run of the same configuration that
+	// crashed or was interrupted — the crawl RESUMES: the dispatcher
+	// re-runs the identical scheduling, journaled units re-execute
+	// deterministically, and each re-derived outcome is VERIFIED
+	// against its journaled record (ErrDiverged on mismatch — the
+	// journal belongs to a different code version or was tampered
+	// with). Because every layer is deterministic given (url, seed,
+	// pass, vantage, persona, gate), the resumed crawl's records,
+	// scheduler state, and stats are byte-identical to an uninterrupted
+	// run at any worker count. The journal must have been opened with a
+	// fingerprint of this same configuration (journal.Open).
+	Journal *journal.Journal
+	// JournalLogs additionally stores each unit's full encoded VisitLog
+	// in its journal record, so resume SKIPS journaled units entirely —
+	// the stored record re-delivers and the stored feedback folds at
+	// the exact dispatch point, without constructing a browser or
+	// touching the network fabric. That is the right trade when visits
+	// are expensive (a sharded crawl re-adopting a crashed shard's
+	// units); it multiplies journal volume by the record size and costs
+	// roughly a visit's worth of CPU per unit in serialization, which
+	// is why the compact default re-executes instead.
+	JournalLogs bool
+	// CrashAfterUnits, when > 0 (requires Journal), is the
+	// crash-injection harness's deterministic kill-point: after that
+	// many fresh units have been journaled, the journal goes dead and
+	// the crawl aborts with ErrCrashInjected — no final snapshots, no
+	// trailing fsync, exactly the state a real mid-crawl crash leaves
+	// behind.
+	CrashAfterUnits int
 }
 
 // ProgressStats is the live-counter payload delivered to
@@ -258,7 +301,21 @@ type laneState struct {
 	sent    int  // visits dispatched into the current round
 	gate    *gateSnapshot
 	done    bool
+
+	outcomes int // folded outcomes: the journal's snapshot key
+	popCount int // successful frontier pops (journal observability)
+	lastSnap int // outcomes count at the lane's last journaled snapshot
 }
+
+// journalSnapshotStride is how many folded outcomes a breaker lane
+// accumulates between journaled snapshots. Snapshots are a coarse
+// divergence check (the per-unit verify is the fine one) and each one
+// exports the lane's full per-host circuit state, so snapshotting
+// every barrier fold would cost O(rounds × hosts) serialization —
+// ~20% of crawl throughput at 2,000 sites. The stride is a pure
+// function of the fold count, so crashed and resumed runs snapshot at
+// identical points.
+const journalSnapshotStride = 512
 
 // pass returns the crawl pass the next dispatch of site belongs to.
 func (ln *laneState) pass(site int) int {
@@ -270,12 +327,15 @@ func (ln *laneState) pass(site int) int {
 
 // visitJob is one unit of dispatched work: which site, which lane
 // (vantage), which crawl pass, and the lane's round gate (nil when no
-// circuit is open).
+// circuit is open). journaled carries the unit's compact journal
+// record when this visit is a resume re-execution: the worker verifies
+// the fresh outcome against it instead of appending a duplicate.
 type visitJob struct {
-	site int
-	pass int
-	gate *gateSnapshot
-	lane *laneState
+	site      int
+	pass      int
+	gate      *gateSnapshot
+	lane      *laneState
+	journaled *journal.Record
 }
 
 // visitOutcome is a worker's terminal report to the dispatcher: whether
@@ -283,12 +343,31 @@ type visitJob struct {
 // burned, and the per-host fetch accounting the breaker folds. idx is
 // the site index — the breaker's sorted fold key within a lane.
 type visitOutcome struct {
-	idx       int
-	lane      int
-	pass      int
-	requeue   bool
-	virtualMs float64
-	hosts     []browser.HostOutcome
+	idx         int
+	lane        int
+	pass        int
+	requeue     bool
+	virtualMs   float64
+	shedFetches int64 // gate sheds charged to this visit (journaling runs)
+	hosts       []browser.HostOutcome
+}
+
+// countingGate wraps a round's shared gate snapshot with a visit-local
+// shed counter, so a journaled unit's record carries how many fetches
+// the gate shed for that visit — on replay, exactly that count re-adds
+// to the stats the live gate would have accumulated. One wrapper per
+// visit; the count needs no synchronization.
+type countingGate struct {
+	inner browser.FetchGate
+	shed  int64
+}
+
+func (g *countingGate) Allow(host string) bool {
+	ok := g.inner.Allow(host)
+	if !ok {
+		g.shed++
+	}
+	return ok
 }
 
 // delivery owns the shared result path: the bounded indexed stream plus
@@ -448,6 +527,15 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		close(errc)
 		return out, errc
 	}
+	if opts.CrashAfterUnits > 0 && opts.Journal == nil {
+		errc <- fmt.Errorf("crawler: Options.CrashAfterUnits requires Options.Journal")
+		close(out)
+		close(errc)
+		return out, errc
+	}
+	if opts.Journal != nil {
+		opts.Journal.SetKillAfter(opts.CrashAfterUnits)
+	}
 
 	// Scheduler feedback is only needed when a stateful policy consumes
 	// it; the default configuration runs the historical zero-feedback
@@ -460,6 +548,12 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	}
 
 	lanes := buildLanes(sites, &opts)
+
+	// The crawl's inner context carries an abort CAUSE: journal append
+	// failures (including the crash-injection kill-point) cancel every
+	// worker and the dispatcher, and the cause — not a bare Canceled —
+	// is what the error channel reports.
+	ctx, abort := context.WithCancelCause(ctx)
 
 	jobs := make(chan visitJob)
 	var feedback chan visitOutcome
@@ -481,6 +575,19 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 					if j.lane.stats != nil && j.pass > 1 && l.OK {
 						j.lane.stats.SecondPassKept.Add(1)
 					}
+				}
+				if opts.Journal != nil {
+					// Write-ahead: the unit's outcome is durable before it
+					// feeds the scheduler or the stream, so a crash after
+					// this point finds it in the journal on resume. A resume
+					// re-execution verifies against its journaled record
+					// instead of appending a duplicate.
+					if err := journalUnit(&opts, j, l, o); err != nil {
+						abort(err)
+						return
+					}
+				}
+				if feedback != nil {
 					select {
 					case feedback <- o:
 					case <-ctx.Done():
@@ -500,16 +607,148 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	}
 
 	go func() {
-		dispatch(ctx, sites, &opts, lanes, jobs, feedback, d)
+		dispatch(ctx, abort, sites, &opts, lanes, jobs, feedback, d)
 		close(jobs)
 		wg.Wait()
-		if err := ctx.Err(); err != nil {
+		ferr := finalizeJournal(lanes, &opts)
+		err := context.Cause(ctx)
+		if err == nil {
+			err = ferr
+		}
+		abort(context.Canceled) // release the cause context either way
+		if err != nil {
 			errc <- err
 		}
 		close(out)
 		close(errc)
 	}()
 	return out, errc
+}
+
+// unitRecord builds one unit's compact journal record: the unit key
+// plus the scheduler feedback the dispatcher folds.
+func unitRecord(j visitJob, l instrument.VisitLog, o visitOutcome) journal.Record {
+	rec := journal.Record{
+		Vantage: j.lane.vantage.Name, Persona: j.lane.persona,
+		Site: j.site, Pass: j.pass,
+		OK: l.OK, Requeue: o.requeue, Failure: l.Failure,
+		VirtualMs: o.virtualMs, ShedFetches: o.shedFetches,
+	}
+	for _, h := range o.hosts {
+		rec.Hosts = append(rec.Hosts, journal.HostCount{Host: h.Host, Transient: h.Transient, OK: h.OK})
+	}
+	return rec
+}
+
+// journalUnit journals one unit's terminal outcome — or, when the unit
+// is a resume re-execution (its record was loaded from the journal),
+// verifies the fresh outcome against the journaled one instead of
+// appending. With JournalLogs, fresh non-requeued records also carry
+// the full encoded VisitLog (requeued first-pass units never do — the
+// second pass supersedes them, and replay re-requeues from the stored
+// feedback alone).
+func journalUnit(opts *Options, j visitJob, l instrument.VisitLog, o visitOutcome) error {
+	rec := unitRecord(j, l, o)
+	if j.journaled != nil {
+		return verifyUnit(j.journaled, rec)
+	}
+	if opts.JournalLogs && !o.requeue {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return err
+		}
+		rec.Log = b
+	}
+	return opts.Journal.Append(rec)
+}
+
+// verifyUnit is compact-mode resume's integrity check: the re-executed
+// unit's fresh outcome must field-for-field match what the crashed run
+// journaled, or the journal belongs to a run whose behaviour differed
+// (changed code, different seed path, tampered file) and replaying its
+// siblings would silently diverge.
+func verifyUnit(prev *journal.Record, fresh journal.Record) error {
+	same := fresh.OK == prev.OK && fresh.Requeue == prev.Requeue &&
+		fresh.Failure == prev.Failure && fresh.VirtualMs == prev.VirtualMs &&
+		fresh.ShedFetches == prev.ShedFetches && len(fresh.Hosts) == len(prev.Hosts)
+	if same {
+		for i, h := range fresh.Hosts {
+			if h != prev.Hosts[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		return fmt.Errorf("%w: unit %s/%s site %d pass %d re-executed differently",
+			journal.ErrDiverged, prev.Vantage, prev.Persona, prev.Site, prev.Pass)
+	}
+	return nil
+}
+
+// laneSnapshot captures one lane's scheduler state for the journal:
+// fold count, frontier position, and — when the lane runs a breaker —
+// the virtual clock and full per-host circuit state, plus the
+// second-pass set.
+func laneSnapshot(ln *laneState) journal.LaneSnapshot {
+	s := journal.LaneSnapshot{
+		Vantage: ln.vantage.Name, Persona: ln.persona,
+		Outcomes: ln.outcomes, Popped: ln.popCount,
+	}
+	if ln.brk != nil {
+		s.VClockMs = ln.brk.vnowMs
+		s.Circuits = ln.brk.exportCircuits()
+	}
+	if len(ln.passOf) > 0 {
+		sites := make([]int, 0, len(ln.passOf))
+		for site := range ln.passOf {
+			sites = append(sites, site)
+		}
+		sort.Ints(sites)
+		for _, site := range sites {
+			s.SecondPass = append(s.SecondPass, journal.SitePass{Site: site, Pass: ln.passOf[site]})
+		}
+	}
+	return s
+}
+
+// finalizeJournal flushes the crawl's final journal state: one
+// snapshot per eligible lane plus a terminal fsync, so an interrupted
+// crawl's journal ends with its lanes' last folded positions. Breaker
+// lanes always snapshot (their state only mutates at barrier folds, so
+// it is deterministic at any stop point); continuous lanes snapshot
+// only once drained (mid-flight their second-pass set depends on
+// arrival order, which would poison the divergence check of a later
+// resume). A dead journal — the crash-injection kill-point fired —
+// flushes nothing, exactly like the crash it simulates.
+func finalizeJournal(lanes []*laneState, opts *Options) error {
+	if opts.Journal == nil {
+		return nil
+	}
+	for _, ln := range lanes {
+		// Breaker lanes snapshot at every barrier fold already, and a
+		// duplicate here would diverge spuriously: after the last fold
+		// the dispatcher's next beginRound may mutate circuit state
+		// (cooldown expiry flips open circuits half-open) without any
+		// new outcomes folding. Continuous lanes have no barriers, so
+		// their one snapshot lands here — but only once the lane is
+		// done: mid-flight, which pass a site resolved on depends on
+		// arrival order, so partial continuous state is not
+		// deterministic and must be recomputed on resume.
+		if ln.brk != nil || !ln.done {
+			continue
+		}
+		if err := opts.Journal.AppendSnapshot(laneSnapshot(ln)); err != nil {
+			if errors.Is(err, journal.ErrCrashInjected) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := opts.Journal.Sync(); err != nil && !errors.Is(err, journal.ErrCrashInjected) {
+		return err
+	}
+	return nil
 }
 
 // requeueable reports whether a fatal visit failure class qualifies for
@@ -526,7 +765,7 @@ func requeueable(class string) bool {
 // synchronous per-lane failure accounting). It returns when every
 // (site, vantage) visit has a terminal outcome or the context is
 // cancelled.
-func dispatch(ctx context.Context, sites []string, opts *Options, lanes []*laneState, jobs chan<- visitJob, feedback chan visitOutcome, d *delivery) {
+func dispatch(ctx context.Context, abort context.CancelCauseFunc, sites []string, opts *Options, lanes []*laneState, jobs chan<- visitJob, feedback chan visitOutcome, d *delivery) {
 	if feedback == nil {
 		// Zero-feedback fast path: the historical dispatch loop with the
 		// pop order delegated to each lane's frontier, one pop per lane
@@ -543,10 +782,18 @@ func dispatch(ctx context.Context, sites []string, opts *Options, lanes []*laneS
 					remaining--
 					continue
 				}
+				ln.popCount++
+				rec, ok := journalLookup(opts, ln, site, 1)
+				if ok && replayable(rec) {
+					if !replayZero(abort, ln, rec, d) {
+						return
+					}
+					continue
+				}
 				select {
 				case <-ctx.Done():
 					return
-				case jobs <- visitJob{site: site, pass: 1, lane: ln}:
+				case jobs <- visitJob{site: site, pass: 1, lane: ln, journaled: rec}:
 				}
 			}
 		}
@@ -554,10 +801,55 @@ func dispatch(ctx context.Context, sites []string, opts *Options, lanes []*laneS
 	}
 
 	s := &dispatcher{
-		ctx: ctx, sites: sites, opts: opts,
+		ctx: ctx, abort: abort, sites: sites, opts: opts,
 		jobs: jobs, feedback: feedback, d: d, lanes: lanes,
 	}
 	s.run()
+}
+
+// journalLookup returns the journaled outcome of the unit the
+// dispatcher is about to send, if the resume set holds one.
+func journalLookup(opts *Options, ln *laneState, site, pass int) (*journal.Record, bool) {
+	if opts.Journal == nil {
+		return nil, false
+	}
+	return opts.Journal.Lookup(journal.Key{
+		Vantage: ln.vantage.Name, Persona: ln.persona, Site: site, Pass: pass,
+	})
+}
+
+// replayable reports whether a journaled record can substitute for its
+// visit at the dispatch point: requeue records always can (feedback is
+// all they ever carried — the second pass supersedes their output),
+// and stored-log records (JournalLogs) carry the full encoded
+// VisitLog. Compact records carry neither; their units re-execute
+// deterministically and the worker verifies the fresh outcome against
+// the record instead.
+func replayable(rec *journal.Record) bool {
+	return rec.Requeue || len(rec.Log) > 0
+}
+
+// replayZero replays one journaled unit on the zero-feedback fast
+// path: stats plus delivery of the stored record, no scheduler state
+// to touch. Returns false when the crawl aborts (corrupt record) or is
+// cancelled.
+func replayZero(abort context.CancelCauseFunc, ln *laneState, rec *journal.Record, d *delivery) bool {
+	if rec.Requeue {
+		// A requeue can only come from a second-pass configuration; this
+		// path has none, so the journal cannot belong to this crawl.
+		abort(fmt.Errorf("%w: requeued unit %d in a single-pass crawl", journal.ErrDiverged, rec.Site))
+		return false
+	}
+	if ln.stats != nil {
+		ln.stats.Visits.Add(1)
+		ln.stats.VirtualMs.Add(int64(rec.VirtualMs))
+	}
+	var l instrument.VisitLog
+	if err := json.Unmarshal(rec.Log, &l); err != nil {
+		abort(fmt.Errorf("crawler: journal replay of site %d: %w", rec.Site, err))
+		return false
+	}
+	return d.deliver(ln.base+rec.Site, l)
 }
 
 // dispatcher is the scheduling state machine driven by the dispatch
@@ -570,12 +862,55 @@ func dispatch(ctx context.Context, sites []string, opts *Options, lanes []*laneS
 // produce.
 type dispatcher struct {
 	ctx      context.Context
+	abort    context.CancelCauseFunc
 	sites    []string
 	opts     *Options
 	jobs     chan<- visitJob
 	feedback chan visitOutcome
 	d        *delivery
 	lanes    []*laneState
+}
+
+// replay folds one journaled unit without performing its visit: the
+// stored outcome feeds the lane exactly as the worker's feedback would
+// have (through pending/collect, so barrier and fold invariants hold
+// unchanged), the stored stats re-add, and the stored record
+// re-delivers downstream. Called at the exact point send() would have
+// dispatched the unit, so round composition, fold order, and every
+// derived scheduler decision match the original run. Returns false
+// when the crawl aborts or is cancelled.
+func (s *dispatcher) replay(ln *laneState, rec *journal.Record) bool {
+	o := visitOutcome{
+		idx: rec.Site, lane: ln.id, pass: rec.Pass,
+		requeue: rec.Requeue, virtualMs: rec.VirtualMs,
+	}
+	for _, h := range rec.Hosts {
+		o.hosts = append(o.hosts, browser.HostOutcome{Host: h.Host, Transient: h.Transient, OK: h.OK})
+	}
+	if ln.stats != nil {
+		ln.stats.Visits.Add(1)
+		ln.stats.VirtualMs.Add(int64(rec.VirtualMs))
+		if rec.ShedFetches > 0 {
+			ln.stats.ShedFetches.Add(rec.ShedFetches)
+		}
+		if rec.Pass > 1 && rec.OK {
+			ln.stats.SecondPassKept.Add(1)
+		}
+	}
+	if !rec.Requeue {
+		var l instrument.VisitLog
+		if err := json.Unmarshal(rec.Log, &l); err != nil {
+			s.abort(fmt.Errorf("crawler: journal replay of %s/%s site %d pass %d: %w",
+				ln.vantage.Name, ln.persona, rec.Site, rec.Pass, err))
+			return false
+		}
+		if !s.d.deliver(ln.base+rec.Site, l) {
+			return false
+		}
+	}
+	ln.pending++
+	s.collect(o)
+	return true
 }
 
 // collect folds one feedback message into its lane. Without the
@@ -593,6 +928,7 @@ func (s *dispatcher) collect(o visitOutcome) {
 		return
 	}
 	s.resolve(ln, o)
+	ln.outcomes++
 }
 
 // resolve applies a visit outcome to its lane's frontier.
@@ -707,7 +1043,13 @@ func (s *dispatcher) stepContinuous(ln *laneState) (bool, bool) {
 		// frontier with a second-pass requeue).
 		return false, true
 	}
-	return true, s.send(visitJob{site: site, pass: ln.pass(site), lane: ln})
+	ln.popCount++
+	pass := ln.pass(site)
+	rec, ok := journalLookup(s.opts, ln, site, pass)
+	if ok && replayable(rec) {
+		return true, s.replay(ln, rec)
+	}
+	return true, s.send(visitJob{site: site, pass: pass, lane: ln, journaled: rec})
 }
 
 // stepRound drives one lane of the circuit breaker: the lane proceeds
@@ -727,8 +1069,20 @@ func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
 		for _, o := range ln.round {
 			s.resolve(ln, o)
 		}
+		ln.outcomes += len(ln.round)
 		ln.round = ln.round[:0]
 		ln.barrier = false
+		if s.opts.Journal != nil && ln.outcomes-ln.lastSnap >= journalSnapshotStride {
+			// Periodic snapshot at the barrier: post-fold lane state is a
+			// pure function of prior rounds, so on resume the recomputed
+			// snapshot at this fold count must digest-match the journaled
+			// one — the journal's divergence check.
+			if err := s.opts.Journal.AppendSnapshot(laneSnapshot(ln)); err != nil {
+				s.abort(err)
+				return false, false
+			}
+			ln.lastSnap = ln.outcomes
+		}
 		return true, true
 	}
 	if !ln.inRound {
@@ -742,6 +1096,7 @@ func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
 		if !ok {
 			break
 		}
+		ln.popCount++
 		ln.popped = true
 		pass := ln.pass(site)
 		if pass == 1 && ln.brk.blocked(urlutil.Hostname(s.sites[site])) {
@@ -750,13 +1105,24 @@ func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
 			}
 			continue
 		}
+		rec, ok := journalLookup(s.opts, ln, site, pass)
+		if ok && replayable(rec) {
+			// Replayed units still occupy their round slot (sent++), so
+			// round composition — and with it the gate every later round
+			// freezes — matches the original run exactly.
+			if !s.replay(ln, rec) {
+				return false, false
+			}
+			ln.sent++
+			continue
+		}
 		g := ln.gate
 		if pass > 1 && g != nil {
 			// The re-crawl is the half-open probe for a circuit the
 			// visit's own landing failure opened.
 			g = g.withException(urlutil.Hostname(s.sites[site]))
 		}
-		if !s.send(visitJob{site: site, pass: pass, gate: g, lane: ln}) {
+		if !s.send(visitJob{site: site, pass: pass, gate: g, lane: ln, journaled: rec}) {
 			return false, false
 		}
 		ln.sent++
@@ -764,6 +1130,19 @@ func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
 	ln.inRound = false
 	if !ln.popped && ln.pending == 0 {
 		ln.done = true // frontier drained and no outcome can refill it
+		if s.opts.Journal != nil && ln.lastSnap != ln.outcomes {
+			// Terminal snapshot: every outcome is folded, nothing is in
+			// flight, and this point is reached at a deterministic fold
+			// count — the lane's last word in the journal. Skipped when
+			// the stride already snapshotted this fold count (beginRound
+			// may have mutated circuit state since, so a second snapshot
+			// at the same key would spuriously diverge).
+			if err := s.opts.Journal.AppendSnapshot(laneSnapshot(ln)); err != nil {
+				s.abort(err)
+				return false, false
+			}
+			ln.lastSnap = ln.outcomes
+		}
 		return true, true
 	}
 	ln.barrier = true
@@ -868,8 +1247,13 @@ func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.Vi
 		attemptBase = (j.pass - 1) * perPass
 	}
 	var gate browser.FetchGate
+	var cg *countingGate
 	if j.gate != nil {
 		gate = j.gate
+		if opts.Journal != nil {
+			cg = &countingGate{inner: j.gate}
+			gate = cg
+		}
 	}
 
 	// finish stamps the scheduler's marks on the assembled log and
@@ -887,12 +1271,17 @@ func visit(url string, opts Options, maxClicks int, j visitJob) (l instrument.Vi
 				l.Requests[i].Attempt = j.pass
 			}
 		}
-		if j.lane.stats != nil {
+		if j.lane.stats != nil || opts.Journal != nil {
 			out.virtualMs = float64(b.Clock().Now().Sub(startAt)) / float64(time.Millisecond)
+		}
+		if j.lane.stats != nil {
 			j.lane.stats.Visits.Add(1)
 			j.lane.stats.VirtualMs.Add(int64(out.virtualMs))
 		}
 		out.hosts = b.HostReport()
+		if cg != nil {
+			out.shedFetches = cg.shed
+		}
 	}
 
 	// The recorder installs innermost — between the jar and any guard —

@@ -54,13 +54,28 @@ type published struct {
 type Store struct {
 	mu  sync.Mutex // serializes publishers
 	cur atomic.Pointer[published]
+
+	// closed broadcasts shutdown: every parked Wait returns its current
+	// snapshot immediately instead of holding its long-poll open until
+	// the wait cap, so http.Server.Shutdown can drain in-flight queries.
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // New returns a Store at index 0 with no Results.
 func New() *Store {
-	s := &Store{}
+	s := &Store{closed: make(chan struct{})}
 	s.cur.Store(&published{advance: make(chan struct{})})
 	return s
+}
+
+// Close releases every blocked Wait (each returns the then-current
+// snapshot, exactly as a timed-out poll would) and makes all future
+// Waits return immediately. Publish and Latest keep working — Close
+// only disables parking, so a draining server answers stale clients
+// with the unchanged index and they re-poll elsewhere. Idempotent.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
 }
 
 // Publish installs a new snapshot at the next index and wakes every
@@ -109,6 +124,8 @@ func (s *Store) Wait(ctx context.Context, index uint64, maxWait time.Duration) S
 		case <-timer.C:
 			return s.cur.Load().snap
 		case <-ctx.Done():
+			return s.cur.Load().snap
+		case <-s.closed:
 			return s.cur.Load().snap
 		}
 	}

@@ -145,3 +145,46 @@ func TestLatestNeverBlocks(t *testing.T) {
 		t.Fatalf("Latest after publish = %+v", snap)
 	}
 }
+
+// TestCloseReleasesParkedWaiters: Close is the shutdown broadcast —
+// every parked Wait returns its then-current snapshot immediately
+// (like a timed-out poll), future Waits never park, and Publish/Latest
+// keep working so a draining server still answers. Idempotent.
+func TestCloseReleasesParkedWaiters(t *testing.T) {
+	s := New()
+	s.Publish(Progress{}, nil) // index 1
+
+	released := make(chan Snapshot, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			released <- s.Wait(context.Background(), 1, 30*time.Second)
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	s.Close()
+	for i := 0; i < 4; i++ {
+		select {
+		case snap := <-released:
+			if snap.Index != 1 {
+				t.Fatalf("released waiter saw index %d, want unchanged 1", snap.Index)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("parked Wait not released by Close")
+		}
+	}
+
+	// Future Waits return immediately; Publish and Latest still work.
+	start := time.Now()
+	if snap := s.Wait(context.Background(), 1, 30*time.Second); snap.Index != 1 {
+		t.Fatalf("post-Close Wait index %d, want 1", snap.Index)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("post-Close Wait parked %v", elapsed)
+	}
+	s.Close() // idempotent
+	s.Publish(Progress{Final: true}, nil)
+	if idx := s.Index(); idx != 2 {
+		t.Fatalf("Publish after Close: index %d, want 2", idx)
+	}
+}

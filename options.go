@@ -35,6 +35,8 @@ type config struct {
 	cmp           bool
 	serveAddr     string
 	snapEvery     int
+	checkpointDir string
+	crashAfter    int
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -284,6 +286,49 @@ func WithServer(addr string) Option {
 // 64.
 func WithSnapshotEvery(k int) Option {
 	return func(c *config) { c.snapEvery = k }
+}
+
+// WithCheckpoint enables crash-safe checkpointing: the crawl appends
+// every terminal (site, vantage, persona) unit to a write-ahead journal
+// in dir (one fsync-batched file, crawl.waj) together with periodic
+// lane snapshots of the scheduler's deterministic state — breaker
+// circuits, autopilot estimates, the lane virtual clock, and the
+// second-pass set. If dir already holds a journal from an interrupted
+// run with the same configuration, the crawl RESUMES: the scheduler
+// re-runs its identical deterministic dispatch, journaled units
+// re-execute with their fresh outcome verified field-for-field against
+// the journal, live crawling picks up at the first missing unit, and
+// the journaled snapshots cross-check the recomputed lane state (a
+// mismatch fails the crawl loudly rather than emitting silently
+// different records). Journal records are compact — a few hundred
+// bytes of unit key and scheduler feedback, hash-prefixed on disk —
+// so journaling costs a few percent of throughput at most (the
+// crawler-level stored-log mode, which replays resumed units from disk
+// without re-visiting, is the expensive variant reserved for future
+// sharded crawls). A resumed crawl's records,
+// Results.StableJSON(), and scheduler counters are byte-identical to
+// an uninterrupted run's — across worker counts, clean or faulted. A
+// journal written under a different configuration (sites, seed, faults,
+// vantages, personas, scheduler knobs — anything that changes emitted
+// bytes) is rejected with an error; worker count and region latency
+// models are deliberately not part of that fingerprint. Empty (the
+// default) disables checkpointing.
+func WithCheckpoint(dir string) Option {
+	return func(c *config) { c.checkpointDir = dir }
+}
+
+// WithCrashAfterUnits arms the deterministic crash-injection harness:
+// the crawl aborts with ErrCrashInjected immediately after the n-th
+// unit record is appended to the checkpoint journal (the n-th record
+// itself is durable — the kill fires after the write, like a real
+// crash between write and acknowledgement). Requires WithCheckpoint;
+// configuring it without a checkpoint directory fails the crawl. It
+// exists for resume testing — kill at a seeded unit count, resume, and
+// diff against an uninterrupted run; do not arm it on the resume
+// invocation or the resume will crash again after n fresh units. Zero
+// (the default) disables injection.
+func WithCrashAfterUnits(n int) Option {
+	return func(c *config) { c.crashAfter = n }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's
