@@ -17,6 +17,24 @@
 //	      [-pooling=BOOL] [-v] [-o logs.jsonl] [-list tranco.csv]
 //	      [-serve :8089] [-snap-every K]
 //	      [-checkpoint DIR] [-crash-after N]
+//	      [-shards N] [-shard-driver inprocess|subprocess]
+//
+// -shards N splits the crawl's (site, vantage, persona) unit space into
+// N deterministic shards — partitioned by a seeded hash of each site's
+// registrable domain, so one host's breaker and autopilot state never
+// straddles shards — runs them concurrently, and merges the results so
+// the output (and the -sort file, and every served /v1 endpoint) is
+// byte-identical to an unsharded run with the same flags. The default
+// in-process driver runs N pipelines inside this process over one
+// shared frozen web; -shard-driver subprocess re-execs this binary once
+// per shard (crawl -shard i/N -checkpoint DIR/shard-i), supervises the
+// worker processes, adopts any that crash — relaunching them to resume
+// from their own checkpoint journals — and k-way-merges the per-shard
+// -sort outputs. Configurations with cross-shard feedback (-breaker,
+// -autopilot, -second-pass) require -checkpoint under the subprocess
+// driver: the shard journals double as the outcome-exchange transport.
+// -shard i/N is the worker half of that protocol; it crawls only shard
+// i's units and is not normally invoked by hand.
 //
 // -checkpoint enables crash-safe checkpointing: every terminal unit is
 // journaled write-ahead in DIR, and rerunning with the same flags and a
@@ -121,7 +139,38 @@ func main() {
 		"crash-safe checkpoint directory: journal every terminal unit write-ahead, and resume from a non-empty journal to output byte-identical to an uninterrupted run")
 	crashAfter := flag.Int("crash-after", 0,
 		"crash-injection harness: abort with exit code 3 right after the N-th journaled unit (requires -checkpoint; omit when resuming)")
+	shards := flag.Int("shards", 1,
+		"split the crawl into N deterministic shards (seeded hash of each site's registrable domain) run concurrently and merged byte-identical to an unsharded run")
+	shardDriver := flag.String("shard-driver", "inprocess",
+		"how -shards runs: inprocess (N pipelines in this process) or subprocess (re-exec this binary per shard, supervise, adopt crashed shards from their journals, merge outputs)")
+	shardSpec := flag.String("shard", "",
+		"worker mode i/N: crawl only shard i of N (the subprocess driver's re-exec protocol; pair with -checkpoint DIR/shard-i when the config needs cross-shard feedback)")
 	flag.Parse()
+
+	if *shardDriver != "inprocess" && *shardDriver != "subprocess" {
+		fatal(fmt.Errorf("unknown -shard-driver %q (want inprocess or subprocess)", *shardDriver))
+	}
+	if *shards > 1 && *shardDriver == "subprocess" && *shardSpec == "" {
+		// Supervisor mode: this process never crawls — it re-execs itself
+		// once per shard and merges what the workers wrote.
+		if *serveAddr != "" || *listPath != "" {
+			fatal(errors.New("-serve and -list are not supported with -shard-driver subprocess; use the in-process driver"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		sup := &shardSupervisor{
+			shards:     *shards,
+			sortOut:    *sortOut,
+			outPath:    *outPath,
+			checkpoint: *checkpoint,
+			crashAfter: *crashAfter,
+			workerArgs: workerArgs(*sites, *workers, *seed, *guarded, *sortOut, *faults,
+				*retries, *secondPass, *breaker, *autopilot, *vantages, *vantParallel,
+				*personas, *cmp, *pooling, *verbose),
+		}
+		code := sup.run(ctx)
+		stop()
+		os.Exit(code)
+	}
 
 	opts := []cookieguard.Option{
 		cookieguard.WithSites(*sites),
@@ -188,6 +237,13 @@ func main() {
 	}
 	if *crashAfter > 0 {
 		opts = append(opts, cookieguard.WithCrashAfterUnits(*crashAfter))
+	}
+	if *shardSpec != "" {
+		i, n, err := parseShardSpec(*shardSpec)
+		fatal(err)
+		opts = append(opts, cookieguard.WithShardWorker(i, n))
+	} else if *shards > 1 {
+		opts = append(opts, cookieguard.WithShards(*shards))
 	}
 	p := cookieguard.New(opts...)
 

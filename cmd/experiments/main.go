@@ -13,6 +13,20 @@
 //	            [-personas accept,reject,dismiss] [-cmp]
 //	            [-serve :8089] [-serve-bench]
 //	            [-checkpoint DIR] [-checkpoint-compare]
+//	            [-shards N] [-shard-compare]
+//
+// Sharded crawling: -shards N splits the measurement crawl's (site,
+// vantage, persona) unit space into N deterministic shards (seeded
+// hash of each site's registrable domain) run as N concurrent
+// in-process pipelines over one frozen web and merged byte-identical
+// to the unsharded crawl. -shard-compare times the same configuration
+// unsharded and at N in-process shards on fresh pipelines and records
+// both units/s figures, the speedup ratio, and per-shard unit counts
+// and units/s under the bench snapshot's `shard_modes` key
+// (BENCH_10.json by convention; the CI shard gate requires speedup ≥
+// 1.5 at 4 shards on multi-core shapes and non-regression on
+// single-core shapes, where the CPU-bound simulated crawl cannot gain
+// from shard parallelism).
 //
 // Crash-safe checkpointing: -checkpoint journals the measurement
 // crawl's terminal units write-ahead in DIR (a rerun with the same
@@ -163,6 +177,10 @@ func main() {
 		"crash-safe checkpoint directory for the measurement crawl: journal terminal units write-ahead; a rerun with the same flags resumes from the journal")
 	ckptCompare := flag.Bool("checkpoint-compare", false,
 		"time the crawl with vs without checkpointing on fresh pipelines and record journal bytes, fsyncs, and units/s overhead in -bench-json")
+	shards := flag.Int("shards", 1,
+		"split the measurement crawl into N deterministic in-process shards (seeded hash of each site's registrable domain) merged byte-identical to an unsharded run")
+	shardCompare := flag.Bool("shard-compare", false,
+		"time the crawl unsharded vs at -shards (default 4) in-process shards on fresh pipelines and record units/s, speedup, and per-shard throughput in -bench-json")
 	crawlOnly := flag.Bool("crawl-only", false,
 		"exit after the measurement crawl and its -bench-json snapshot (skips the guard/breakage/performance experiments); the perf-harness mode CI's bench gate runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the measurement crawl to this file")
@@ -193,6 +211,10 @@ func main() {
 		cmp:       *cmp,
 		serveAddr: *serve, serveBench: *serveBench,
 		checkpointDir: *checkpoint, ckptCompare: *ckptCompare,
+		shards: *shards, shardCompare: *shardCompare,
+	}
+	if cfg.shardCompare && cfg.shards < 2 {
+		cfg.shards = 4
 	}
 	for _, name := range strings.Split(*personas, ",") {
 		if name = strings.TrimSpace(name); name != "" {
@@ -242,6 +264,8 @@ type runConfig struct {
 	serveBench             bool
 	checkpointDir          string
 	ckptCompare            bool
+	shards                 int
+	shardCompare           bool
 }
 
 // benchSnapshot is the schema of the -bench-json throughput record.
@@ -274,6 +298,10 @@ type benchSnapshot struct {
 	// cross-vantage scheduler (-vantage-parallel) instead of vantage by
 	// vantage.
 	VantageParallel bool `json:"vantage_parallel,omitempty"`
+	// Shards records the measurement crawl's in-process shard count
+	// (absent when unsharded); UnitsPerSec above then measures the
+	// sharded crawl end to end, merge included.
+	Shards int `json:"shards,omitempty"`
 	// AllocsPerSite and BytesPerSite are runtime.MemStats deltas over the
 	// measurement crawl divided by the site count; the GC fields are the
 	// collector's cycle count and total pause over the same window. They
@@ -303,6 +331,11 @@ type benchSnapshot struct {
 	// IO volume and the units/s cost of write-ahead journaling (absent
 	// without either flag).
 	Checkpoint *checkpointBench `json:"checkpoint,omitempty"`
+	// ShardModes is the -shard-compare record: the same configuration
+	// timed unsharded and at N in-process shards, per-shard throughput
+	// rows, and the sharded/unsharded units-per-second ratio the CI
+	// shard gate checks.
+	ShardModes *shardModes `json:"shard_modes,omitempty"`
 	// Failures is the crawl failure-taxonomy rollup (all zero without
 	// -faults), so a faulted snapshot documents what it survived.
 	Failures cookieguard.FailureStats `json:"failures"`
@@ -353,6 +386,44 @@ type vantageModes struct {
 type vantageModeBench struct {
 	CrawlSeconds float64 `json:"crawl_seconds"`
 	VisitsPerSec float64 `json:"visits_per_sec"`
+}
+
+// shardModes compares unsharded vs in-process-sharded crawling over one
+// configuration (-shard-compare): fresh pipelines, both draining
+// Stream, alternating lap order, best-of each.
+type shardModes struct {
+	// CPUs is runtime.NumCPU() on the measuring machine. Shard
+	// parallelism wins by running N full pipelines on separate cores; on
+	// a single-CPU shape the simulated crawl is CPU-bound (virtual-clock
+	// latency costs no wall time) and sharding can only add replication
+	// overhead, so the CI gate drops to non-regression there.
+	CPUs      int            `json:"cpus"`
+	Shards    int            `json:"shards"`
+	Driver    string         `json:"driver"`
+	Unsharded shardModeBench `json:"unsharded"`
+	Sharded   shardModeBench `json:"sharded"`
+	// PerShard is each shard's owned-unit count and throughput from the
+	// sharded lap (shards run concurrently, so rates share the lap's
+	// wall clock); attempts > 1 means the coordinator adopted the shard.
+	PerShard []shardBench `json:"per_shard"`
+	// Speedup is sharded units/s over unsharded units/s; the CI shard
+	// gate requires ≥ 1.5 at 4 shards on multi-core shapes and
+	// non-regression on single-core shapes.
+	Speedup float64 `json:"speedup"`
+}
+
+// shardModeBench is one mode's timing in a -shard-compare record.
+type shardModeBench struct {
+	CrawlSeconds float64 `json:"crawl_seconds"`
+	UnitsPerSec  float64 `json:"units_per_sec"`
+}
+
+// shardBench is one shard's row in a -shard-compare record.
+type shardBench struct {
+	Shard       int     `json:"shard"`
+	Units       int64   `json:"units"`
+	UnitsPerSec float64 `json:"units_per_sec"`
+	Attempts    int     `json:"attempts,omitempty"`
 }
 
 // checkpointBench records what write-ahead journaling cost. With
@@ -419,6 +490,9 @@ func run(cfg runConfig) error {
 	if len(cfg.vantages) > 0 && cfg.vantParallel {
 		resilience = append(resilience, cookieguard.WithVantageParallel(true))
 	}
+	if cfg.shards > 1 && !cfg.shardCompare {
+		resilience = append(resilience, cookieguard.WithShards(cfg.shards))
+	}
 	if cfg.serveAddr != "" {
 		resilience = append(resilience, cookieguard.WithServer(cfg.serveAddr))
 	}
@@ -462,7 +536,7 @@ func run(cfg runConfig) error {
 	// analysis columns.
 	var res *cookieguard.Results
 	vantSecs := map[string]float64{}
-	if vs := study.Vantages(); len(cfg.vantages) > 0 && !cfg.vantParallel {
+	if vs := study.Vantages(); len(cfg.vantages) > 0 && !cfg.vantParallel && (cfg.shards <= 1 || cfg.shardCompare) {
 		// This loop bypasses Run (per-vantage timing), so it feeds the
 		// result store itself when serving: same sharded analyzer and
 		// cadence, so the served snapshots are identical in kind.
@@ -611,6 +685,78 @@ func run(cfg runConfig) error {
 			seqSecs, vm.Sequential.VisitsPerSec, parSecs, vm.Parallel.VisitsPerSec, vm.Speedup, vm.CPUs)
 	}
 
+	// -shard-compare: time the same configuration unsharded and at N
+	// in-process shards, each on a fresh pipeline draining Stream —
+	// identical unit work on both sides, so the ratio isolates shard
+	// parallelism. Same lap protocol as -vantage-compare: two alternating
+	// iterations per mode, best-of each, so warmup bills to neither side.
+	var sm *shardModes
+	if cfg.shardCompare {
+		fmt.Fprintln(out, "--- shard-mode comparison (-shard-compare) ---")
+		timeShards := func(n int) (float64, int, []cookieguard.ShardLiveStats, error) {
+			opts := append([]cookieguard.Option{
+				cookieguard.WithSites(sites),
+				cookieguard.WithWorkers(workers),
+				cookieguard.WithSeed(seed),
+				cookieguard.WithInteract(true),
+				cookieguard.WithArtifactCache(artifactCache),
+				cookieguard.WithPooling(pooling),
+			}, seqResilience...)
+			if len(cfg.vantages) > 0 && cfg.vantParallel {
+				opts = append(opts, cookieguard.WithVantageParallel(true))
+			}
+			if n > 1 {
+				opts = append(opts, cookieguard.WithShards(n))
+			}
+			p := cookieguard.New(opts...)
+			start := time.Now()
+			logs, errCh := p.Stream(ctx)
+			units := 0
+			for range logs {
+				units++
+			}
+			if err := <-errCh; err != nil {
+				return 0, 0, nil, err
+			}
+			return time.Since(start).Seconds(), units, p.ShardStats(), nil
+		}
+		unSecs, shSecs := 0.0, 0.0
+		units := 0
+		var perShard []cookieguard.ShardLiveStats
+		for i := 0; i < 2; i++ {
+			u, n, _, err := timeShards(1)
+			if err != nil {
+				return err
+			}
+			s2, _, ps, err := timeShards(cfg.shards)
+			if err != nil {
+				return err
+			}
+			units = n
+			if unSecs == 0 || u < unSecs {
+				unSecs = u
+			}
+			if shSecs == 0 || s2 < shSecs {
+				shSecs, perShard = s2, ps
+			}
+		}
+		sm = &shardModes{
+			CPUs: runtime.NumCPU(), Shards: cfg.shards, Driver: "inprocess",
+			Unsharded: shardModeBench{CrawlSeconds: unSecs, UnitsPerSec: float64(units) / unSecs},
+			Sharded:   shardModeBench{CrawlSeconds: shSecs, UnitsPerSec: float64(units) / shSecs},
+		}
+		sm.Speedup = sm.Sharded.UnitsPerSec / sm.Unsharded.UnitsPerSec
+		for _, st := range perShard {
+			sm.PerShard = append(sm.PerShard, shardBench{
+				Shard: st.Shard, Units: st.Sched.Visits,
+				UnitsPerSec: float64(st.Sched.Visits) / shSecs,
+				Attempts:    st.Attempts,
+			})
+		}
+		fmt.Fprintf(out, "unsharded %.2fs (%.1f units/s) vs %d shards %.2fs (%.1f units/s): speedup %.2fx on %d CPUs\n\n",
+			unSecs, sm.Unsharded.UnitsPerSec, cfg.shards, shSecs, sm.Sharded.UnitsPerSec, sm.Speedup, sm.CPUs)
+	}
+
 	// -checkpoint alone: report the measurement crawl's journal volume.
 	// -checkpoint-compare: additionally time the same configuration with
 	// and without a fresh journal on paired fresh pipelines (best of
@@ -743,6 +889,13 @@ func run(cfg runConfig) error {
 	}
 
 	if benchJSON != "" {
+		// The snapshot's Shards field records the measurement crawl's own
+		// shard count; under -shard-compare the measurement crawl ran
+		// unsharded (the compare laps shard on their own pipelines).
+		snapShards := 0
+		if cfg.shards > 1 && !cfg.shardCompare {
+			snapShards = cfg.shards
+		}
 		snap := benchSnapshot{
 			Benchmark:       "StreamingPipeline",
 			Sites:           sites,
@@ -760,6 +913,8 @@ func run(cfg runConfig) error {
 			VantageParallel: cfg.vantParallel,
 			VantageModes:    vm,
 			Checkpoint:      ckpt,
+			ShardModes:      sm,
+			Shards:          snapShards,
 			AllocsPerSite:   float64(msAfter.Mallocs-msBefore.Mallocs) / float64(sites),
 			BytesPerSite:    float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(sites),
 			GCCycles:        msAfter.NumGC - msBefore.NumGC,

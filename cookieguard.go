@@ -31,6 +31,7 @@ package cookieguard
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"sync"
@@ -51,6 +52,7 @@ import (
 	"cookieguard/internal/netsim"
 	"cookieguard/internal/perf"
 	"cookieguard/internal/resultstore"
+	"cookieguard/internal/shard"
 	"cookieguard/internal/trancolist"
 	"cookieguard/internal/webgen"
 )
@@ -173,6 +175,13 @@ type Pipeline struct {
 	jnlOnce sync.Once
 	jnl     *journal.Journal
 	jnlErr  error
+
+	// shardMu guards the sharded-crawl state: the per-shard live views
+	// behind ShardStats (in-process driver) and the sibling-journal
+	// tailer of a WithShardWorker process (closed by Shutdown).
+	shardMu   sync.Mutex
+	shardLive []shardLive
+	shardTail *shard.JournalExchange
 }
 
 // ErrCrashInjected is the abort cause of a crawl killed by the
@@ -255,6 +264,11 @@ func (p *Pipeline) ensureJournal() (*journal.Journal, error) {
 	if p.cfg.checkpointDir == "" {
 		return nil, nil
 	}
+	if p.cfg.shards > 1 {
+		// The in-process shard driver opens one journal per shard under
+		// <dir>/shard-<i>; the base directory holds no journal of its own.
+		return nil, nil
+	}
 	p.jnlOnce.Do(func() {
 		p.jnl, p.jnlErr = journal.Open(p.cfg.checkpointDir, p.checkpointFingerprint())
 	})
@@ -269,8 +283,21 @@ func (p *Pipeline) ensureJournal() (*journal.Journal, error) {
 // cache — which is exactly what lets a crawl resume at a different
 // worker count. Vantage latency models are functions and likewise
 // excluded (latency shifts virtual timing deterministically from the
-// vantage name's seed, which is covered).
+// vantage name's seed, which is covered). A sharded crawl's journals
+// additionally carry their shard coordinate ("i/n"), so a shard
+// journal only resumes as the same shard of the same split — see
+// Pipeline.fingerprint.
 func (p *Pipeline) checkpointFingerprint() string {
+	if w := p.cfg.shardWorker; w != nil {
+		return p.fingerprint(fmt.Sprintf("%d/%d", w.index, w.count))
+	}
+	return p.fingerprint("")
+}
+
+// fingerprint digests the byte-affecting configuration plus an
+// optional shard coordinate (see checkpointFingerprint for what is
+// covered and why).
+func (p *Pipeline) fingerprint(shardLabel string) string {
 	type vant struct {
 		Name   string             `json:"name"`
 		Faults netsim.FaultConfig `json:"faults"`
@@ -296,6 +323,7 @@ func (p *Pipeline) checkpointFingerprint() string {
 		Vantages    []vant              `json:"vantages,omitempty"`
 		Personas    []string            `json:"personas,omitempty"`
 		CMP         bool                `json:"cmp"`
+		Shard       string              `json:"shard,omitempty"`
 	}{
 		Version:     1,
 		Sites:       p.cfg.sites,
@@ -313,6 +341,7 @@ func (p *Pipeline) checkpointFingerprint() string {
 		Vantages:    vants,
 		Personas:    p.cfg.personas,
 		CMP:         p.cfg.cmp,
+		Shard:       shardLabel,
 	}
 	b, err := json.Marshal(fp)
 	if err != nil {
@@ -438,7 +467,24 @@ func (p *Pipeline) unitsPerVantage() int {
 // crawl: every counter is an atomic and the snapshot is a plain-value
 // copy, so mid-run reads observe monotonically advancing totals (as on
 // cookieguard.Server's /v1/stats), not just the end-of-run state.
-func (p *Pipeline) SchedStats() SchedSnapshot { return p.sched.Snapshot() }
+// During (and after) an in-process sharded crawl the snapshot is the
+// crawl-wide merge of the per-shard counters: owned-work counters sum,
+// replicated circuit counters take the shard maximum (every shard runs
+// the same lane state machines) — see internal/shard.MergeSched.
+func (p *Pipeline) SchedStats() SchedSnapshot {
+	p.shardMu.Lock()
+	snaps := make([]crawler.SchedSnapshot, 0, len(p.shardLive))
+	for i := range p.shardLive {
+		if st := p.shardLive[i].stats; st != nil {
+			snaps = append(snaps, st.Snapshot())
+		}
+	}
+	p.shardMu.Unlock()
+	if len(snaps) > 0 {
+		return shard.MergeSched(snaps)
+	}
+	return p.sched.Snapshot()
+}
 
 // StreamVantage runs the measurement crawl from one vantage point and
 // delivers its visit logs incrementally (each tagged v.Name). Multiple
@@ -468,6 +514,12 @@ func (p *Pipeline) StreamVantage(ctx context.Context, v Vantage) (<-chan VisitLo
 // Progress/ProgressStats callbacks report one monotonic done out of
 // sites × vantages × personas — no per-vantage restart.
 func (p *Pipeline) Stream(ctx context.Context) (<-chan VisitLog, <-chan error) {
+	if p.cfg.shardWorker != nil {
+		return p.streamShardWorker(ctx)
+	}
+	if p.cfg.shards > 1 {
+		return p.streamSharded(ctx)
+	}
 	if _, err := p.ensureJournal(); err != nil {
 		return errStream(err)
 	}
@@ -532,6 +584,12 @@ func offsetProgress(opts *crawler.Options, base, total int) {
 // wrapper over the streaming core — memory scales with the site count
 // times the vantage count, so prefer Run or Stream for large workloads.
 func (p *Pipeline) Crawl(ctx context.Context) ([]VisitLog, error) {
+	if p.cfg.shardWorker != nil {
+		return p.crawlShardWorker(ctx)
+	}
+	if p.cfg.shards > 1 {
+		return p.crawlSharded(ctx)
+	}
 	if _, err := p.ensureJournal(); err != nil {
 		return nil, err
 	}
@@ -723,6 +781,13 @@ func (p *Pipeline) Shutdown(ctx context.Context) error {
 		if serr := jnl.Sync(); serr != nil && err == nil && serr != journal.ErrCrashInjected {
 			err = serr
 		}
+	}
+	p.shardMu.Lock()
+	tail := p.shardTail
+	p.shardTail = nil
+	p.shardMu.Unlock()
+	if tail != nil {
+		tail.Close()
 	}
 	return err
 }

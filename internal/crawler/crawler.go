@@ -232,6 +232,13 @@ type Options struct {
 	// trailing fsync, exactly the state a real mid-crawl crash leaves
 	// behind.
 	CrashAfterUnits int
+	// Shard, when set, restricts this crawl to the shard's owned slice
+	// of the unit space while replicating the full scheduler over all
+	// sites (see ShardPlan): owned units execute and deliver, foreign
+	// units fold their owners' outcomes from the shard exchange, and
+	// the merged output of all shards is byte-identical to the
+	// unsharded crawl. Nil crawls everything.
+	Shard *ShardPlan
 }
 
 // ProgressStats is the live-counter payload delivered to
@@ -347,6 +354,7 @@ type visitOutcome struct {
 	lane        int
 	pass        int
 	requeue     bool
+	foreign     bool // a sibling shard's outcome, folded from the exchange
 	virtualMs   float64
 	shedFetches int64 // gate sheds charged to this visit (journaling runs)
 	hosts       []browser.HostOutcome
@@ -547,6 +555,28 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 		opts.Stats = &SchedStats{}
 	}
 
+	ownedSites := len(sites)
+	if opts.Shard != nil {
+		if len(opts.Shard.Owned) != len(sites) {
+			errc <- fmt.Errorf("crawler: Shard.Owned covers %d sites, crawl has %d", len(opts.Shard.Owned), len(sites))
+			close(out)
+			close(errc)
+			return out, errc
+		}
+		if needFeedback && opts.Shard.Exchange == nil {
+			errc <- fmt.Errorf("crawler: a sharded crawl with breaker/second-pass requires Shard.Exchange")
+			close(out)
+			close(errc)
+			return out, errc
+		}
+		ownedSites = 0
+		for _, own := range opts.Shard.Owned {
+			if own {
+				ownedSites++
+			}
+		}
+	}
+
 	lanes := buildLanes(sites, &opts)
 
 	// The crawl's inner context carries an abort CAUSE: journal append
@@ -560,7 +590,7 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 	if needFeedback {
 		feedback = make(chan visitOutcome, workers*2)
 	}
-	d := &delivery{ctx: ctx, out: out, opts: &opts, total: len(sites) * len(lanes)}
+	d := &delivery{ctx: ctx, out: out, opts: &opts, total: ownedSites * len(lanes)}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -586,6 +616,11 @@ func stream(ctx context.Context, sites []string, opts Options) (<-chan indexedLo
 						abort(err)
 						return
 					}
+				}
+				if opts.Shard != nil && opts.Shard.Exchange != nil {
+					// Publish after journaling: sibling shards only ever
+					// fold outcomes this shard can reproduce on resume.
+					opts.Shard.Exchange.Publish(unitRecord(j, l, o))
 				}
 				if feedback != nil {
 					select {
@@ -783,6 +818,11 @@ func dispatch(ctx context.Context, abort context.CancelCauseFunc, sites []string
 					continue
 				}
 				ln.popCount++
+				if !opts.Shard.owns(site) {
+					// No scheduler state depends on outcomes here, so a
+					// foreign unit is purely another shard's work: skip it.
+					continue
+				}
 				rec, ok := journalLookup(opts, ln, site, 1)
 				if ok && replayable(rec) {
 					if !replayZero(abort, ln, rec, d) {
@@ -880,6 +920,14 @@ type dispatcher struct {
 // derived scheduler decision match the original run. Returns false
 // when the crawl aborts or is cancelled.
 func (s *dispatcher) replay(ln *laneState, rec *journal.Record) bool {
+	if s.opts.Shard != nil && s.opts.Shard.Exchange != nil {
+		// An adopted (resumed) shard re-publishes every replayed unit:
+		// sibling shards blocked on outcomes the crashed run journaled
+		// but never published unblock here. Publish is idempotent.
+		pub := *rec
+		pub.Log, pub.LogSum = nil, ""
+		s.opts.Shard.Exchange.Publish(pub)
+	}
 	o := visitOutcome{
 		idx: rec.Site, lane: ln.id, pass: rec.Pass,
 		requeue: rec.Requeue, virtualMs: rec.VirtualMs,
@@ -931,15 +979,47 @@ func (s *dispatcher) collect(o visitOutcome) {
 	ln.outcomes++
 }
 
-// resolve applies a visit outcome to its lane's frontier.
+// resolve applies a visit outcome to its lane's frontier. Foreign
+// outcomes mutate the replicated lane state but never the stats — the
+// owning shard accounts its own work.
 func (s *dispatcher) resolve(ln *laneState, o visitOutcome) {
 	if o.requeue {
-		ln.stats.Requeued.Add(1)
+		if !o.foreign {
+			ln.stats.Requeued.Add(1)
+		}
 		ln.passOf[o.idx] = o.pass + 1
 		ln.front.Requeue(o.idx)
 		return
 	}
 	ln.front.Complete(o.idx)
+}
+
+// awaitForeign folds a sibling shard's unit: a waiter goroutine
+// fetches the owner's published outcome from the exchange and feeds it
+// through the normal feedback path, so the replicated lane state
+// machine folds byte-identical state without performing the visit.
+// Delivery and stats stay with the owner.
+func (s *dispatcher) awaitForeign(ln *laneState, site, pass int) {
+	ln.pending++
+	k := journal.Key{Vantage: ln.vantage.Name, Persona: ln.persona, Site: site, Pass: pass}
+	laneID := ln.id
+	go func() {
+		rec, err := s.opts.Shard.Exchange.Wait(s.ctx, k)
+		if err != nil {
+			return // cancelled; the dispatcher is exiting too
+		}
+		o := visitOutcome{
+			idx: rec.Site, lane: laneID, pass: rec.Pass,
+			requeue: rec.Requeue, virtualMs: rec.VirtualMs, foreign: true,
+		}
+		for _, h := range rec.Hosts {
+			o.hosts = append(o.hosts, browser.HostOutcome{Host: h.Host, Transient: h.Transient, OK: h.OK})
+		}
+		select {
+		case s.feedback <- o:
+		case <-s.ctx.Done():
+		}
+	}()
 }
 
 // send dispatches one job, draining feedback (from any lane) while the
@@ -961,17 +1041,27 @@ func (s *dispatcher) send(j visitJob) bool {
 // shed handles a visit whose landing host's circuit is open at dispatch
 // time: with the second pass available it is requeued (the re-crawl
 // doubles as the host's probe); otherwise a terminal circuit-open
-// record is emitted without constructing a browser. Returns false when
-// the crawl is cancelled.
-func (s *dispatcher) shed(ln *laneState, site, pass int) bool {
-	ln.stats.ShedVisits.Add(1)
+// record is emitted without constructing a browser. Shed decisions are
+// a pure function of the replicated lane state, so in a sharded crawl
+// every shard computes the same sheds — a foreign shed applies its
+// frontier effect here but leaves stats and the emitted record to the
+// owner. Returns false when the crawl is cancelled.
+func (s *dispatcher) shed(ln *laneState, site, pass int, owned bool) bool {
+	if owned {
+		ln.stats.ShedVisits.Add(1)
+	}
 	if pass == 1 && s.opts.SecondPass.Enabled {
-		ln.stats.Requeued.Add(1)
+		if owned {
+			ln.stats.Requeued.Add(1)
+		}
 		ln.passOf[site] = pass + 1
 		ln.front.Requeue(site)
 		return true
 	}
 	ln.front.Complete(site)
+	if !owned {
+		return true
+	}
 	url := s.sites[site]
 	l := instrument.VisitLog{
 		Site:    urlutil.RegistrableDomain(url),
@@ -1045,6 +1135,10 @@ func (s *dispatcher) stepContinuous(ln *laneState) (bool, bool) {
 	}
 	ln.popCount++
 	pass := ln.pass(site)
+	if !s.opts.Shard.owns(site) {
+		s.awaitForeign(ln, site, pass)
+		return true, true
+	}
 	rec, ok := journalLookup(s.opts, ln, site, pass)
 	if ok && replayable(rec) {
 		return true, s.replay(ln, rec)
@@ -1099,10 +1193,19 @@ func (s *dispatcher) stepRound(ln *laneState) (bool, bool) {
 		ln.popCount++
 		ln.popped = true
 		pass := ln.pass(site)
+		owned := s.opts.Shard.owns(site)
 		if pass == 1 && ln.brk.blocked(urlutil.Hostname(s.sites[site])) {
-			if !s.shed(ln, site, pass) {
+			if !s.shed(ln, site, pass, owned) {
 				return false, false
 			}
+			continue
+		}
+		if !owned {
+			// A foreign unit still occupies its round slot (sent++), so
+			// round composition — and the gate every later round freezes
+			// — matches the unsharded run exactly.
+			s.awaitForeign(ln, site, pass)
+			ln.sent++
 			continue
 		}
 		rec, ok := journalLookup(s.opts, ln, site, pass)

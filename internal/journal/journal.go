@@ -233,17 +233,33 @@ type Journal struct {
 	replayed   int64
 	fsyncEvery int
 	sinceSync  int
+	liveFlush  bool
 	killAfter  int64
 	appended   int64
 	dead       bool
 }
 
+// SetLiveFlush makes every append flush the user-space buffer to the
+// kernel immediately (no fsync — the durability quantum is unchanged).
+// Sharded crawls whose shards exchange outcomes by tailing each
+// other's journals need it: a record parked in this process's bufio
+// buffer is invisible to a sibling's reader, and with both shards
+// barriered on each other's rounds that is a deadlock. The bytes on
+// disk are identical either way; only their arrival time changes.
+func (j *Journal) SetLiveFlush(on bool) {
+	j.mu.Lock()
+	j.liveFlush = on
+	j.mu.Unlock()
+}
+
 // Open opens (creating if absent) the journal in dir and loads its
 // durable state: unit records into the resume set, snapshots into the
 // verification map. A torn tail — trailing bytes that do not form a
-// hash-valid line — is truncated away. A non-empty journal whose
-// header fingerprint differs from fingerprint fails with
-// ErrFingerprint.
+// hash-valid line — is truncated away, and a torn header — durable
+// records with no hash-valid header line before them — resets the
+// journal to empty (there is no fingerprint to trust the records
+// against). A non-empty journal whose header fingerprint differs from
+// fingerprint fails with ErrFingerprint.
 func Open(dir, fingerprint string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -277,6 +293,7 @@ func (j *Journal) load(fingerprint string) error {
 	}
 	valid := 0 // byte offset of the last hash-valid line's end
 	sawHeader := false
+parse:
 	for off := 0; off < len(raw); {
 		nl := bytes.IndexByte(raw[off:], '\n')
 		if nl < 0 {
@@ -306,7 +323,13 @@ func (j *Journal) load(fingerprint string) error {
 			sawHeader = true
 		case rec.Unit != nil:
 			if !sawHeader {
-				return fmt.Errorf("journal: unit record before header")
+				// A durable unit line with no header before it means the
+				// header line itself was torn or lost. Without the header
+				// there is no fingerprint to trust the records against, so
+				// the journal is torn from the start: resume empty instead
+				// of failing open.
+				valid = 0
+				break parse
 			}
 			u := rec.Unit
 			if len(u.Log) > 0 && contenthash.Sum(string(u.Log)) != u.LogSum {
@@ -317,7 +340,8 @@ func (j *Journal) load(fingerprint string) error {
 			j.units[u.Key()] = u // last wins: later runs append after earlier ones
 		case rec.Snap != nil:
 			if !sawHeader {
-				return fmt.Errorf("journal: snapshot before header")
+				valid = 0 // torn header; see the unit case
+				break parse
 			}
 			s := rec.Snap
 			j.snaps[snapKey{s.Vantage, s.Persona, s.Outcomes}] = s.digest()
@@ -339,6 +363,43 @@ func (j *Journal) load(fingerprint string) error {
 		return j.fsync()
 	}
 	return nil
+}
+
+// ScanUnits incrementally parses raw journal bytes — the read side of
+// sharded crawls that tail sibling shards' journals as an outcome
+// exchange (an append there is a publish here). It consumes every
+// leading complete hash-valid line, returns the unit records among
+// them (header and snapshot lines are skipped), and reports how many
+// bytes were consumed. Trailing bytes past the last valid line — a
+// line the writer is still flushing — are left for the next call with
+// the rest of the file.
+func ScanUnits(raw []byte) ([]*Record, int) {
+	var units []*Record
+	consumed := 0
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		ln := raw[off : off+nl]
+		if len(ln) < contenthash.Size+2 || ln[contenthash.Size] != ' ' {
+			break
+		}
+		sum, body := string(ln[:contenthash.Size]), ln[contenthash.Size+1:]
+		if !contenthash.Valid(sum) || contenthash.Sum(string(body)) != sum {
+			break
+		}
+		var rec line
+		if err := json.Unmarshal(body, &rec); err != nil {
+			break
+		}
+		if rec.Unit != nil {
+			units = append(units, rec.Unit)
+		}
+		off += nl + 1
+		consumed = off
+	}
+	return units, consumed
 }
 
 // Lookup returns the journaled record of a unit, if one was loaded at
@@ -397,6 +458,9 @@ func (j *Journal) Append(rec Record) error {
 	if j.sinceSync >= j.fsyncEvery {
 		return j.fsync()
 	}
+	if j.liveFlush {
+		return j.w.Flush()
+	}
 	return nil
 }
 
@@ -426,6 +490,9 @@ func (j *Journal) AppendSnapshot(s LaneSnapshot) error {
 	j.sinceSync++
 	if j.sinceSync >= j.fsyncEvery {
 		return j.fsync()
+	}
+	if j.liveFlush {
+		return j.w.Flush()
 	}
 	return nil
 }

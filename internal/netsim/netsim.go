@@ -19,10 +19,10 @@
 package netsim
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
-	"net/http/httptest"
 	"net/url"
 	"strconv"
 	"strings"
@@ -105,6 +105,44 @@ func ReleaseResponse(resp *http.Response) {
 
 // statusLine memoizes "200 OK"-style status lines per code.
 var statusLines sync.Map // int -> string
+
+// respRecorder is the fabric's minimal http.ResponseWriter for handler
+// dispatch. httptest's recorder snapshots (clones) the header map and
+// Sprintf's a fresh status line on every Result() — recurring garbage on
+// each uncacheable exchange (beacon sinks, consent endpoints), which a
+// multi-persona crawl pays once per unit per sink. The fabric only needs
+// the code, the header map the handler just filled, and the body, so the
+// response is assembled from those directly (status lines come from the
+// statusLine memo). Content-Type sniffing is deliberately absent:
+// generated handlers either set their type explicitly or write no body,
+// and nothing in the fabric or browser reads a sniffed type.
+type respRecorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *respRecorder) Header() http.Header { return r.header }
+
+func (r *respRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *respRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func (r *respRecorder) WriteString(s string) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.WriteString(s)
+}
 
 func statusLine(code int) string {
 	if s, ok := statusLines.Load(code); ok {
@@ -544,7 +582,7 @@ func (i *Internet) roundTrip(req *http.Request, v *snapshot, latency LatencyMode
 		}
 	}
 
-	rec := httptest.NewRecorder()
+	rec := &respRecorder{header: make(http.Header, 4)}
 	// The handler sees the original Host (cloaked requests carry the
 	// alias), matching how HTTP works over a CNAME.
 	inner := req.Clone(req.Context())
@@ -553,23 +591,33 @@ func (i *Internet) roundTrip(req *http.Request, v *snapshot, latency LatencyMode
 		inner.Body = http.NoBody
 	}
 	handler.ServeHTTP(rec, inner)
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
 
-	resp := rec.Result()
-	body := rec.Body.String()
+	body := rec.body.String()
 	// Deliver the body as a *stringBody so ReadBody returns it without a
-	// second copy (rec.Body.String() above is the only materialization).
+	// second copy (rec.body.String() above is the only materialization).
 	sb := &stringBody{}
 	sb.set(body)
-	resp.Body = sb
-	resp.ContentLength = int64(len(body))
-	if cacheable && rec.Code == http.StatusOK {
+	resp := &http.Response{
+		StatusCode:    rec.code,
+		Status:        statusLine(rec.code),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          sb,
+		ContentLength: int64(len(body)),
+	}
+	if cacheable && rec.code == http.StatusOK {
 		// Memoize 200s only: error pages are cheap and beacon sinks
 		// (204, unique query strings) would grow the cache unboundedly.
 		// The cache stores the intact exchange even when this delivery is
 		// truncated — the fault belongs to the attempt, not the content.
 		hdr := resp.Header.Clone()
 		hdr.Set(BodyHashHeader, contenthash.Sum(body))
-		v.respCache.PutResponse(key, &cachedResponse{status: rec.Code, header: hdr, body: body})
+		v.respCache.PutResponse(key, &cachedResponse{status: rec.code, header: hdr, body: body})
 		resp.Header.Set(BodyHashHeader, hdr.Get(BodyHashHeader))
 	}
 	if fd.Kind == FaultTruncate {

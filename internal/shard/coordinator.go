@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cookieguard/internal/crawler"
+)
+
+// State is one shard runner's lifecycle position, reported to the
+// coordinator's observer (and surfaced on /v1/stats).
+type State string
+
+const (
+	StateRunning State = "running"
+	// StateAdopted means the runner failed (crashed, or was killed by
+	// the crash-injection harness) and the coordinator is re-adopting
+	// its remaining units by resuming from the shard's journal:
+	// journaled units replay from their stored logs with zero fabric
+	// requests, the rest crawl fresh.
+	StateAdopted State = "adopted"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Runner executes one shard attempt to completion. attempt is 0 for
+// the first launch and increments per adoption; a resumed attempt must
+// reopen the shard's journal and re-publish what it replays (the
+// crawler's replay path does both).
+type Runner func(ctx context.Context, shard, attempt int) error
+
+// Coordinator drives N shard runners to completion, consul-agent
+// style: every runner is supervised, and a runner that dies is
+// re-adopted (relaunched to resume from its own journal) until its
+// retry budget is exhausted — then the whole crawl fails and every
+// sibling is cancelled. It is driver-agnostic: the in-process driver's
+// Runner runs a pipeline goroutine, the subprocess driver's re-execs
+// cmd/crawl.
+type Coordinator struct {
+	Shards int
+	// Retries is each shard's adoption budget (relaunches after a
+	// failure). 0 means a single crash fails the crawl — without a
+	// journal there is nothing to adopt from.
+	Retries int
+	Run     Runner
+	// OnState, when set, observes every shard state transition. Called
+	// from shard goroutines; must be safe for concurrent use.
+	OnState func(shard int, s State, err error)
+}
+
+// Execute launches every shard and blocks until all complete. The
+// returned error is the first permanent (budget-exhausted) shard
+// failure, or ctx's error.
+func (c *Coordinator) Execute(ctx context.Context) error {
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < c.Shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				c.state(shard, StateRunning, nil)
+				err := c.Run(ctx, shard, attempt)
+				if err == nil {
+					c.state(shard, StateDone, nil)
+					return
+				}
+				if ctx.Err() != nil {
+					// A sibling's permanent failure (or the caller)
+					// cancelled the crawl; this shard's error is noise.
+					return
+				}
+				if attempt >= c.Retries {
+					c.state(shard, StateFailed, err)
+					cancel(fmt.Errorf("shard %d/%d failed after %d adoption(s): %w",
+						shard, c.Shards, attempt, err))
+					return
+				}
+				c.state(shard, StateAdopted, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if cause := context.Cause(ctx); cause != nil && cause != context.Canceled {
+		return cause
+	}
+	return ctx.Err()
+}
+
+func (c *Coordinator) state(shard int, s State, err error) {
+	if c.OnState != nil {
+		c.OnState(shard, s, err)
+	}
+}
+
+// MergeSched folds per-shard scheduler snapshots into one crawl-wide
+// view. Owned-work counters — visits, virtual time, sheds, requeues —
+// sum across shards (each shard accounts only the units it owns).
+// Replicated state-machine counters — circuit opened/reopened/reclosed
+// /probes — are each shard's complete view of the same deterministic
+// lane state machines, so summing would multiply them by N; the
+// maximum (shards mid-crawl may trail) is the crawl-wide truth.
+func MergeSched(snaps []crawler.SchedSnapshot) crawler.SchedSnapshot {
+	var out crawler.SchedSnapshot
+	for _, s := range snaps {
+		out.VirtualMs += s.VirtualMs
+		out.Visits += s.Visits
+		out.ShedVisits += s.ShedVisits
+		out.ShedFetches += s.ShedFetches
+		out.Requeued += s.Requeued
+		out.SecondPassKept += s.SecondPassKept
+		out.Opened = maxi(out.Opened, s.Opened)
+		out.Reopened = maxi(out.Reopened, s.Reopened)
+		out.Reclosed = maxi(out.Reclosed, s.Reclosed)
+		out.Probes = maxi(out.Probes, s.Probes)
+		for label, v := range s.Vantages {
+			if out.Vantages == nil {
+				out.Vantages = map[string]crawler.SchedSnapshot{}
+			}
+			cur, ok := out.Vantages[label]
+			if !ok {
+				out.Vantages[label] = v
+				continue
+			}
+			merged := MergeSched([]crawler.SchedSnapshot{cur, v})
+			// MergeSched of two complete snapshots re-maxes the replicated
+			// counters and re-sums the owned ones — exactly the per-label
+			// semantics too.
+			out.Vantages[label] = merged
+		}
+	}
+	return out
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

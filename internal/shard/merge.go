@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// MergeSortedJSONL interleaves k sorted line streams (per-shard `-sort`
+// JSONL files) into one stream sorted by the same key, byte-identical
+// to sorting the concatenation — and therefore to the unsharded run's
+// sorted output, since every line's bytes are shard-invariant and the
+// keys are unique across shards (each unit is owned by exactly one).
+// key extracts a line's sort key (the line is passed without its
+// trailing newline); lines are written back verbatim, newline-
+// terminated. Inputs need not be newline-terminated on their final
+// line.
+func MergeSortedJSONL(w io.Writer, rs []io.Reader, key func(line []byte) (string, error)) error {
+	type head struct {
+		r    *bufio.Reader
+		line []byte
+		key  string
+		done bool
+	}
+	heads := make([]*head, len(rs))
+	advance := func(h *head) error {
+		for {
+			line, err := h.r.ReadBytes('\n')
+			line = bytes.TrimSuffix(line, []byte("\n"))
+			if len(line) == 0 {
+				if err == io.EOF {
+					h.done = true
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				continue // blank line: skip
+			}
+			k, kerr := key(line)
+			if kerr != nil {
+				return kerr
+			}
+			h.line, h.key = line, k
+			if err == io.EOF {
+				// Deliver this final line; the next advance sees EOF.
+				h.r = bufio.NewReader(bytes.NewReader(nil))
+			}
+			return nil
+		}
+	}
+	for i, r := range rs {
+		heads[i] = &head{r: bufio.NewReaderSize(r, 1<<16)}
+		if err := advance(heads[i]); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for {
+		var best *head
+		for _, h := range heads {
+			if h.done {
+				continue
+			}
+			if best == nil || h.key < best.key {
+				best = h
+			}
+		}
+		if best == nil {
+			return bw.Flush()
+		}
+		if _, err := bw.Write(best.line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		if err := advance(best); err != nil {
+			return err
+		}
+	}
+}

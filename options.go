@@ -37,6 +37,9 @@ type config struct {
 	snapEvery     int
 	checkpointDir string
 	crashAfter    int
+	shards        int
+	shardDriver   ShardDriver
+	shardWorker   *shardWorkerCfg
 }
 
 // WithSites sets the number of sites to generate (the paper used 20,000).
@@ -329,6 +332,56 @@ func WithCheckpoint(dir string) Option {
 // (the default) disables injection.
 func WithCrashAfterUnits(n int) Option {
 	return func(c *config) { c.crashAfter = n }
+}
+
+// WithShards splits the crawl's unit space (site × vantage × persona)
+// into n deterministic shards driven concurrently to completion by a
+// coordinator with straggler adoption. Sites partition by a seeded
+// hash of their eTLD+1, so a site's every visit — all vantages,
+// personas, and passes — executes on one shard and per-host breaker
+// state never straddles a site's shard; cross-shard scheduler feedback
+// (third-party hosts are shared) stays byte-identical by replication:
+// every shard runs the full deterministic lane state machines,
+// executing owned units and folding foreign units' outcomes from an
+// exchange. Stream interleaves the shards' logs in completion order,
+// Crawl returns the exact unsharded batch order, and Run's Results,
+// Results.StableJSON(), the merged scheduler counters, and every
+// /v1/tables endpoint are byte-identical to the unsharded crawl —
+// clean or faulted, with breaker, autopilot, and personas. Combined
+// with WithCheckpoint, each shard journals under <dir>/shard-<i> and a
+// crashed or straggling shard is adopted: relaunched to resume from
+// its own journal, completed units replaying from their stored logs
+// with zero fabric requests. n <= 1 (the default) crawls unsharded.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithShardDriver selects how WithShards executes its runners:
+// ShardInProcess (the default) drives n pipeline goroutine pools over
+// one frozen web and one shared artifact cache; ShardSubprocess is the
+// cmd/crawl protocol — one re-exec'd OS process per shard, each a
+// WithShardWorker pipeline journaling under its own checkpoint
+// subdirectory, siblings tailing each other's journals for foreign
+// feedback. The library's Pipeline methods reject ShardSubprocess
+// (process supervision belongs to cmd/crawl); both drivers produce
+// byte-identical output.
+func WithShardDriver(d ShardDriver) Option {
+	return func(c *config) { c.shardDriver = d }
+}
+
+// WithShardWorker marks this pipeline as shard index of count in a
+// subprocess-driven sharded crawl (the cmd/crawl -shard i/N worker
+// protocol): Stream/Crawl execute only the units of the sites this
+// shard owns under the same deterministic partition every sibling
+// computes, replicating the full scheduler over all sites. When the
+// crawl has cross-unit feedback (breaker, autopilot, second pass),
+// WithCheckpoint is required and must point at <base>/shard-<index> —
+// the shard's journal live-flushes every append, and the sibling
+// journals <base>/shard-<j> are tailed as the outcome exchange.
+// Callers normally never use this directly; the cmd/crawl coordinator
+// launches workers with it.
+func WithShardWorker(index, count int) Option {
+	return func(c *config) { c.shardWorker = &shardWorkerCfg{index: index, count: count} }
 }
 
 // WithArtifactCache enables (the default) or disables the pipeline's
